@@ -1,0 +1,33 @@
+# Convenience targets for the reproduction workflow.
+
+.PHONY: install test bench bench-tables report examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+test-output:
+	pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	pytest benchmarks/ --benchmark-only -s
+
+bench-output:
+	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+report:
+	python -m repro.cli report --output reproduction_report.md
+
+examples:
+	python examples/quickstart.py
+	python examples/budget_planner.py
+	python examples/link_prediction.py
+	python examples/gnn_vs_llm.py
+	python examples/strategy_comparison.py
+	python examples/products_cost_analysis.py
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true
+	rm -rf .pytest_cache .benchmarks build *.egg-info src/*.egg-info

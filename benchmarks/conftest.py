@@ -1,0 +1,21 @@
+"""Benchmark configuration.
+
+Each benchmark runs its experiment exactly once (``pedantic`` with one
+round): experiments are multi-second workloads whose interest is the
+reproduced table, not micro-timing stability.  Formatted tables print to
+stdout; run with ``pytest benchmarks/ --benchmark-only -s`` to see them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run ``fn`` once under pytest-benchmark timing and return its result."""
+
+    def runner(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,32 @@
+"""Extension — the cost-accuracy Pareto frontier (beyond the paper).
+
+Sweeps the pruning fraction with and without boosting on Cora and checks
+the deployment-relevant claims: token cost falls monotonically with τ, and
+the prune+boost configurations extend the frontier (better accuracy at
+equal-or-lower cost than prune-only at matching τ, thanks to near-free
+pseudo-labels).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.pareto import format_pareto, run_pareto
+
+
+def test_extension_pareto_frontier(run_once):
+    result = run_once(lambda: run_pareto(dataset="cora", method="2-hop", num_queries=1000))
+    print()
+    print(format_pareto(result))
+
+    by_key = {(p.strategy, p.tau): p for p in result.points}
+    taus = sorted({p.tau for p in result.points})
+    # Token cost decreases monotonically with pruning fraction.
+    for strategy in ("prune", "prune+boost"):
+        costs = [by_key[(strategy, tau)].tokens for tau in taus]
+        assert all(a >= b for a, b in zip(costs, costs[1:])), strategy
+    # Boosting adds accuracy at (near) equal cost for most operating points.
+    better = sum(
+        by_key[("prune+boost", tau)].accuracy >= by_key[("prune", tau)].accuracy for tau in taus
+    )
+    assert better >= len(taus) - 1
+    # The frontier is non-trivial: at least three non-dominated points.
+    assert len(result.frontier()) >= 3

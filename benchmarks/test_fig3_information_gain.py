@@ -1,0 +1,31 @@
+"""Fig. 3 benchmark — neighbor-label information gain (paper Sec. IV-B2).
+
+Expected shapes: queries whose neighbor text contains labels show higher
+information gain than queries without, and a substantial share of queries
+lacks neighbor labels entirely.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig3 import format_fig3, run_fig3
+
+
+def test_fig3_information_gain(run_once):
+    result = run_once(lambda: run_fig3(datasets=("cora", "citeseer"), num_queries=1000))
+    print()
+    print(format_fig3(result))
+
+    for cell in result.cells:
+        assert cell.ig_with_labels >= cell.ig_without_labels, (
+            f"{cell.dataset}/{cell.method}: labeled group should gain more"
+        )
+        assert cell.share_without_labels > 20.0, (
+            f"{cell.dataset}/{cell.method}: many queries should lack labels"
+        )
+    # 2-hop reaches more labeled nodes than 1-hop.
+    by_key = {(c.dataset, c.method): c for c in result.cells}
+    for dataset in ("cora", "citeseer"):
+        assert (
+            by_key[(dataset, "2-hop")].share_with_labels
+            > by_key[(dataset, "1-hop")].share_with_labels
+        )

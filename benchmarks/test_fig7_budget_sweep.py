@@ -1,0 +1,33 @@
+"""Fig. 7 benchmark — pruning vs random selection across budgets (Q2).
+
+Expected shapes: the inadequacy-ranked curve dominates the random curve at
+interior budget points; on Pubmed (and roughly Ogbn-Arxiv) the 0%-inclusion
+endpoint is at least as good as the 100% endpoint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.fig7 import format_fig7, run_fig7
+
+DATASETS = ("cora", "citeseer", "pubmed", "ogbn-arxiv", "ogbn-products")
+
+
+def test_fig7_budget_sweep(run_once):
+    result = run_once(lambda: run_fig7(datasets=DATASETS, num_queries=1000))
+    print()
+    print(format_fig7(result))
+
+    for series in result.series:
+        ours = np.asarray(series.pruning_accuracy)
+        rand = np.asarray(series.random_accuracy)
+        # Endpoints coincide by construction; interior points must not lose
+        # to random on average, and never by more than noise.
+        interior = slice(1, -1)
+        assert (ours[interior] >= rand[interior] - 1.0).all(), series.dataset
+        assert ours[interior].mean() >= rand[interior].mean(), series.dataset
+
+    # Neighbor text is net noise on Pubmed: all-pruned >= all-included.
+    pubmed = result.for_dataset("pubmed")
+    assert pubmed.pruning_accuracy[-1] >= pubmed.pruning_accuracy[0] - 0.3

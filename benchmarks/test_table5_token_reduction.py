@@ -1,0 +1,41 @@
+"""Table V benchmark — token-reduction potential of pruning (Q3).
+
+Expected shapes: reducible tokens grow with dataset size and with richer
+neighbor-text configurations; Ogbn-Products with 10 neighbors + abstracts
+reaches the order of 10⁹ tokens (the paper's 2×10⁹ headline number).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table5 import DEFAULT_CONFIGS, format_table5, run_table5
+
+DATASETS = ("cora", "citeseer", "pubmed", "ogbn-arxiv", "ogbn-products")
+
+
+def test_table5_token_reduction(run_once):
+    result = run_once(lambda: run_table5(datasets=DATASETS, num_queries=1000))
+    print()
+    print(format_table5(result))
+
+    labels = [c.label for c in DEFAULT_CONFIGS]
+    rows = {r.dataset: r for r in result.rows}
+
+    for row in result.rows:
+        # Saturated proportions match the paper's 60–90% band.
+        assert 0.5 < row.saturated_proportion < 0.97, row.dataset
+        # Config ordering: more neighbors / more content => more tokens.
+        t = row.neighbor_tokens
+        assert t[labels[1]] > t[labels[0]]  # 10 > 4 neighbors, titles
+        assert t[labels[2]] > t[labels[0]]  # abstracts > titles
+        assert t[labels[3]] == max(t.values())
+
+    # Reducible tokens grow with dataset scale (full-size node counts).
+    richest = labels[3]
+    assert (
+        rows["ogbn-products"].reducible_tokens[richest]
+        > rows["ogbn-arxiv"].reducible_tokens[richest]
+        > rows["pubmed"].reducible_tokens[richest]
+        > rows["cora"].reducible_tokens[richest]
+    )
+    # The headline: Ogbn-Products saves on the order of 1e9 tokens.
+    assert rows["ogbn-products"].reducible_tokens[richest] > 1e9

@@ -1,0 +1,24 @@
+"""Table VI benchmark — text-inadequacy separates saturated nodes (Q4).
+
+Expected shape: mean D(t_i) of saturated (zero-shot-correct) queries is
+lower than that of non-saturated queries on every dataset.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table6 import format_table6, run_table6
+
+DATASETS = ("cora", "citeseer", "pubmed", "ogbn-arxiv", "ogbn-products")
+
+
+def test_table6_inadequacy(run_once):
+    result = run_once(lambda: run_table6(datasets=DATASETS, num_queries=1000))
+    print()
+    print(format_table6(result))
+
+    for row in result.rows:
+        assert row.num_saturated > 0 and row.num_non_saturated > 0, row.dataset
+        assert row.separates, (
+            f"{row.dataset}: saturated mean {row.saturated_mean:.3f} should be "
+            f"below non-saturated mean {row.non_saturated_mean:.3f}"
+        )

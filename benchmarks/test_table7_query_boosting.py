@@ -1,0 +1,25 @@
+"""Table VII benchmark — query boosting across methods and models (Q6).
+
+Expected shape: boosting improves (or at worst matches, within noise) every
+(dataset, method, model) cell, with clear improvements in the majority.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table7 import format_table7, run_table7
+
+
+def test_table7_query_boosting(run_once):
+    result = run_once(lambda: run_table7(num_queries=1000))
+    print()
+    print(format_table7(result))
+
+    improved = sum(c.improved for c in result.cells)
+    assert improved >= len(result.cells) * 0.6, (
+        f"boosting should improve most cells, got {improved}/{len(result.cells)}"
+    )
+    for cell in result.cells:
+        assert cell.boosted_accuracy >= cell.base_accuracy - 1.0, (
+            f"{cell.dataset}/{cell.method}/{cell.model} regressed: "
+            f"{cell.base_accuracy:.1f} -> {cell.boosted_accuracy:.1f}"
+        )

@@ -1,0 +1,29 @@
+"""Table VIII benchmark — joint token pruning + query boosting (Q7).
+
+Expected shapes: the joint strategy equips only ~80% of queries with
+neighbor text (the cost saving) while matching or beating the original
+accuracy in most cells.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table8 import format_table8, run_table8
+
+
+def test_table8_joint(run_once):
+    result = run_once(lambda: run_table8(num_queries=1000))
+    print()
+    print(format_table8(result))
+
+    for cell in result.cells:
+        # Cost: at most 80% of queries carry neighbor text (tau=0.2).
+        assert cell.joint_equipped <= round(cell.base_equipped * 0.81), (
+            f"{cell.dataset}/{cell.method}/{cell.model}"
+        )
+        # Accuracy stays competitive.
+        assert cell.joint_accuracy >= cell.base_accuracy - 2.0, (
+            f"{cell.dataset}/{cell.method}/{cell.model}: "
+            f"{cell.base_accuracy:.1f} -> {cell.joint_accuracy:.1f}"
+        )
+    improved = sum(c.improved for c in result.cells)
+    assert improved >= len(result.cells) * 0.5

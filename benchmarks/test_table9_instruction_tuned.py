@@ -1,0 +1,29 @@
+"""Table IX benchmark — strategies on instruction-tuned backbones (Q8).
+
+Expected shapes, per the paper's reading of its Table IX: inadequacy-ranked
+pruning loses far less than random pruning; boosting improves over Base;
+prune+boost improves over prune alone.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table9 import format_table9, run_table9
+
+
+def test_table9_instruction_tuned(run_once):
+    result = run_once(lambda: run_table9(num_queries=1000))
+    print()
+    print(format_table9(result))
+
+    assert len(result.rows) == 6
+    for row in result.rows:
+        assert row.prune > row.random_prune, (
+            f"{row.backbone}: inadequacy pruning should beat random pruning"
+        )
+        assert row.boost >= row.base - 1.0, row.backbone
+        assert row.both >= row.prune - 1.0, row.backbone
+    # Aggregate claims hold strictly on average.
+    mean = lambda attr: sum(getattr(r, attr) for r in result.rows) / len(result.rows)
+    assert mean("boost") > mean("base") - 0.2
+    assert mean("both") > mean("prune")
+    assert mean("prune") - mean("random_prune") > 2.0

@@ -1,0 +1,60 @@
+"""Cross-graph generalization: one paradigm, many graphs, zero retraining.
+
+The paper's challenge (iv): a GNN trained on one graph cannot run inference
+on another whose feature or label space differs.  The LLM paradigm has no
+such coupling — the label space lives in the *prompt*.  This example runs
+the identical pipeline code on Cora (7 paper classes, 1433-d features) and
+Citeseer (6 classes, 500-d features) back to back, then shows the GNN-side
+contrast: the Cora-trained GCN is structurally incapable of emitting
+Citeseer's label space, and its feature dimensions do not even match.
+
+Usage::
+
+    python examples/cross_graph_generalization.py
+"""
+
+from __future__ import annotations
+
+from repro.core import QueryBoostingStrategy
+from repro.experiments.common import load_setup
+from repro.gnn import GCNClassifier
+
+
+def main() -> None:
+    print("LLM paradigm — identical code, no per-graph training:\n")
+    setups = {}
+    for name in ("cora", "citeseer"):
+        setup = load_setup(name, num_queries=300)
+        setups[name] = setup
+        engine = setup.make_engine("2-hop")
+        boosted = QueryBoostingStrategy().execute(engine, setup.queries)
+        print(
+            f"  {name:<9} {setup.graph.num_classes} classes, "
+            f"{setup.graph.feature_dim}-d features -> "
+            f"accuracy {boosted.run.accuracy:.1%} "
+            f"({boosted.run.total_tokens:,} tokens, {boosted.num_rounds} rounds)"
+        )
+
+    print("\nGNN workflow — trained on Cora, asked about Citeseer:\n")
+    cora, citeseer = setups["cora"], setups["citeseer"]
+    gcn = GCNClassifier(hidden_size=64, epochs=120, seed=0).fit(cora.graph, cora.split.labeled)
+    print(f"  GCN output width      : {gcn.w1_.shape[1]} classes "
+          f"(Cora's label space; Citeseer has {citeseer.graph.num_classes})")
+    print(f"  GCN input width       : {gcn.w0_.shape[0]} features "
+          f"(Citeseer provides {citeseer.graph.feature_dim})")
+    try:
+        # Even mechanically, the forward pass cannot accept Citeseer.
+        gcn._features = citeseer.graph.features  # noqa: SLF001 — demonstration
+        gcn.predict()
+        print("  unexpectedly ran — should not happen")
+    except ValueError as error:
+        print(f"  inference attempt     : ValueError ({error})")
+    print(
+        "\nThe LLM paradigm carried both graphs with the same code because the\n"
+        "category list is part of each prompt; the GNN is bound to the feature\n"
+        "and label spaces it was trained on (paper Sec. I, challenge iv)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""The Fig. 1 comparison: GNN workflow vs "LLMs as predictors".
+
+Trains the conventional pipeline (GCN and GraphSAGE on text-encoded
+features, semi-supervised) and runs the LLM paradigm (vanilla zero-shot and
+SNS, plus SNS with both MQO strategies) on the same Cora split, then
+contrasts accuracy and the deployment trade-offs the paper's introduction
+discusses: the GNN needs the whole graph and a training phase; the LLM
+paradigm queries nodes independently but pays per token.
+
+Usage::
+
+    python examples/gnn_vs_llm.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import (
+    JointStrategy,
+    QueryBoostingStrategy,
+    TextInadequacyScorer,
+    TokenPruningStrategy,
+)
+from repro.gnn import GCNClassifier, GraphSAGEClassifier
+from repro.graph import load_dataset, make_split
+from repro.llm.profiles import make_model
+from repro.ml.metrics import accuracy
+from repro.prompts import PromptBuilder
+from repro.runtime import MultiQueryEngine
+from repro.selection import make_selector
+
+NUM_QUERIES = 300
+MODEL = "gpt-3.5"
+
+
+def main() -> None:
+    dataset = load_dataset("cora")
+    graph = dataset.graph
+    split = make_split(graph, NUM_QUERIES, labeled_per_class=20, seed=1)
+    builder = PromptBuilder(graph.class_names, "paper", "citation", "Abstract")
+    truth = graph.labels[split.queries]
+
+    print(f"{'approach':<26} {'accuracy':>9} {'tokens':>10} {'wall time':>10}")
+
+    # --- Conventional GNN workflow (Fig. 1 top): train, then predict all.
+    for name, model in [
+        ("GCN (semi-supervised)", GCNClassifier(hidden_size=64, epochs=150, seed=0)),
+        ("GraphSAGE (mean agg.)", GraphSAGEClassifier(hidden_size=64, epochs=150, seed=0)),
+    ]:
+        start = time.perf_counter()
+        model.fit(graph, split.labeled)
+        acc = accuracy(truth, model.predict()[split.queries])
+        elapsed = time.perf_counter() - start
+        print(f"{name:<26} {acc:>8.1%} {'-':>10} {elapsed:>9.1f}s")
+
+    # --- LLMs as predictors (Fig. 1 bottom): independent per-node queries.
+    def engine(method: str) -> MultiQueryEngine:
+        return MultiQueryEngine(
+            graph=graph,
+            llm=make_model(MODEL, dataset.vocabulary, seed=7),
+            selector=make_selector(method),
+            builder=builder,
+            labeled=split.labeled,
+            max_neighbors=4,
+            seed=11,
+        )
+
+    for name, method in [("LLM vanilla zero-shot", "vanilla"), ("LLM + SNS neighbors", "sns")]:
+        start = time.perf_counter()
+        run = engine(method).run(split.queries)
+        elapsed = time.perf_counter() - start
+        print(f"{name:<26} {run.accuracy:>8.1%} {run.total_tokens:>10,} {elapsed:>9.1f}s")
+
+    # --- SNS with the paper's joint MQO optimization.
+    start = time.perf_counter()
+    scorer = TextInadequacyScorer(seed=3)
+    scorer.fit(graph, split.labeled, make_model(MODEL, dataset.vocabulary, seed=7), builder)
+    joint = JointStrategy(TokenPruningStrategy(scorer), QueryBoostingStrategy())
+    outcome = joint.execute(engine("sns"), split.queries, tau=0.2)
+    elapsed = time.perf_counter() - start
+    print(f"{'LLM + SNS + prune&boost':<26} {outcome.run.accuracy:>8.1%} "
+          f"{outcome.run.total_tokens:>10,} {elapsed:>9.1f}s")
+
+    print(
+        "\nTrade-offs (paper Sec. I): the GNN needed the full graph in memory and a\n"
+        "training phase, and cannot transfer to graphs with other label spaces; the\n"
+        "LLM paradigm queried each node independently with no training, and the MQO\n"
+        "strategies recovered part of its token cost while keeping accuracy."
+    )
+
+
+if __name__ == "__main__":
+    main()

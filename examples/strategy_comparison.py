@@ -1,0 +1,97 @@
+"""Deep-dive comparison of the MQO strategies with the analysis toolkit.
+
+Runs the 2-hop random method on Citeseer four ways (plain, pruned, boosted,
+joint), then uses :mod:`repro.analysis` for paired McNemar comparisons and
+cost extrapolation, :mod:`repro.viz` for terminal charts, and
+:mod:`repro.io` to persist every run for later inspection.
+
+Usage::
+
+    python examples/strategy_comparison.py [--outdir runs/]
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.analysis import compare_runs, cost_summary, extrapolate_cost
+from repro.analysis.breakdowns import accuracy_by_neighbor_count
+from repro.core import (
+    JointStrategy,
+    QueryBoostingStrategy,
+    TextInadequacyScorer,
+    TokenPruningStrategy,
+)
+from repro.experiments.common import load_setup
+from repro.io import save_run
+from repro.viz import bar_chart, sparkline
+
+NUM_QUERIES = 400
+MODEL = "gpt-3.5"
+METHOD = "2-hop"
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--outdir", default=None, help="directory to persist runs into")
+    args = parser.parse_args()
+
+    setup = load_setup("citeseer", num_queries=NUM_QUERIES)
+    scorer = TextInadequacyScorer(seed=3)
+    scorer.fit(setup.graph, setup.split.labeled, setup.make_llm(MODEL), setup.builder)
+    pruning = TokenPruningStrategy(scorer)
+
+    runs = {"plain": setup.make_engine(METHOD).run(setup.queries)}
+    runs["pruned"], _ = pruning.execute(setup.make_engine(METHOD), setup.queries, tau=0.2)
+    runs["boosted"] = QueryBoostingStrategy().execute(setup.make_engine(METHOD), setup.queries).run
+    runs["joint"] = (
+        JointStrategy(pruning, QueryBoostingStrategy())
+        .execute(setup.make_engine(METHOD), setup.queries, tau=0.2)
+        .run
+    )
+
+    print(bar_chart(
+        list(runs),
+        [r.accuracy * 100 for r in runs.values()],
+        title=f"Citeseer / {METHOD} — accuracy by strategy (%)",
+        unit="%",
+    ))
+    print()
+    print(bar_chart(
+        list(runs),
+        [r.total_tokens for r in runs.values()],
+        title="Token cost by strategy",
+    ))
+
+    print("\nPaired comparison vs plain run (McNemar counts):")
+    for name, run in runs.items():
+        if name == "plain":
+            continue
+        cmp = compare_runs(runs["plain"], run)
+        print(
+            f"  {name:<8} Δacc {cmp.accuracy_delta:+.1%}  fixed {cmp.fixed}  "
+            f"broken {cmp.broken}  Δtokens {cmp.token_delta:+,}"
+        )
+
+    print("\nAccuracy by number of neighbor labels in the prompt (plain run):")
+    by_count = accuracy_by_neighbor_count(runs["plain"])
+    counts = sorted(by_count)
+    print("  labels  :", "  ".join(f"{c:>5}" for c in counts))
+    print("  accuracy:", "  ".join(f"{by_count[c][0]:>5.0%}" for c in counts))
+    print("  trend   :", sparkline([by_count[c][0] for c in counts]))
+
+    print("\nIndustrial-scale extrapolation (10M queries):")
+    for name, run in runs.items():
+        summary = cost_summary(run, MODEL)
+        print(f"  {name:<8} ${extrapolate_cost(summary, 10_000_000):>12,.0f}")
+
+    if args.outdir:
+        outdir = Path(args.outdir)
+        for name, run in runs.items():
+            save_run(run, outdir / f"{name}.json")
+        print(f"\nruns persisted under {outdir}/")
+
+
+if __name__ == "__main__":
+    main()

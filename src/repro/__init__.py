@@ -1,0 +1,52 @@
+"""repro — reproduction of "Boosting with Fewer Tokens: Multi-Query
+Optimization for LLMs Using Node Text and Neighbor Cues" (ICDE 2025).
+
+Public API tour
+---------------
+Datasets and graphs::
+
+    from repro.graph import load_dataset, make_split
+
+LLM substrate and prompts::
+
+    from repro.llm import SimulatedLLM
+    from repro.prompts import PromptBuilder
+
+The paper's strategies::
+
+    from repro.core import TextInadequacyScorer, TokenPruningStrategy
+    from repro.core import QueryBoostingStrategy, JointStrategy
+
+Execution::
+
+    from repro.runtime import MultiQueryEngine
+
+See ``examples/quickstart.py`` for a complete end-to-end run and
+``repro.experiments`` for every table/figure reproduction.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    JointStrategy,
+    QueryBoostingStrategy,
+    TextInadequacyScorer,
+    TokenPruningStrategy,
+)
+from repro.graph import load_dataset, make_split
+from repro.llm import SimulatedLLM
+from repro.prompts import PromptBuilder
+from repro.runtime import MultiQueryEngine
+
+__all__ = [
+    "__version__",
+    "load_dataset",
+    "make_split",
+    "SimulatedLLM",
+    "PromptBuilder",
+    "TextInadequacyScorer",
+    "TokenPruningStrategy",
+    "QueryBoostingStrategy",
+    "JointStrategy",
+    "MultiQueryEngine",
+]

@@ -1,0 +1,72 @@
+"""Paired comparison of two runs over the same query set.
+
+The paper's tables compare strategies on identical query sets — a paired
+design.  This module computes the paired deltas plus McNemar's contingency
+counts (queries fixed vs broken by the second strategy), which is the right
+significance lens for paired 0/1 outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.results import RunResult
+
+
+@dataclass(frozen=True)
+class StrategyComparison:
+    """Paired outcome of ``candidate`` relative to ``baseline``."""
+
+    baseline_accuracy: float
+    candidate_accuracy: float
+    fixed: int
+    broken: int
+    both_correct: int
+    both_wrong: int
+    token_delta: int
+
+    @property
+    def accuracy_delta(self) -> float:
+        return self.candidate_accuracy - self.baseline_accuracy
+
+    @property
+    def net_fixed(self) -> int:
+        return self.fixed - self.broken
+
+
+def mcnemar_counts(baseline: RunResult, candidate: RunResult) -> tuple[int, int, int, int]:
+    """(fixed, broken, both_correct, both_wrong) over the shared queries.
+
+    Raises when the two runs cover different query sets — a paired
+    comparison over mismatched queries is meaningless.
+    """
+    base_by_node = {r.node: r.correct for r in baseline.records}
+    cand_by_node = {r.node: r.correct for r in candidate.records}
+    if set(base_by_node) != set(cand_by_node):
+        raise ValueError("runs cover different query sets; paired comparison undefined")
+    fixed = broken = both_correct = both_wrong = 0
+    for node, base_ok in base_by_node.items():
+        cand_ok = cand_by_node[node]
+        if base_ok and cand_ok:
+            both_correct += 1
+        elif not base_ok and not cand_ok:
+            both_wrong += 1
+        elif cand_ok:
+            fixed += 1
+        else:
+            broken += 1
+    return fixed, broken, both_correct, both_wrong
+
+
+def compare_runs(baseline: RunResult, candidate: RunResult) -> StrategyComparison:
+    """Full paired comparison of two runs over the same queries."""
+    fixed, broken, both_correct, both_wrong = mcnemar_counts(baseline, candidate)
+    return StrategyComparison(
+        baseline_accuracy=baseline.accuracy,
+        candidate_accuracy=candidate.accuracy,
+        fixed=fixed,
+        broken=broken,
+        both_correct=both_correct,
+        both_wrong=both_wrong,
+        token_delta=candidate.total_tokens - baseline.total_tokens,
+    )

@@ -1,0 +1,60 @@
+"""Dollar-cost summaries and industrial-scale extrapolation.
+
+The paper's Sec. I motivates MQO with extrapolated costs ("10 million
+queries would cost at least $6,000 on GPT-3.5, $360,000 on GPT-4").  These
+helpers reproduce that arithmetic from measured runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.llm.pricing import cost_usd
+from repro.runtime.results import RunResult
+
+
+@dataclass(frozen=True)
+class CostSummary:
+    """Measured cost of a run under one pricing model."""
+
+    model: str
+    num_queries: int
+    prompt_tokens: int
+    completion_tokens: int
+    total_usd: float
+
+    @property
+    def usd_per_query(self) -> float:
+        if self.num_queries == 0:
+            return 0.0
+        return self.total_usd / self.num_queries
+
+    @property
+    def tokens_per_query(self) -> float:
+        if self.num_queries == 0:
+            return 0.0
+        return (self.prompt_tokens + self.completion_tokens) / self.num_queries
+
+
+def cost_summary(result: RunResult, model: str) -> CostSummary:
+    """Summarize a run's spend under ``model`` pricing."""
+    if not result.records:
+        raise ValueError("empty run")
+    return CostSummary(
+        model=model,
+        num_queries=result.num_queries,
+        prompt_tokens=result.prompt_tokens,
+        completion_tokens=result.completion_tokens,
+        total_usd=cost_usd(model, result.prompt_tokens, result.completion_tokens),
+    )
+
+
+def extrapolate_cost(summary: CostSummary, target_queries: int) -> float:
+    """Linear extrapolation of a measured run to ``target_queries``.
+
+    Reproduces the paper's industrial-scale estimates; per-query costs on
+    this paradigm scale linearly since queries are independent.
+    """
+    if target_queries < 0:
+        raise ValueError("target_queries must be >= 0")
+    return summary.usd_per_query * target_queries

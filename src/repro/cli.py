@@ -1,0 +1,196 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro datasets                 list the dataset replicas (Table II stats)
+    repro info DATASET             generate a replica and print measured stats
+    repro classify ...             run a query set under a strategy
+    repro experiment NAME          reproduce one paper table/figure
+    repro report [--quick]        reproduce everything into a markdown report
+    repro prices                  show the token pricing table
+
+Run ``repro <subcommand> --help`` for options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+EXPERIMENT_NAMES = (
+    "fig3",
+    "table4",
+    "fig7",
+    "table5",
+    "table6",
+    "fig8",
+    "table7",
+    "table8",
+    "table9",
+    "table10",
+    "pareto",
+    "distillation",
+)
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    from repro.experiments.report import render_table
+    from repro.graph.datasets import DATASET_SPECS
+
+    rows = [
+        (
+            spec.name,
+            f"{spec.full_num_nodes:,}",
+            f"{spec.full_num_edges:,}",
+            spec.feature_dim,
+            spec.num_classes,
+            spec.node_type,
+            f"{spec.default_scale:g}",
+        )
+        for spec in DATASET_SPECS.values()
+    ]
+    print(
+        render_table(
+            ["Dataset", "#Nodes", "#Edges", "#Features", "#Classes", "Node type", "Replica scale"],
+            rows,
+            title="Dataset replicas (full-scale statistics per paper Table II)",
+        )
+    )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.graph import edge_homophily, load_dataset
+    from repro.graph.datasets import get_spec
+
+    spec = get_spec(args.dataset)
+    generated = load_dataset(args.dataset, scale=args.scale)
+    graph = generated.graph
+    print(f"{spec.name} replica")
+    print(f"  nodes          : {graph.num_nodes:,} (full scale {spec.full_num_nodes:,})")
+    print(f"  edges          : {graph.num_edges:,} (full scale {spec.full_num_edges:,})")
+    print(f"  classes        : {graph.num_classes}")
+    print(f"  features       : {graph.feature_dim}-d via {spec.encoder}")
+    print(f"  edge homophily : {edge_homophily(graph):.3f} (configured {spec.homophily})")
+    print(f"  avg degree     : {2 * graph.num_edges / graph.num_nodes:.1f}")
+    print(f"  zero-shot tgt  : {spec.zero_shot_target:.1%} (paper Table V)")
+    sample = graph.texts[0]
+    print(f"  sample title   : {sample.title[:70]}")
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    from repro.analysis.costs import cost_summary
+    from repro.core.boosting import QueryBoostingStrategy
+    from repro.core.inadequacy import TextInadequacyScorer
+    from repro.core.joint import JointStrategy
+    from repro.core.pruning import TokenPruningStrategy
+    from repro.experiments.common import load_setup
+    from repro.experiments.table4 import fit_scorer
+    from repro.io.runs import save_run, write_csv
+
+    setup = load_setup(args.dataset, num_queries=args.queries, scale=args.scale)
+    engine = setup.make_engine(args.method, model=args.model)
+
+    if args.strategy == "none":
+        result = engine.run(setup.queries)
+    elif args.strategy == "prune":
+        scorer = fit_scorer(setup, model=args.model)
+        result, _ = TokenPruningStrategy(scorer).execute(engine, setup.queries, tau=args.tau)
+    elif args.strategy == "boost":
+        result = QueryBoostingStrategy().execute(engine, setup.queries).run
+    else:  # joint
+        scorer = fit_scorer(setup, model=args.model)
+        joint = JointStrategy(TokenPruningStrategy(scorer), QueryBoostingStrategy())
+        result = joint.execute(engine, setup.queries, tau=args.tau).run
+
+    summary = cost_summary(result, args.model)
+    print(f"dataset={args.dataset} method={args.method} strategy={args.strategy} model={args.model}")
+    print(f"  queries   : {result.num_queries}")
+    print(f"  accuracy  : {result.accuracy:.1%}")
+    print(f"  tokens    : {result.total_tokens:,} ({summary.tokens_per_query:.0f}/query)")
+    print(f"  cost      : ${summary.total_usd:.4f} (${summary.usd_per_query * 1000:.4f}/1k queries)")
+    print(f"  w/ N_i    : {result.queries_with_neighbors}/{result.num_queries} queries")
+    if args.save_run:
+        print(f"  saved run : {save_run(result, args.save_run)}")
+    if args.csv:
+        print(f"  saved csv : {write_csv(result, args.csv)}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import importlib
+
+    module = importlib.import_module(f"repro.experiments.{args.name}")
+    module.main()
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.run_all import run_all, write_report
+
+    results = run_all(num_queries=200 if args.quick else 1000, verbose=True)
+    path = write_report(results, args.output)
+    print(f"\nreport written to {path}")
+    return 0
+
+
+def _cmd_prices(args: argparse.Namespace) -> int:
+    from repro.experiments.report import render_table
+    from repro.llm.pricing import PRICES_PER_1K_TOKENS
+
+    rows = [
+        (name, f"${p.input_per_1k:.5f}", f"${p.output_per_1k:.5f}")
+        for name, p in PRICES_PER_1K_TOKENS.items()
+    ]
+    print(render_table(["Model", "Input /1k tok", "Output /1k tok"], rows, title="Token pricing"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__.splitlines()[0])
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sub = subparsers.add_parser("datasets", help="list dataset replicas")
+    sub.set_defaults(func=_cmd_datasets)
+
+    sub = subparsers.add_parser("info", help="inspect one replica")
+    sub.add_argument("dataset")
+    sub.add_argument("--scale", type=float, default=None, help="override replica scale")
+    sub.set_defaults(func=_cmd_info)
+
+    sub = subparsers.add_parser("classify", help="run a query set under a strategy")
+    sub.add_argument("--dataset", default="cora")
+    sub.add_argument("--method", default="1-hop", choices=["vanilla", "1-hop", "2-hop", "sns"])
+    sub.add_argument("--model", default="gpt-3.5", choices=["gpt-3.5", "gpt-4o-mini"])
+    sub.add_argument("--strategy", default="none", choices=["none", "prune", "boost", "joint"])
+    sub.add_argument("--queries", type=int, default=1000)
+    sub.add_argument("--tau", type=float, default=0.2, help="pruning fraction")
+    sub.add_argument("--scale", type=float, default=None)
+    sub.add_argument("--save-run", default=None, help="write the run as JSON")
+    sub.add_argument("--csv", default=None, help="write per-query records as CSV")
+    sub.set_defaults(func=_cmd_classify)
+
+    sub = subparsers.add_parser("experiment", help="reproduce one paper table/figure")
+    sub.add_argument("name", choices=EXPERIMENT_NAMES)
+    sub.set_defaults(func=_cmd_experiment)
+
+    sub = subparsers.add_parser("report", help="reproduce every table/figure into a report")
+    sub.add_argument("--output", default="reproduction_report.md")
+    sub.add_argument("--quick", action="store_true", help="reduced query counts for a fast pass")
+    sub.set_defaults(func=_cmd_report)
+
+    sub = subparsers.add_parser("prices", help="show the token pricing table")
+    sub.set_defaults(func=_cmd_prices)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""The paper's contribution: token pruning and query boosting MQO strategies."""
+
+from repro.core.budget import BudgetLedger, budget_for_tau, tau_for_budget
+from repro.core.inadequacy import TextInadequacyScorer
+from repro.core.pruning import TokenPruningPlan, TokenPruningStrategy, plan_token_pruning
+from repro.core.boosting import BoostingResult, QueryBoostingStrategy
+from repro.core.scheduling import pseudo_label_utilization
+from repro.core.joint import JointStrategy
+from repro.core.link_tasks import (
+    LinkInadequacyScorer,
+    LinkPredictionTask,
+    LinkQuerySet,
+    sample_link_queries,
+)
+
+__all__ = [
+    "tau_for_budget",
+    "budget_for_tau",
+    "BudgetLedger",
+    "TextInadequacyScorer",
+    "TokenPruningPlan",
+    "TokenPruningStrategy",
+    "plan_token_pruning",
+    "QueryBoostingStrategy",
+    "BoostingResult",
+    "pseudo_label_utilization",
+    "JointStrategy",
+    "LinkPredictionTask",
+    "LinkQuerySet",
+    "LinkInadequacyScorer",
+    "sample_link_queries",
+]

@@ -1,0 +1,165 @@
+"""Query boosting strategy (paper Algorithm 2).
+
+Queries execute in rounds.  Each round selects the candidate set::
+
+    C = { v_i : |N_i^L| >= γ1  and  LC_i <= γ2 }
+
+where ``|N_i^L|`` counts the labeled (gold or pseudo) neighbors in the
+query's *refreshed* neighbor selection and ``LC_i`` counts how many distinct
+labels those neighbors carry (label conflict).  Candidates are executed and
+their predictions become pseudo-labels, enriching the neighbor text of later
+queries.  When no query qualifies, the thresholds are relaxed incrementally
+(γ1 down first, then γ2 up), which preserves the strategy's core property:
+the most reliably-predictable queries always run before riskier ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.runtime.results import RunResult
+
+if TYPE_CHECKING:  # engines are passed in at run time
+    from repro.runtime.engine import MultiQueryEngine
+
+
+@dataclass
+class BoostingResult:
+    """Run outcome plus the realized round structure."""
+
+    run: RunResult
+    rounds: list[list[int]] = field(default_factory=list)
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+
+class QueryBoostingStrategy:
+    """Scheduled pseudo-label boosting (Algorithm 2).
+
+    Parameters
+    ----------
+    gamma1:
+        Initial neighbor-label count threshold (paper default: 3).
+    gamma2:
+        Initial conflicting-label count threshold (paper default: 2).
+    use_conflict_threshold:
+        The link-prediction variant drops the conflict criterion
+        (Sec. VI-J); node classification keeps it.
+    min_pseudo_confidence:
+        Optional extension beyond the paper (its conclusion suggests
+        leveraging LLM classification probabilities): pseudo-labels whose
+        response confidence falls below this threshold are *not* published
+        to later queries, containing error propagation.  ``None`` (the
+        paper's behaviour) publishes every pseudo-label.
+    """
+
+    def __init__(
+        self,
+        gamma1: int = 3,
+        gamma2: int = 2,
+        use_conflict_threshold: bool = True,
+        min_pseudo_confidence: float | None = None,
+    ):
+        if gamma1 < 0:
+            raise ValueError(f"gamma1 must be >= 0, got {gamma1}")
+        if gamma2 < 0:
+            raise ValueError(f"gamma2 must be >= 0, got {gamma2}")
+        if min_pseudo_confidence is not None and not 0.0 <= min_pseudo_confidence <= 1.0:
+            raise ValueError("min_pseudo_confidence must be in [0, 1] or None")
+        self.gamma1 = gamma1
+        self.gamma2 = gamma2
+        self.use_conflict_threshold = use_conflict_threshold
+        self.min_pseudo_confidence = min_pseudo_confidence
+
+    def _neighbor_label_stats(
+        self, engine: "MultiQueryEngine", node: int
+    ) -> tuple[int, int]:
+        """(|N_i^L|, LC_i) against the engine's current label state."""
+        selected = engine.select_neighbors(node)
+        labels = [sn.label for sn in selected if sn.label is not None]
+        return len(labels), len(set(labels))
+
+    def _candidates(
+        self,
+        engine: "MultiQueryEngine",
+        unexecuted: list[int],
+        gamma1: int,
+        gamma2: int,
+    ) -> list[tuple[int, int]]:
+        """Qualifying (node, label_count) pairs under the given thresholds."""
+        out = []
+        for node in unexecuted:
+            count, conflicts = self._neighbor_label_stats(engine, node)
+            if count >= gamma1 and (not self.use_conflict_threshold or conflicts <= gamma2):
+                out.append((node, count))
+        return out
+
+    def execute(
+        self,
+        engine: "MultiQueryEngine",
+        queries: np.ndarray,
+        pruned: frozenset[int] | set[int] = frozenset(),
+    ) -> BoostingResult:
+        """Run Algorithm 2 over ``queries`` on ``engine``.
+
+        ``pruned`` queries still participate in scheduling and pseudo-label
+        propagation but are executed zero-shot (the joint strategy of
+        Sec. VI-H wires token pruning in this way).
+        """
+        unexecuted = [int(v) for v in np.asarray(queries, dtype=np.int64)]
+        if len(set(unexecuted)) != len(unexecuted):
+            raise ValueError("queries contain duplicates")
+        gamma1, gamma2 = self.gamma1, self.gamma2
+        num_classes = engine.graph.num_classes
+        result = RunResult()
+        rounds: list[list[int]] = []
+
+        while unexecuted:
+            # Step 1: candidate selection, relaxing thresholds when empty.
+            candidates = self._candidates(engine, unexecuted, gamma1, gamma2)
+            while not candidates:
+                if gamma1 > 0:
+                    gamma1 -= 1
+                elif self.use_conflict_threshold and gamma2 < num_classes:
+                    gamma2 += 1
+                else:
+                    # Criterion is now vacuous; everything qualifies.
+                    candidates = [(node, 0) for node in unexecuted]
+                    break
+                candidates = self._candidates(engine, unexecuted, gamma1, gamma2)
+
+            # Step 2: execute the candidate set (issued together, as one
+            # LLM batch — richest-labeled first for readability of traces).
+            candidates.sort(key=lambda pair: (-pair[1], pair[0]))
+            round_nodes = [node for node, _ in candidates]
+            round_records = []
+            for node in round_nodes:
+                record = engine.execute_query(
+                    node,
+                    include_neighbors=node not in pruned,
+                    round_index=len(rounds),
+                )
+                round_records.append(record)
+                result.add(record)
+            # Step 3: pseudo-labels publish after the whole round, exactly
+            # as Algorithm 2 separates its query and label-update steps.
+            for record in round_records:
+                if record.predicted_label is None:
+                    continue
+                if (
+                    self.min_pseudo_confidence is not None
+                    and record.confidence is not None
+                    and record.confidence < self.min_pseudo_confidence
+                ):
+                    continue  # too uncertain to propagate (extension)
+                engine.add_pseudo_label(record.node, record.predicted_label)
+            executed = set(round_nodes)
+            unexecuted = [v for v in unexecuted if v not in executed]
+            rounds.append(round_nodes)
+
+        return BoostingResult(run=result, rounds=rounds)

@@ -1,0 +1,98 @@
+"""Token-budget arithmetic (paper Sec. V-C1).
+
+With ``n`` queries, an average full-query cost ``T_v`` and an average
+neighbor-text cost ``T_N``, pruning the neighbor text of a fraction ``τ`` of
+queries spends::
+
+    B = τ·n·(T_v − T_N) + (1 − τ)·n·T_v  =  n·T_v − τ·n·T_N
+
+so the τ needed to hit a budget ``B`` is ``τ = (n·T_v − B) / (n·T_N)``.
+(The paper's displayed denominator ``n·(T_v − (T_v − T_N))`` simplifies to
+exactly this.)  Budgets above the all-inclusive cost need no pruning (τ=0);
+budgets below the all-pruned cost are infeasible and raise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.validation import check_positive
+
+
+def budget_for_tau(
+    num_queries: int, avg_tokens_full: float, avg_tokens_neighbor: float, tau: float
+) -> float:
+    """Token budget consumed when a fraction ``tau`` of queries is pruned."""
+    _check_costs(num_queries, avg_tokens_full, avg_tokens_neighbor)
+    if not 0.0 <= tau <= 1.0:
+        raise ValueError(f"tau must be in [0, 1], got {tau}")
+    return num_queries * avg_tokens_full - tau * num_queries * avg_tokens_neighbor
+
+
+def tau_for_budget(
+    num_queries: int, avg_tokens_full: float, avg_tokens_neighbor: float, budget: float
+) -> float:
+    """Fraction of queries whose neighbor text must be pruned to meet ``budget``.
+
+    Returns 0 when the budget already covers every full query.  Raises
+    ``ValueError`` when even pruning all neighbor text cannot meet the
+    budget, since no execution plan of this family can satisfy it.
+    """
+    _check_costs(num_queries, avg_tokens_full, avg_tokens_neighbor)
+    check_positive("budget", budget)
+    full_cost = num_queries * avg_tokens_full
+    if budget >= full_cost:
+        return 0.0
+    min_cost = num_queries * (avg_tokens_full - avg_tokens_neighbor)
+    if budget < min_cost:
+        raise ValueError(
+            f"budget {budget} is below the fully-pruned cost {min_cost}; "
+            "no pruning fraction can satisfy it"
+        )
+    return (full_cost - budget) / (num_queries * avg_tokens_neighbor)
+
+
+def _check_costs(num_queries: int, avg_tokens_full: float, avg_tokens_neighbor: float) -> None:
+    check_positive("num_queries", num_queries)
+    check_positive("avg_tokens_full", avg_tokens_full)
+    if not 0.0 < avg_tokens_neighbor < avg_tokens_full:
+        raise ValueError(
+            "avg_tokens_neighbor must be positive and below avg_tokens_full "
+            f"(got {avg_tokens_neighbor} vs {avg_tokens_full})"
+        )
+
+
+@dataclass
+class BudgetLedger:
+    """Running token account against an optional hard budget ``B`` (Eq. 2).
+
+    ``charge`` records spending; when a budget is set and a charge would
+    exceed it, ``would_exceed`` lets callers check before spending.
+    """
+
+    budget: float | None = None
+    spent: int = 0
+    charges: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.budget is not None and self.budget <= 0:
+            raise ValueError("budget must be positive (or None for unlimited)")
+
+    def would_exceed(self, tokens: int) -> bool:
+        """Whether charging ``tokens`` would overshoot the budget."""
+        if tokens < 0:
+            raise ValueError("tokens must be >= 0")
+        return self.budget is not None and self.spent + tokens > self.budget
+
+    def charge(self, tokens: int) -> None:
+        if tokens < 0:
+            raise ValueError("tokens must be >= 0")
+        self.spent += tokens
+        self.charges += 1
+
+    @property
+    def remaining(self) -> float:
+        """Tokens left under the budget (``inf`` when unlimited)."""
+        if self.budget is None:
+            return float("inf")
+        return self.budget - self.spent

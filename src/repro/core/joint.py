@@ -1,0 +1,50 @@
+"""Joint application of token pruning and query boosting (paper Sec. VI-H).
+
+The two strategies compose sequentially: pruning first decides which queries
+lose their neighbor text (saturated nodes, by inadequacy rank), then query
+boosting executes the full query set in scheduled rounds.  Pruned queries
+run zero-shot but still produce pseudo-labels — saturated nodes are the most
+reliably-predicted queries, so they are excellent early label sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.boosting import BoostingResult, QueryBoostingStrategy
+from repro.core.pruning import TokenPruningPlan, TokenPruningStrategy
+
+if TYPE_CHECKING:
+    from repro.runtime.engine import MultiQueryEngine
+
+
+@dataclass
+class JointOutcome:
+    """Boosted run plus the pruning plan that shaped it."""
+
+    boosting: BoostingResult
+    plan: TokenPruningPlan
+
+    @property
+    def run(self):
+        return self.boosting.run
+
+
+class JointStrategy:
+    """Prune-then-boost pipeline."""
+
+    def __init__(self, pruning: TokenPruningStrategy, boosting: QueryBoostingStrategy):
+        self.pruning = pruning
+        self.boosting = boosting
+
+    def execute(
+        self, engine: "MultiQueryEngine", queries: np.ndarray, tau: float = 0.2
+    ) -> JointOutcome:
+        """Prune the top ``tau`` fraction, then boost the whole query set."""
+        queries = np.asarray(queries, dtype=np.int64)
+        plan = self.pruning.plan_by_tau(queries, tau)
+        boosted = self.boosting.execute(engine, queries, pruned=plan.pruned)
+        return JointOutcome(boosting=boosted, plan=plan)

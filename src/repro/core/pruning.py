@@ -1,0 +1,91 @@
+"""Token pruning strategy (paper Algorithm 1).
+
+Rank the query set by text inadequacy ``D(t_i)`` ascending, prune the
+neighbor text of the top ``τ%`` (the most saturated queries), and execute:
+pruned queries go to the LLM zero-shot, the rest keep their neighbor text.
+``τ`` either comes directly from the user or is derived from a token budget
+via :func:`repro.core.budget.tau_for_budget`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.budget import tau_for_budget
+from repro.core.inadequacy import TextInadequacyScorer
+from repro.runtime.results import RunResult
+
+if TYPE_CHECKING:  # avoid a circular import; engines are passed in at run time
+    from repro.runtime.engine import MultiQueryEngine
+
+
+@dataclass(frozen=True)
+class TokenPruningPlan:
+    """A ranked query order and the subset whose neighbor text is pruned."""
+
+    order: np.ndarray
+    pruned: frozenset[int]
+    tau: float
+
+    @property
+    def kept(self) -> frozenset[int]:
+        """Queries that keep their neighbor text."""
+        return frozenset(int(v) for v in self.order) - self.pruned
+
+
+def plan_token_pruning(nodes: np.ndarray, scores: np.ndarray, tau: float) -> TokenPruningPlan:
+    """Build a pruning plan from per-node inadequacy scores.
+
+    Nodes are ordered by score ascending (ties broken by node id for
+    determinism); the first ``round(tau * n)`` are pruned.
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    scores = np.asarray(scores, dtype=np.float64)
+    if nodes.shape != scores.shape:
+        raise ValueError("nodes and scores must align")
+    if not 0.0 <= tau <= 1.0:
+        raise ValueError(f"tau must be in [0, 1], got {tau}")
+    order = nodes[np.lexsort((nodes, scores))]
+    count = int(round(tau * nodes.shape[0]))
+    pruned = frozenset(int(v) for v in order[:count])
+    return TokenPruningPlan(order=order, pruned=pruned, tau=tau)
+
+
+class TokenPruningStrategy:
+    """Plug-and-play token pruning around a fitted inadequacy scorer."""
+
+    def __init__(self, scorer: TextInadequacyScorer):
+        self.scorer = scorer
+
+    def plan_by_tau(self, queries: np.ndarray, tau: float) -> TokenPruningPlan:
+        """Prune a fixed fraction ``tau`` of the queries."""
+        queries = np.asarray(queries, dtype=np.int64)
+        return plan_token_pruning(queries, self.scorer.score(queries), tau)
+
+    def plan_by_budget(
+        self,
+        queries: np.ndarray,
+        budget: float,
+        avg_tokens_full: float,
+        avg_tokens_neighbor: float,
+    ) -> TokenPruningPlan:
+        """Prune exactly enough queries to fit ``budget`` (Sec. V-C1)."""
+        queries = np.asarray(queries, dtype=np.int64)
+        tau = tau_for_budget(queries.shape[0], avg_tokens_full, avg_tokens_neighbor, budget)
+        return self.plan_by_tau(queries, tau)
+
+    def execute(
+        self, engine: "MultiQueryEngine", queries: np.ndarray, tau: float
+    ) -> tuple[RunResult, TokenPruningPlan]:
+        """Algorithm 1: plan, then run pruned queries zero-shot.
+
+        Queries run in ranked order (saturated first), matching the
+        algorithm's two loops; the pairing of node → prompt content is what
+        matters, not the order, since plain runs share no state.
+        """
+        plan = self.plan_by_tau(queries, tau)
+        result = engine.run(plan.order, pruned=plan.pruned)
+        return result, plan

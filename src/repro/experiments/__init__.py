@@ -1,0 +1,15 @@
+"""Reproduction runners, one module per table/figure of the paper.
+
+Every module exposes ``run_*`` (returns a structured result) and
+``format_*`` (renders the paper-style ASCII table), plus a ``main()`` so it
+can run standalone::
+
+    python -m repro.experiments.table4
+
+The mapping from paper artifact to module lives in DESIGN.md's
+per-experiment index; EXPERIMENTS.md records paper-vs-measured values.
+"""
+
+from repro.experiments.common import ExperimentSetup, load_setup
+
+__all__ = ["ExperimentSetup", "load_setup"]

@@ -1,0 +1,111 @@
+"""Shared experiment infrastructure.
+
+Each experiment needs the same setup: a dataset replica, the paper's
+labeled/query split, a prompt builder matched to the dataset's node type,
+and engines wired to a chosen model and neighbor-selection method.
+:func:`load_setup` packages all of that; experiments stay declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.datasets import DatasetSpec, get_spec, load_dataset
+from repro.graph.generators import GeneratedTag
+from repro.graph.splits import LabeledSplit, make_split
+from repro.graph.tag import TextAttributedGraph
+from repro.llm.interface import LLMClient
+from repro.llm.profiles import make_model
+from repro.prompts.builder import PromptBuilder
+from repro.runtime.engine import MultiQueryEngine
+from repro.selection.registry import make_selector
+
+#: Default query-set size, matching the paper's protocol.
+DEFAULT_NUM_QUERIES = 1000
+
+#: Fixed seeds so every experiment is exactly reproducible.
+SPLIT_SEED = 1
+MODEL_SEED = 7
+ENGINE_SEED = 11
+
+
+@dataclass
+class ExperimentSetup:
+    """Everything an experiment needs for one dataset."""
+
+    spec: DatasetSpec
+    generated: GeneratedTag
+    split: LabeledSplit
+    builder: PromptBuilder
+    num_queries: int
+
+    @property
+    def graph(self) -> TextAttributedGraph:
+        return self.generated.graph
+
+    @property
+    def queries(self) -> np.ndarray:
+        return self.split.queries
+
+    @property
+    def max_neighbors(self) -> int:
+        return self.spec.default_max_neighbors
+
+    def make_llm(self, model: str = "gpt-3.5", seed: int = MODEL_SEED) -> LLMClient:
+        """Fresh preset model over this dataset's vocabulary."""
+        return make_model(model, self.generated.vocabulary, seed=seed)
+
+    def make_engine(
+        self,
+        method: str,
+        model: str = "gpt-3.5",
+        llm: LLMClient | None = None,
+        max_neighbors: int | None = None,
+        include_neighbor_abstracts: bool = False,
+        seed: int = ENGINE_SEED,
+    ) -> MultiQueryEngine:
+        """Fresh engine for one (method, model) cell of a results table."""
+        return MultiQueryEngine(
+            graph=self.graph,
+            llm=llm if llm is not None else self.make_llm(model),
+            selector=make_selector(method),
+            builder=self.builder,
+            labeled=self.split.labeled,
+            max_neighbors=self.max_neighbors if max_neighbors is None else max_neighbors,
+            include_neighbor_abstracts=include_neighbor_abstracts,
+            seed=seed,
+        )
+
+
+def make_builder(spec: DatasetSpec, graph: TextAttributedGraph) -> PromptBuilder:
+    """Prompt builder matching the dataset's node and edge types."""
+    if spec.node_type.lower() == "product":
+        return PromptBuilder(graph.class_names, "product", "co-purchase", "Description")
+    return PromptBuilder(graph.class_names, "paper", "citation", "Abstract")
+
+
+def load_setup(
+    dataset: str,
+    num_queries: int = DEFAULT_NUM_QUERIES,
+    scale: float | None = None,
+    seed: int = 0,
+) -> ExperimentSetup:
+    """Load the replica of ``dataset`` and build the paper's split for it."""
+    spec = get_spec(dataset)
+    generated = load_dataset(dataset, scale=scale, seed=seed)
+    split = make_split(
+        generated.graph,
+        num_queries,
+        labeled_per_class=spec.labeled_per_class,
+        labeled_fraction=spec.labeled_fraction,
+        seed=SPLIT_SEED,
+    )
+    return ExperimentSetup(
+        spec=spec,
+        generated=generated,
+        split=split,
+        builder=make_builder(spec, generated.graph),
+        num_queries=num_queries,
+    )

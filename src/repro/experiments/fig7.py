@@ -1,0 +1,95 @@
+"""Fig. 7 — token pruning vs. random pruning across token budgets (Q2).
+
+Budgets allow neighbor text in up to 100/80/60/40/20/0 % of the 1,000
+queries (on the 1-hop random method).  At each point the inadequacy-ranked
+strategy and a random strategy choose which queries lose their neighbor
+text.  Expected shape: the inadequacy curve dominates the random curve at
+every interior point, and on Pubmed/Ogbn-Arxiv the 0%-inclusion endpoint
+beats the 100% endpoint (neighbor text is net noise there).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pruning import TokenPruningStrategy
+from repro.experiments.common import load_setup
+from repro.experiments.report import render_table
+from repro.experiments.table4 import fit_scorer
+from repro.runtime.baselines import random_prune_set
+
+DEFAULT_DATASETS = ("cora", "citeseer", "pubmed", "ogbn-arxiv", "ogbn-products")
+#: Fractions of queries allowed to keep their neighbor text.
+DEFAULT_INCLUSION_LEVELS = (1.0, 0.8, 0.6, 0.4, 0.2, 0.0)
+
+
+@dataclass
+class Fig7Series:
+    dataset: str
+    inclusion_levels: tuple[float, ...]
+    pruning_accuracy: list[float]
+    random_accuracy: list[float]
+
+
+@dataclass
+class Fig7Result:
+    series: list[Fig7Series]
+
+    def for_dataset(self, dataset: str) -> Fig7Series:
+        for s in self.series:
+            if s.dataset == dataset:
+                return s
+        raise KeyError(f"no series for {dataset}")
+
+
+def run_fig7(
+    datasets: tuple[str, ...] = DEFAULT_DATASETS,
+    inclusion_levels: tuple[float, ...] = DEFAULT_INCLUSION_LEVELS,
+    num_queries: int = 1000,
+    method: str = "1-hop",
+    model: str = "gpt-3.5",
+    scale: float | None = None,
+) -> Fig7Result:
+    """Reproduce Fig. 7's accuracy-vs-budget curves."""
+    series = []
+    for dataset in datasets:
+        setup = load_setup(dataset, num_queries=num_queries, scale=scale)
+        strategy = TokenPruningStrategy(fit_scorer(setup, model=model))
+        ours: list[float] = []
+        random_: list[float] = []
+        for level in inclusion_levels:
+            tau = 1.0 - level
+            pruned_run, _ = strategy.execute(setup.make_engine(method, model=model), setup.queries, tau=tau)
+            ours.append(pruned_run.accuracy * 100.0)
+            rand_set = random_prune_set(setup.queries, tau, seed=5)
+            rand_run = setup.make_engine(method, model=model).run(setup.queries, pruned=rand_set)
+            random_.append(rand_run.accuracy * 100.0)
+        series.append(
+            Fig7Series(
+                dataset=dataset,
+                inclusion_levels=tuple(inclusion_levels),
+                pruning_accuracy=ours,
+                random_accuracy=random_,
+            )
+        )
+    return Fig7Result(series=series)
+
+
+def format_fig7(result: Fig7Result) -> str:
+    parts = []
+    for s in result.series:
+        headers = ["Strategy", *(f"{level:.0%} incl." for level in s.inclusion_levels)]
+        rows = [
+            ["token pruning", *(f"{a:.1f}" for a in s.pruning_accuracy)],
+            ["random", *(f"{a:.1f}" for a in s.random_accuracy)],
+        ]
+        parts.append(render_table(headers, rows, title=f"Fig. 7 — {s.dataset} (1-hop random)"))
+    return "\n\n".join(parts)
+
+
+def main() -> None:
+    print(format_fig7(run_fig7()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Cost-accuracy Pareto frontier — an extension beyond the paper's figures.
+
+The paper evaluates pruning budgets (Fig. 7) and the joint strategy
+(Table VIII) at fixed operating points.  This extension sweeps the pruning
+fraction τ with and without boosting and reports the full (tokens, accuracy)
+frontier, answering the deployment question the paper's Eq. 2 poses:
+*for a given budget, which configuration is optimal?*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.boosting import QueryBoostingStrategy
+from repro.core.joint import JointStrategy
+from repro.core.pruning import TokenPruningStrategy
+from repro.experiments.common import load_setup
+from repro.experiments.report import render_table
+from repro.experiments.table4 import fit_scorer
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One (configuration, cost, accuracy) operating point."""
+
+    strategy: str
+    tau: float
+    tokens: int
+    accuracy: float
+
+
+@dataclass
+class ParetoResult:
+    dataset: str
+    method: str
+    points: list[ParetoPoint]
+
+    def frontier(self) -> list[ParetoPoint]:
+        """Non-dominated points, sorted by token cost ascending.
+
+        A point is dominated when some other point costs no more tokens and
+        achieves at least its accuracy (strictly better in one dimension).
+        """
+        ordered = sorted(self.points, key=lambda p: (p.tokens, -p.accuracy))
+        frontier: list[ParetoPoint] = []
+        best = float("-inf")
+        for point in ordered:
+            if point.accuracy > best:
+                frontier.append(point)
+                best = point.accuracy
+        return frontier
+
+
+def run_pareto(
+    dataset: str = "cora",
+    method: str = "2-hop",
+    taus: tuple[float, ...] = (0.0, 0.2, 0.4, 0.6, 0.8),
+    num_queries: int = 1000,
+    model: str = "gpt-3.5",
+    scale: float | None = None,
+) -> ParetoResult:
+    """Sweep τ for prune-only and prune+boost configurations."""
+    setup = load_setup(dataset, num_queries=num_queries, scale=scale)
+    scorer = fit_scorer(setup, model=model)
+    pruning = TokenPruningStrategy(scorer)
+    points = []
+    for tau in taus:
+        run, _ = pruning.execute(setup.make_engine(method, model=model), setup.queries, tau=tau)
+        points.append(ParetoPoint("prune", tau, run.total_tokens, run.accuracy * 100))
+        joint = JointStrategy(pruning, QueryBoostingStrategy())
+        outcome = joint.execute(setup.make_engine(method, model=model), setup.queries, tau=tau)
+        points.append(
+            ParetoPoint("prune+boost", tau, outcome.run.total_tokens, outcome.run.accuracy * 100)
+        )
+    return ParetoResult(dataset=dataset, method=method, points=points)
+
+
+def format_pareto(result: ParetoResult) -> str:
+    frontier = {(p.strategy, p.tau) for p in result.frontier()}
+    rows = [
+        (
+            p.strategy,
+            f"{p.tau:.0%}",
+            f"{p.tokens:,}",
+            f"{p.accuracy:.1f}",
+            "*" if (p.strategy, p.tau) in frontier else "",
+        )
+        for p in sorted(result.points, key=lambda p: p.tokens)
+    ]
+    return render_table(
+        ["Strategy", "τ pruned", "Tokens", "Accuracy (%)", "Pareto"],
+        rows,
+        title=f"Cost-accuracy frontier — {result.dataset} ({result.method}), * = non-dominated",
+    )
+
+
+def main() -> None:
+    print(format_pareto(run_pareto()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""ASCII table rendering for experiment reports.
+
+Every experiment prints its result in the shape of the paper's table or
+figure series, so paper-vs-measured comparison is a visual diff.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_value(value: object, precision: int = 1) -> str:
+    """Human-friendly cell rendering (floats rounded, ints grouped)."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    precision: int = 1,
+) -> str:
+    """Render an aligned ASCII table.
+
+    All rows must have one cell per header; raises otherwise so malformed
+    experiment output cannot slip through silently.
+    """
+    if not headers:
+        raise ValueError("headers must be non-empty")
+    str_rows = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row {row!r} has {len(row)} cells, expected {len(headers)}")
+        str_rows.append([format_value(cell, precision) for cell in row])
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    separator = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(separator)
+    parts.append(line(list(headers)))
+    parts.append(separator)
+    parts.extend(line(row) for row in str_rows)
+    parts.append(separator)
+    return "\n".join(parts)
+
+
+def percent_change(new: float, old: float) -> float:
+    """Signed percentage change, the Δ% of paper Table IV."""
+    if old == 0:
+        raise ValueError("old value must be non-zero")
+    return (new - old) / old * 100.0

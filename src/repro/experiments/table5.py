@@ -1,0 +1,143 @@
+"""Table V — token-reduction potential of token pruning (Q3).
+
+Per dataset: the vanilla zero-shot accuracy over the query sample proxies
+the proportion of saturated nodes (τ%); the average token cost of neighbor
+text is measured under four configurations (4/10 neighbors × titles only /
+titles+abstracts); the theoretically reducible token count is::
+
+    |V| × τ% × mean(Tokens(N))
+
+computed against the *full-scale* node count of the real dataset, which is
+how the paper reaches ~2×10⁹ tokens on Ogbn-Products.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.common import ExperimentSetup, load_setup
+from repro.experiments.report import render_table
+
+
+@dataclass(frozen=True)
+class NeighborConfig:
+    """One neighbor-text configuration column pair of Table V."""
+
+    max_neighbors: int
+    include_abstracts: bool
+
+    @property
+    def label(self) -> str:
+        content = "Title & Abstract" if self.include_abstracts else "Title Only"
+        return f"{self.max_neighbors} Neighbors, {content}"
+
+
+DEFAULT_CONFIGS = (
+    NeighborConfig(4, False),
+    NeighborConfig(10, False),
+    NeighborConfig(4, True),
+    NeighborConfig(10, True),
+)
+
+DEFAULT_DATASETS = ("cora", "citeseer", "pubmed", "ogbn-arxiv", "ogbn-products")
+
+
+@dataclass
+class Table5Row:
+    dataset: str
+    total_queries: int
+    saturated_proportion: float
+    neighbor_tokens: dict[str, float]
+    reducible_tokens: dict[str, float]
+
+
+@dataclass
+class Table5Result:
+    rows: list[Table5Row]
+    configs: tuple[NeighborConfig, ...]
+
+
+def _avg_neighbor_tokens(
+    setup: ExperimentSetup, config: NeighborConfig, sample_size: int, model: str
+) -> float:
+    """Mean token cost of the neighbor-text section over sampled queries.
+
+    Measured as Tokens(neighbor prompt) − Tokens(zero-shot prompt) so the
+    shared target/task sections cancel exactly.
+    """
+    engine = setup.make_engine(
+        "1-hop",
+        model=model,
+        max_neighbors=config.max_neighbors,
+        include_neighbor_abstracts=config.include_abstracts,
+    )
+    tokenizer = engine.llm.tokenizer
+    sample = setup.queries[: min(sample_size, setup.queries.shape[0])]
+    deltas = []
+    for node in sample:
+        with_nbrs, _ = engine.build_prompt(int(node), include_neighbors=True)
+        without, _ = engine.build_prompt(int(node), include_neighbors=False)
+        deltas.append(tokenizer.count(with_nbrs) - tokenizer.count(without))
+    return float(np.mean(deltas))
+
+
+def run_table5(
+    datasets: tuple[str, ...] = DEFAULT_DATASETS,
+    configs: tuple[NeighborConfig, ...] = DEFAULT_CONFIGS,
+    num_queries: int = 1000,
+    token_sample: int = 200,
+    model: str = "gpt-3.5",
+    scale: float | None = None,
+) -> Table5Result:
+    """Reproduce Table V."""
+    rows = []
+    for dataset in datasets:
+        setup = load_setup(dataset, num_queries=num_queries, scale=scale)
+        zero = setup.make_engine("vanilla", model=model).run(setup.queries)
+        tau = zero.accuracy
+        neighbor_tokens: dict[str, float] = {}
+        reducible: dict[str, float] = {}
+        for config in configs:
+            avg = _avg_neighbor_tokens(setup, config, token_sample, model)
+            neighbor_tokens[config.label] = avg
+            reducible[config.label] = setup.spec.full_num_nodes * tau * avg
+        rows.append(
+            Table5Row(
+                dataset=dataset,
+                total_queries=setup.spec.full_num_nodes,
+                saturated_proportion=tau,
+                neighbor_tokens=neighbor_tokens,
+                reducible_tokens=reducible,
+            )
+        )
+    return Table5Result(rows=rows, configs=configs)
+
+
+def format_table5(result: Table5Result) -> str:
+    datasets = [r.dataset for r in result.rows]
+    table_rows: list[list[object]] = [
+        ["# Total queries", *(f"{r.total_queries:,}" for r in result.rows)],
+        ["Proportion saturated", *(f"{r.saturated_proportion:.1%}" for r in result.rows)],
+    ]
+    for config in result.configs:
+        table_rows.append(
+            [f"{config.label}: # N tokens", *(f"{r.neighbor_tokens[config.label]:.1f}" for r in result.rows)]
+        )
+        table_rows.append(
+            [f"{config.label}: # reducible", *(f"{r.reducible_tokens[config.label]:,.0f}" for r in result.rows)]
+        )
+    return render_table(
+        ["Quantity", *datasets],
+        table_rows,
+        title="Table V — tokens potentially reducible via token pruning",
+    )
+
+
+def main() -> None:
+    print(format_table5(run_table5()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Table VI — effectiveness of the text-inadequacy measure (Q4).
+
+Queries are labeled saturated/non-saturated by whether vanilla zero-shot
+classifies them correctly, then the mean ``D(t_i)`` is compared between the
+two groups.  The claim: saturated means are consistently lower.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.common import load_setup
+from repro.experiments.report import render_table
+from repro.experiments.table4 import fit_scorer
+
+DEFAULT_DATASETS = ("cora", "citeseer", "pubmed", "ogbn-arxiv", "ogbn-products")
+
+
+@dataclass(frozen=True)
+class Table6Row:
+    dataset: str
+    saturated_mean: float
+    non_saturated_mean: float
+    num_saturated: int
+    num_non_saturated: int
+
+    @property
+    def separates(self) -> bool:
+        """Whether the measure orders the groups correctly."""
+        return self.saturated_mean < self.non_saturated_mean
+
+
+@dataclass
+class Table6Result:
+    rows: list[Table6Row]
+
+
+def run_table6(
+    datasets: tuple[str, ...] = DEFAULT_DATASETS,
+    num_queries: int = 1000,
+    model: str = "gpt-3.5",
+    scale: float | None = None,
+) -> Table6Result:
+    """Reproduce Table VI."""
+    rows = []
+    for dataset in datasets:
+        setup = load_setup(dataset, num_queries=num_queries, scale=scale)
+        zero = setup.make_engine("vanilla", model=model).run(setup.queries)
+        saturated_nodes = np.asarray([r.node for r in zero.records if r.correct], dtype=np.int64)
+        non_saturated_nodes = np.asarray(
+            [r.node for r in zero.records if not r.correct], dtype=np.int64
+        )
+        scorer = fit_scorer(setup, model=model)
+        scores_sat = scorer.score(saturated_nodes) if saturated_nodes.size else np.array([])
+        scores_non = scorer.score(non_saturated_nodes) if non_saturated_nodes.size else np.array([])
+        rows.append(
+            Table6Row(
+                dataset=dataset,
+                saturated_mean=float(scores_sat.mean()) if scores_sat.size else float("nan"),
+                non_saturated_mean=float(scores_non.mean()) if scores_non.size else float("nan"),
+                num_saturated=int(saturated_nodes.size),
+                num_non_saturated=int(non_saturated_nodes.size),
+            )
+        )
+    return Table6Result(rows=rows)
+
+
+def format_table6(result: Table6Result) -> str:
+    rows = [
+        [
+            r.dataset,
+            f"{r.saturated_mean:.3f}",
+            f"{r.non_saturated_mean:.3f}",
+            "yes" if r.separates else "NO",
+        ]
+        for r in result.rows
+    ]
+    return render_table(
+        ["Dataset", "Saturated mean D", "Non-saturated mean D", "Separates?"],
+        rows,
+        title="Table VI — average text-inadequacy by node saturation",
+    )
+
+
+def main() -> None:
+    print(format_table6(run_table6()))
+
+
+if __name__ == "__main__":
+    main()

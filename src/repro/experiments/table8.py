@@ -1,0 +1,122 @@
+"""Table VIII — joint token pruning + query boosting (Q7).
+
+The top 20% of queries by text inadequacy lose their neighbor text, then the
+whole query set executes under the boosting schedule.  The cost proxy is the
+number of queries that carried neighbor text ("# Queries Equip N_i"): 800 vs
+the originals' 1,000.  Expected shape: the joint version costs 20% less
+neighbor text while matching or beating the original accuracy in most cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.boosting import QueryBoostingStrategy
+from repro.core.joint import JointStrategy
+from repro.core.pruning import TokenPruningStrategy
+from repro.experiments.common import load_setup
+from repro.experiments.report import render_table
+from repro.experiments.table4 import fit_scorer
+
+DEFAULT_DATASETS = ("cora", "citeseer", "pubmed")
+DEFAULT_METHODS = ("1-hop", "2-hop", "sns")
+DEFAULT_MODELS = ("gpt-4o-mini", "gpt-3.5")
+
+
+@dataclass(frozen=True)
+class Table8Cell:
+    dataset: str
+    method: str
+    model: str
+    base_accuracy: float
+    joint_accuracy: float
+    base_equipped: int
+    joint_equipped: int
+
+    @property
+    def improved(self) -> bool:
+        return self.joint_accuracy > self.base_accuracy
+
+
+@dataclass
+class Table8Result:
+    cells: list[Table8Cell]
+    tau: float
+
+    def cell(self, dataset: str, method: str, model: str) -> Table8Cell:
+        for c in self.cells:
+            if (c.dataset, c.method, c.model) == (dataset, method, model):
+                return c
+        raise KeyError(f"no cell for {dataset}/{method}/{model}")
+
+
+def run_table8(
+    datasets: tuple[str, ...] = DEFAULT_DATASETS,
+    methods: tuple[str, ...] = DEFAULT_METHODS,
+    models: tuple[str, ...] = DEFAULT_MODELS,
+    num_queries: int = 1000,
+    tau: float = 0.2,
+    scale: float | None = None,
+) -> Table8Result:
+    """Reproduce Table VIII."""
+    cells = []
+    for dataset in datasets:
+        setup = load_setup(dataset, num_queries=num_queries, scale=scale)
+        for model in models:
+            scorer = fit_scorer(setup, model=model)
+            for method in methods:
+                base = setup.make_engine(method, model=model).run(setup.queries)
+                joint = JointStrategy(TokenPruningStrategy(scorer), QueryBoostingStrategy())
+                outcome = joint.execute(setup.make_engine(method, model=model), setup.queries, tau=tau)
+                cells.append(
+                    Table8Cell(
+                        dataset=dataset,
+                        method=method,
+                        model=model,
+                        base_accuracy=base.accuracy * 100.0,
+                        joint_accuracy=outcome.run.accuracy * 100.0,
+                        base_equipped=base.queries_with_neighbors,
+                        joint_equipped=outcome.run.queries_with_neighbors,
+                    )
+                )
+    return Table8Result(cells=cells, tau=tau)
+
+
+def format_table8(result: Table8Result) -> str:
+    models = list(dict.fromkeys(c.model for c in result.cells))
+    datasets = list(dict.fromkeys(c.dataset for c in result.cells))
+    methods = list(dict.fromkeys(c.method for c in result.cells))
+    parts = []
+    for model in models:
+        rows = []
+        for method in methods:
+            base_cells = [result.cell(d, method, model) for d in datasets]
+            rows.append(
+                [method, f"{base_cells[0].base_equipped:,}", *(f"{c.base_accuracy:.1f}" for c in base_cells)]
+            )
+            rows.append(
+                [
+                    "  w/ prune & boost",
+                    f"{base_cells[0].joint_equipped:,}",
+                    *(
+                        f"{c.joint_accuracy:.1f}" + ("^" if c.improved else "")
+                        for c in base_cells
+                    ),
+                ]
+            )
+        parts.append(
+            render_table(
+                ["Method", "# Queries Equip N_i", *datasets],
+                rows,
+                title=f"Table VIII — joint strategy, {model} (^ = improvement)",
+            )
+        )
+    return "\n\n".join(parts)
+
+
+def main() -> None:
+    print(format_table8(run_table8()))
+
+
+if __name__ == "__main__":
+    main()

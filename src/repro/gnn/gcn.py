@@ -1,0 +1,87 @@
+"""Two-layer Graph Convolutional Network (Kipf & Welling, 2017).
+
+Implements the conventional TAG workflow of the paper's Fig. 1 (top):
+text-encoded features are propagated over the normalized adjacency and
+classified, trained semi-supervised on the labeled nodes.  Kept deliberately
+simple (full-batch, two layers) — it is a motivation baseline, not the
+paper's contribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gnn.propagation import normalized_adjacency
+from repro.graph.tag import TextAttributedGraph
+from repro.ml.metrics import softmax
+from repro.ml.optim import Adam
+from repro.ml.preprocessing import one_hot
+from repro.utils.rng import spawn_rng
+
+
+class GCNClassifier:
+    """Full-batch two-layer GCN: ``softmax(Â · relu(Â X W0) W1)``."""
+
+    def __init__(
+        self,
+        hidden_size: int = 64,
+        learning_rate: float = 0.01,
+        weight_decay: float = 5e-4,
+        epochs: int = 150,
+        seed: int = 0,
+    ):
+        if hidden_size < 1:
+            raise ValueError("hidden_size must be >= 1")
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        self.hidden_size = hidden_size
+        self.learning_rate = learning_rate
+        self.weight_decay = weight_decay
+        self.epochs = epochs
+        self.seed = seed
+        self.w0_: np.ndarray | None = None
+        self.w1_: np.ndarray | None = None
+        self._adj = None
+        self._features: np.ndarray | None = None
+
+    def fit(self, graph: TextAttributedGraph, labeled: np.ndarray) -> "GCNClassifier":
+        """Semi-supervised training on ``labeled`` nodes."""
+        labeled = np.asarray(labeled, dtype=np.int64)
+        if labeled.size == 0:
+            raise ValueError("labeled set must be non-empty")
+        rng = spawn_rng(self.seed, "gcn-init")
+        x = graph.features.astype(np.float64)
+        k = graph.num_classes
+        adj = normalized_adjacency(graph)
+        self._adj = adj
+        self._features = x
+        d = x.shape[1]
+        self.w0_ = rng.normal(0.0, np.sqrt(2.0 / d), size=(d, self.hidden_size))
+        self.w1_ = rng.normal(0.0, np.sqrt(2.0 / self.hidden_size), size=(self.hidden_size, k))
+        y_onehot = one_hot(graph.labels[labeled], k)
+        optimizer = Adam(self.learning_rate)
+        ax = adj @ x  # constant across epochs
+        for _ in range(self.epochs):
+            h_pre = ax @ self.w0_
+            h = np.maximum(h_pre, 0.0)
+            ah = adj @ h
+            logits = ah @ self.w1_
+            probs = softmax(logits[labeled])
+            delta_out = np.zeros((graph.num_nodes, k))
+            delta_out[labeled] = (probs - y_onehot) / labeled.size
+            grad_w1 = ah.T @ delta_out + self.weight_decay * self.w1_
+            delta_h = adj.T @ (delta_out @ self.w1_.T)
+            delta_h *= h_pre > 0
+            grad_w0 = ax.T @ delta_h + self.weight_decay * self.w0_
+            optimizer.step([self.w0_, self.w1_], [grad_w0, grad_w1])
+        return self
+
+    def predict_proba(self) -> np.ndarray:
+        """Class probabilities for every node of the fitted graph."""
+        if self.w0_ is None or self._adj is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        h = np.maximum((self._adj @ self._features) @ self.w0_, 0.0)
+        return softmax((self._adj @ h) @ self.w1_)
+
+    def predict(self) -> np.ndarray:
+        return self.predict_proba().argmax(axis=1)

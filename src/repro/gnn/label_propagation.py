@@ -1,0 +1,64 @@
+"""Label propagation — the classical homophily baseline.
+
+Propagates the labeled set's one-hot labels over the normalized adjacency
+(Zhu & Ghahramani, 2002), clamping known labels each round.  Needs no text
+at all, which makes it the cleanest probe of how much of a dataset's signal
+is purely structural — useful context when reading the paper's claim that
+neighbor *labels* (not text) carry most of the boosting value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gnn.propagation import normalized_adjacency
+from repro.graph.tag import TextAttributedGraph
+from repro.ml.preprocessing import one_hot
+
+
+class LabelPropagation:
+    """Iterative label spreading with clamped seeds.
+
+    Parameters
+    ----------
+    num_iterations:
+        Propagation rounds; homophilous graphs converge in tens of rounds.
+    alpha:
+        Mixing weight of propagated mass vs the clamped seed distribution.
+    """
+
+    def __init__(self, num_iterations: int = 30, alpha: float = 0.9):
+        if num_iterations < 1:
+            raise ValueError("num_iterations must be >= 1")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.num_iterations = num_iterations
+        self.alpha = alpha
+        self.scores_: np.ndarray | None = None
+
+    def fit(self, graph: TextAttributedGraph, labeled: np.ndarray) -> "LabelPropagation":
+        labeled = np.asarray(labeled, dtype=np.int64)
+        if labeled.size == 0:
+            raise ValueError("labeled set must be non-empty")
+        k = graph.num_classes
+        seeds = np.zeros((graph.num_nodes, k))
+        seeds[labeled] = one_hot(graph.labels[labeled], k)
+        adjacency = normalized_adjacency(graph, add_self_loops=False)
+        scores = seeds.copy()
+        for _ in range(self.num_iterations):
+            scores = self.alpha * (adjacency @ scores) + (1 - self.alpha) * seeds
+            scores[labeled] = seeds[labeled]  # clamp known labels
+        self.scores_ = scores
+        return self
+
+    def predict(self) -> np.ndarray:
+        """Most likely class per node (ties resolve to the lowest index)."""
+        if self.scores_ is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        return self.scores_.argmax(axis=1)
+
+    def confidence(self) -> np.ndarray:
+        """Per-node propagated mass of the predicted class (0 = unreached)."""
+        if self.scores_ is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        return self.scores_.max(axis=1)

@@ -1,0 +1,90 @@
+"""GraphSAGE with mean aggregation (Hamilton et al., 2017).
+
+The inductive GNN the paper cites as the partial answer to dynamic-node
+handling.  Each layer concatenates a node's own representation with the mean
+of its neighbors' and applies a linear map + ReLU; the final layer is a
+softmax classifier.  Full-batch, two layers, numpy only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gnn.propagation import mean_adjacency
+from repro.graph.tag import TextAttributedGraph
+from repro.ml.metrics import softmax
+from repro.ml.optim import Adam
+from repro.ml.preprocessing import one_hot
+from repro.utils.rng import spawn_rng
+
+
+class GraphSAGEClassifier:
+    """Two-layer mean-aggregator GraphSAGE classifier."""
+
+    def __init__(
+        self,
+        hidden_size: int = 64,
+        learning_rate: float = 0.01,
+        weight_decay: float = 5e-4,
+        epochs: int = 150,
+        seed: int = 0,
+    ):
+        if hidden_size < 1:
+            raise ValueError("hidden_size must be >= 1")
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        self.hidden_size = hidden_size
+        self.learning_rate = learning_rate
+        self.weight_decay = weight_decay
+        self.epochs = epochs
+        self.seed = seed
+        self.w0_: np.ndarray | None = None
+        self.w1_: np.ndarray | None = None
+        self._adj = None
+        self._features: np.ndarray | None = None
+
+    @staticmethod
+    def _concat(adj, h: np.ndarray) -> np.ndarray:
+        return np.concatenate([h, adj @ h], axis=1)
+
+    def fit(self, graph: TextAttributedGraph, labeled: np.ndarray) -> "GraphSAGEClassifier":
+        labeled = np.asarray(labeled, dtype=np.int64)
+        if labeled.size == 0:
+            raise ValueError("labeled set must be non-empty")
+        rng = spawn_rng(self.seed, "sage-init")
+        x = graph.features.astype(np.float64)
+        k = graph.num_classes
+        adj = mean_adjacency(graph)
+        self._adj = adj
+        self._features = x
+        d2 = 2 * x.shape[1]
+        self.w0_ = rng.normal(0.0, np.sqrt(2.0 / d2), size=(d2, self.hidden_size))
+        self.w1_ = rng.normal(0.0, np.sqrt(2.0 / (2 * self.hidden_size)), size=(2 * self.hidden_size, k))
+        y_onehot = one_hot(graph.labels[labeled], k)
+        optimizer = Adam(self.learning_rate)
+        x_cat = self._concat(adj, x)  # constant across epochs
+        for _ in range(self.epochs):
+            h_pre = x_cat @ self.w0_
+            h = np.maximum(h_pre, 0.0)
+            h_cat = self._concat(adj, h)
+            logits = h_cat @ self.w1_
+            probs = softmax(logits[labeled])
+            delta_out = np.zeros((graph.num_nodes, k))
+            delta_out[labeled] = (probs - y_onehot) / labeled.size
+            grad_w1 = h_cat.T @ delta_out + self.weight_decay * self.w1_
+            back = delta_out @ self.w1_.T
+            own, agg = back[:, : self.hidden_size], back[:, self.hidden_size :]
+            delta_h = own + adj.T @ agg
+            delta_h *= h_pre > 0
+            grad_w0 = x_cat.T @ delta_h + self.weight_decay * self.w0_
+            optimizer.step([self.w0_, self.w1_], [grad_w0, grad_w1])
+        return self
+
+    def predict_proba(self) -> np.ndarray:
+        if self.w0_ is None or self._adj is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        h = np.maximum(self._concat(self._adj, self._features) @ self.w0_, 0.0)
+        return softmax(self._concat(self._adj, h) @ self.w1_)
+
+    def predict(self) -> np.ndarray:
+        return self.predict_proba().argmax(axis=1)

@@ -1,0 +1,75 @@
+"""Dynamic-node support: extend a TAG without retraining anything.
+
+The paper's introduction (challenge (ii)) argues the "LLMs as predictors"
+paradigm handles dynamic nodes seamlessly: a new node is classified by one
+more query, while a GNN must re-ingest the whole graph.  This module makes
+that concrete: :func:`extend_graph` appends nodes and edges to an existing
+TAG, producing a new graph whose original node ids are unchanged — so
+labeled splits, pseudo-label stores, and inadequacy scorers built for the
+old graph remain valid for the old nodes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.tag import TextAttributedGraph
+from repro.text.corpus import NodeText
+
+
+def extend_graph(
+    graph: TextAttributedGraph,
+    new_texts: list[NodeText],
+    new_labels: np.ndarray,
+    new_edges: np.ndarray,
+    new_features: np.ndarray | None = None,
+) -> TextAttributedGraph:
+    """Return a new graph with ``len(new_texts)`` extra nodes appended.
+
+    Parameters
+    ----------
+    graph:
+        The existing graph; not mutated.
+    new_texts, new_labels:
+        Text and ground-truth label per new node (labels are used only for
+        evaluation, exactly like the original graph's).
+    new_edges:
+        ``(m, 2)`` array of undirected edges; endpoints may reference old
+        nodes or new ones (new node ``i`` has id ``graph.num_nodes + i``).
+    new_features:
+        Feature rows for the new nodes.  ``None`` appends zero vectors —
+        fine for pipelines that never touch new nodes' features (the LLM
+        paradigm reads text; only the surrogate/SNS would want features).
+    """
+    num_new = len(new_texts)
+    if num_new == 0:
+        raise ValueError("no new nodes to add")
+    new_labels = np.asarray(new_labels, dtype=np.int64)
+    if new_labels.shape != (num_new,):
+        raise ValueError("new_labels must align with new_texts")
+    if new_labels.size and (new_labels.min() < 0 or new_labels.max() >= graph.num_classes):
+        raise ValueError("new labels out of range for the graph's classes")
+    total = graph.num_nodes + num_new
+    new_edges = np.asarray(new_edges, dtype=np.int64).reshape(-1, 2)
+    if new_edges.size:
+        if new_edges.min() < 0 or new_edges.max() >= total:
+            raise ValueError("new edge endpoints out of range")
+        touches_new = (new_edges >= graph.num_nodes).any(axis=1)
+        if not touches_new.all():
+            raise ValueError("new edges must involve at least one new node")
+    if new_features is None:
+        new_features = np.zeros((num_new, graph.feature_dim), dtype=graph.features.dtype)
+    new_features = np.asarray(new_features, dtype=graph.features.dtype)
+    if new_features.shape != (num_new, graph.feature_dim):
+        raise ValueError(f"new_features must be ({num_new}, {graph.feature_dim})")
+
+    edges = np.concatenate([graph.edge_array(), new_edges], axis=0) if new_edges.size else graph.edge_array()
+    return TextAttributedGraph.from_edges(
+        num_nodes=total,
+        edges=edges,
+        labels=np.concatenate([graph.labels, new_labels]),
+        texts=[*graph.texts, *new_texts],
+        features=np.concatenate([graph.features, new_features], axis=0),
+        class_names=list(graph.class_names),
+        name=graph.name,
+    )

@@ -1,0 +1,49 @@
+"""Neighborhood sampling primitives (k-hop BFS over CSR adjacency).
+
+These implement the ``N^k(v_i)`` notation of the paper's Table I: the set of
+nodes within ``k`` hops of a query node, excluding the node itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.tag import TextAttributedGraph
+
+
+def bfs_hops(graph: TextAttributedGraph, node: int, max_hops: int) -> dict[int, np.ndarray]:
+    """Breadth-first hop layers around ``node``.
+
+    Returns a dict mapping hop distance ``h`` (1-based) to the sorted array of
+    node ids first reached at that distance.  Hops with no new nodes are
+    omitted, so the result may have fewer than ``max_hops`` entries.
+    """
+    if max_hops < 0:
+        raise ValueError(f"max_hops must be >= 0, got {max_hops}")
+    if not 0 <= node < graph.num_nodes:
+        raise ValueError(f"node {node} out of range")
+    visited = {int(node)}
+    frontier = np.asarray([node], dtype=np.int64)
+    layers: dict[int, np.ndarray] = {}
+    for hop in range(1, max_hops + 1):
+        if frontier.size == 0:
+            break
+        candidates: set[int] = set()
+        for u in frontier:
+            candidates.update(int(v) for v in graph.neighbors(int(u)))
+        fresh = sorted(candidates - visited)
+        if not fresh:
+            break
+        layer = np.asarray(fresh, dtype=np.int64)
+        layers[hop] = layer
+        visited.update(fresh)
+        frontier = layer
+    return layers
+
+
+def k_hop_neighbors(graph: TextAttributedGraph, node: int, k: int) -> np.ndarray:
+    """All nodes within ``k`` hops of ``node`` (excluding ``node``), sorted."""
+    layers = bfs_hops(graph, node, k)
+    if not layers:
+        return np.empty(0, dtype=np.int64)
+    return np.sort(np.concatenate(list(layers.values())))

@@ -1,0 +1,91 @@
+"""Labeled/query splits for multi-query experiments.
+
+Follows the paper's protocol (Sec. VI-A1): for the Planetoid-style datasets,
+20 labeled nodes per class form ``V_L`` and 1,000 random unlabeled nodes form
+the query set ``V_Q``; for the OGB-style datasets, a fraction of nodes is
+labeled (mimicking the official train split) and 1,000 test nodes are queried.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.tag import TextAttributedGraph
+from repro.utils.rng import spawn_rng
+
+
+@dataclass(frozen=True)
+class LabeledSplit:
+    """A labeled set and a disjoint query set.
+
+    Attributes
+    ----------
+    labeled:
+        Sorted node ids whose ground-truth labels are known up front (``V_L``).
+    queries:
+        Sorted node ids to classify (``V_Q``); disjoint from ``labeled``.
+    """
+
+    labeled: np.ndarray
+    queries: np.ndarray
+
+    def __post_init__(self) -> None:
+        overlap = np.intersect1d(self.labeled, self.queries)
+        if overlap.size:
+            raise ValueError(f"labeled and query sets overlap on {overlap.size} nodes")
+
+    @property
+    def num_labeled(self) -> int:
+        return int(self.labeled.shape[0])
+
+    @property
+    def num_queries(self) -> int:
+        return int(self.queries.shape[0])
+
+
+def make_split(
+    graph: TextAttributedGraph,
+    num_queries: int,
+    labeled_per_class: int | None = None,
+    labeled_fraction: float | None = None,
+    seed: int = 0,
+) -> LabeledSplit:
+    """Sample a :class:`LabeledSplit` from ``graph``.
+
+    Exactly one of ``labeled_per_class`` / ``labeled_fraction`` must be given.
+    If a class has fewer nodes than ``labeled_per_class``, all of them are
+    labeled.  Queries are sampled uniformly from the remaining nodes; asking
+    for more queries than remain raises ``ValueError``.
+    """
+    if (labeled_per_class is None) == (labeled_fraction is None):
+        raise ValueError("pass exactly one of labeled_per_class / labeled_fraction")
+    if num_queries < 1:
+        raise ValueError(f"num_queries must be >= 1, got {num_queries}")
+    rng = spawn_rng(seed, "split", graph.name)
+    n = graph.num_nodes
+
+    if labeled_per_class is not None:
+        if labeled_per_class < 1:
+            raise ValueError("labeled_per_class must be >= 1")
+        chosen: list[np.ndarray] = []
+        for c in range(graph.num_classes):
+            members = np.flatnonzero(graph.labels == c)
+            take = min(labeled_per_class, members.shape[0])
+            if take:
+                chosen.append(rng.choice(members, size=take, replace=False))
+        labeled = np.sort(np.concatenate(chosen)) if chosen else np.empty(0, dtype=np.int64)
+    else:
+        if not 0.0 < labeled_fraction < 1.0:
+            raise ValueError("labeled_fraction must be in (0, 1)")
+        size = max(1, int(round(n * labeled_fraction)))
+        labeled = np.sort(rng.choice(n, size=size, replace=False))
+
+    remaining = np.setdiff1d(np.arange(n, dtype=np.int64), labeled, assume_unique=False)
+    if remaining.shape[0] < num_queries:
+        raise ValueError(
+            f"cannot sample {num_queries} queries from {remaining.shape[0]} unlabeled nodes"
+        )
+    queries = np.sort(rng.choice(remaining, size=num_queries, replace=False))
+    return LabeledSplit(labeled=labeled, queries=queries)

@@ -1,0 +1,13 @@
+"""Persistence: save/load graphs and run results, export reports."""
+
+from repro.io.graphs import load_graph, save_graph
+from repro.io.runs import load_run, run_to_rows, save_run, write_csv
+
+__all__ = [
+    "save_graph",
+    "load_graph",
+    "save_run",
+    "load_run",
+    "run_to_rows",
+    "write_csv",
+]

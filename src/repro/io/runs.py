@@ -1,0 +1,63 @@
+"""Serialization of run results (JSON) and tabular export (CSV).
+
+Runs are the unit of comparison in every experiment; persisting them lets a
+costly 1,000-query execution be analyzed repeatedly (breakdowns, paired
+comparisons, cost extrapolation) without re-spending tokens.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict, fields
+from pathlib import Path
+
+from repro.runtime.results import QueryRecord, RunResult
+
+_FORMAT_VERSION = 1
+
+
+def save_run(result: RunResult, path: str | Path) -> Path:
+    """Write ``result`` as JSON at ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "records": [asdict(r) for r in result.records],
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def load_run(path: str | Path) -> RunResult:
+    """Load a run previously written by :func:`save_run`."""
+    path = Path(path)
+    payload = json.loads(path.read_text())
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported run format version {version!r}")
+    return RunResult([QueryRecord(**record) for record in payload["records"]])
+
+
+def run_to_rows(result: RunResult) -> list[dict[str, object]]:
+    """Flatten a run into per-query dict rows (for dataframes/CSV)."""
+    rows = []
+    for record in result.records:
+        row = asdict(record)
+        row["correct"] = record.correct
+        row["total_tokens"] = record.total_tokens
+        rows.append(row)
+    return rows
+
+
+def write_csv(result: RunResult, path: str | Path) -> Path:
+    """Export a run's per-query records as CSV."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    columns = [f.name for f in fields(QueryRecord)] + ["correct", "total_tokens"]
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer.writeheader()
+        for row in run_to_rows(result):
+            writer.writerow(row)
+    return path

@@ -1,0 +1,45 @@
+"""LLM substrate: client interface, simulated models, pricing, responses.
+
+The paper queries GPT-3.5 / GPT-4o-mini as black boxes.  Offline, this
+package provides :class:`SimulatedLLM`: a deterministic model that consumes
+the *rendered prompt string* (never any hidden ground truth), extracts the
+target text, neighbor titles and neighbor labels exactly as a language model
+would read them, and scores classes from keyword evidence, homophily votes,
+a per-class skill bias and node-level noise.  All of the paper's phenomena —
+saturated nodes, neighbor-text noise, pseudo-label gains, category bias —
+emerge from this scoring rather than being hard-coded per experiment.
+"""
+
+from repro.llm.interface import LLMClient, LLMResponse, UsageTracker
+from repro.llm.pricing import PRICES_PER_1K_TOKENS, cost_usd
+from repro.llm.responses import format_category_response, parse_category_response
+from repro.llm.bias import BiasProfile
+from repro.llm.simulated import SimulatedLLM
+from repro.llm.instruction_tuned import BACKBONE_CONFIGS, BackboneConfig, InstructionTunedLLM
+from repro.llm.profiles import MODEL_PROFILES, ModelProfile, make_model
+from repro.llm.caching import CachingLLM
+from repro.llm.reliability import FlakyLLM, RetryingLLM, TransientLLMError
+from repro.llm.link_model import SimulatedLinkLLM
+
+__all__ = [
+    "LLMClient",
+    "LLMResponse",
+    "UsageTracker",
+    "PRICES_PER_1K_TOKENS",
+    "cost_usd",
+    "format_category_response",
+    "parse_category_response",
+    "BiasProfile",
+    "SimulatedLLM",
+    "InstructionTunedLLM",
+    "BackboneConfig",
+    "BACKBONE_CONFIGS",
+    "make_model",
+    "ModelProfile",
+    "MODEL_PROFILES",
+    "CachingLLM",
+    "FlakyLLM",
+    "RetryingLLM",
+    "TransientLLMError",
+    "SimulatedLinkLLM",
+]

@@ -1,0 +1,68 @@
+"""Per-class skill bias of a simulated LLM.
+
+Real LLMs classify some categories systematically worse than others — the
+phenomenon the token-pruning strategy's bias channel ``b_i = p_i · wᵀ``
+(paper Eq. 9) exists to capture.  A :class:`BiasProfile` gives each model a
+deterministic per-class additive penalty: penalized classes are predicted
+less reliably, which the calibration subset then detects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import spawn_rng
+
+
+@dataclass(frozen=True)
+class BiasProfile:
+    """Additive per-class score penalties (non-positive entries)."""
+
+    penalties: np.ndarray
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.penalties, dtype=float)
+        if arr.ndim != 1:
+            raise ValueError("penalties must be 1-D")
+        if (arr > 0).any():
+            raise ValueError("penalties must be <= 0 (they handicap classes)")
+        object.__setattr__(self, "penalties", arr)
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.penalties.shape[0])
+
+    def penalized_classes(self) -> np.ndarray:
+        """Indices of classes with a non-zero handicap."""
+        return np.flatnonzero(self.penalties < 0)
+
+    @classmethod
+    def generate(
+        cls,
+        num_classes: int,
+        seed: int,
+        model_name: str,
+        weak_fraction: float = 0.25,
+        penalty: float = 0.18,
+    ) -> "BiasProfile":
+        """Deterministically handicap ``weak_fraction`` of the classes.
+
+        Different models (different ``model_name``) are weak on different
+        classes, like real LLMs are.
+        """
+        if num_classes < 1:
+            raise ValueError("num_classes must be >= 1")
+        if not 0.0 <= weak_fraction <= 1.0:
+            raise ValueError("weak_fraction must be in [0, 1]")
+        if penalty < 0:
+            raise ValueError("penalty is a magnitude; pass it positive")
+        rng = spawn_rng(seed, "bias-profile", model_name)
+        penalties = np.zeros(num_classes)
+        n_weak = int(round(num_classes * weak_fraction))
+        if n_weak:
+            weak = rng.choice(num_classes, size=n_weak, replace=False)
+            # Vary the handicap so some classes are only mildly weak.
+            penalties[weak] = -penalty * rng.uniform(0.5, 1.5, size=n_weak)
+        return cls(penalties=penalties)

@@ -1,0 +1,94 @@
+"""Response caching for repeated prompts — classical MQO result reuse.
+
+Traditional multi-query optimization reuses shared intermediate results
+across queries (paper Sec. II-C: common subexpression elimination).  For
+LLM workloads the direct analogue is an exact-match response cache: two
+identical prompts need only one completion.  Within the paper's paradigm
+this matters whenever query sets overlap across runs or methods re-issue
+the same zero-shot calibration prompts.
+
+:class:`CachingLLM` wraps any :class:`~repro.llm.interface.LLMClient`; hits
+cost zero tokens and are tracked separately from the inner client's usage.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.llm.interface import LLMClient, LLMResponse
+from repro.text.tokenizer import Tokenizer
+
+
+class CachingLLM(LLMClient):
+    """Exact-prompt LRU response cache around an inner client.
+
+    Parameters
+    ----------
+    inner:
+        The client that pays for misses.
+    max_entries:
+        LRU capacity; ``None`` means unbounded (fine for the bounded query
+        sets of the paper's experiments).
+    """
+
+    def __init__(self, inner: LLMClient, max_entries: int | None = 10_000):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 or None")
+        super().__init__(name=f"cached({inner.name})", tokenizer=inner.tokenizer)
+        self.inner = inner
+        self.max_entries = max_entries
+        self._cache: OrderedDict[str, tuple[str, float | None]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def _complete(self, prompt: str) -> str:
+        return self._complete_with_confidence(prompt)[0]
+
+    def _complete_with_confidence(self, prompt: str) -> tuple[str, float | None]:
+        cached = self._cache.get(prompt)
+        if cached is not None:
+            self.hits += 1
+            self._cache.move_to_end(prompt)
+            return cached
+        self.misses += 1
+        response = self.inner.complete(prompt)
+        entry = (response.text, response.confidence)
+        self._cache[prompt] = entry
+        if self.max_entries is not None and len(self._cache) > self.max_entries:
+            self._cache.popitem(last=False)
+        return entry
+
+    def complete(self, prompt: str) -> LLMResponse:
+        """Serve from cache when possible; hits cost zero tokens.
+
+        The wrapper's own usage tracker records only *paid* tokens (misses),
+        so ``usage.total_tokens`` reflects actual spend.
+        """
+        if not prompt:
+            raise ValueError("prompt must be non-empty")
+        was_cached = prompt in self._cache
+        text, confidence = self._complete_with_confidence(prompt)
+        if was_cached:
+            response = LLMResponse(
+                text=text, prompt_tokens=0, completion_tokens=0, confidence=confidence
+            )
+        else:
+            response = LLMResponse(
+                text=text,
+                prompt_tokens=self.tokenizer.count(prompt),
+                completion_tokens=self.tokenizer.count(text),
+                confidence=confidence,
+            )
+        self.usage.record(response)
+        return response
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of calls served from cache (0 when never called)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        self._cache.clear()
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,39 @@
+"""Token pricing for cost reporting (paper Sec. I's cost motivation).
+
+Prices are USD per 1,000 tokens, matching the figures the paper quotes
+(GPT-3.5 at $0.0005/1k input tokens) plus the public list prices of the
+other models it references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ModelPrice:
+    """Input/output price per 1,000 tokens, in USD."""
+
+    input_per_1k: float
+    output_per_1k: float
+
+
+PRICES_PER_1K_TOKENS: dict[str, ModelPrice] = {
+    "gpt-3.5": ModelPrice(input_per_1k=0.0005, output_per_1k=0.0015),
+    "gpt-4o-mini": ModelPrice(input_per_1k=0.00015, output_per_1k=0.0006),
+    "gpt-4": ModelPrice(input_per_1k=0.03, output_per_1k=0.06),
+}
+
+
+def cost_usd(model: str, prompt_tokens: int, completion_tokens: int = 0) -> float:
+    """Dollar cost of a query (or aggregate usage) for ``model``.
+
+    Unknown models raise ``KeyError`` so silent mispricing cannot happen.
+    """
+    if prompt_tokens < 0 or completion_tokens < 0:
+        raise ValueError("token counts must be non-negative")
+    key = model.lower()
+    if key not in PRICES_PER_1K_TOKENS:
+        raise KeyError(f"no price for model {model!r}; known: {sorted(PRICES_PER_1K_TOKENS)}")
+    price = PRICES_PER_1K_TOKENS[key]
+    return prompt_tokens / 1000.0 * price.input_per_1k + completion_tokens / 1000.0 * price.output_per_1k

@@ -1,0 +1,92 @@
+"""Per-model parameter presets for the simulated LLMs.
+
+The paper evaluates two black-box models and observes that GPT-4o-mini
+*underperforms* GPT-3.5 on these TAG benchmarks (Table VII: e.g. Pubmed
+1-hop 79.4 vs 87.4).  The presets encode that finding: the ``gpt-4o-mini``
+profile reads node text less reliably on this domain (higher noise, stronger
+category bias) while leaning slightly more on neighbor labels — which is why
+boosting helps it a little more, again matching Table VII's larger gains.
+
+Weights were calibrated once against the paper's Table IV / V / VII numbers
+on the synthetic replicas (see ``tests/test_calibration.py``) and are fixed
+thereafter; no experiment re-tunes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.llm.bias import BiasProfile
+from repro.llm.simulated import SimulatedLLM
+from repro.text.tokenizer import Tokenizer
+from repro.text.vocabulary import ClassVocabulary
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """Evidence weights defining one simulated model's behaviour."""
+
+    name: str
+    text_weight: float
+    neighbor_weight: float
+    label_weight: float
+    dilution_rate: float
+    noise_scale: float
+    bias_weak_fraction: float
+    bias_penalty: float
+
+
+MODEL_PROFILES: dict[str, ModelProfile] = {
+    "gpt-3.5": ModelProfile(
+        name="gpt-3.5",
+        text_weight=1.0,
+        neighbor_weight=0.025,
+        label_weight=0.080,
+        dilution_rate=0.040,
+        noise_scale=0.06,
+        bias_weak_fraction=0.25,
+        bias_penalty=0.18,
+    ),
+    "gpt-4o-mini": ModelProfile(
+        name="gpt-4o-mini",
+        text_weight=1.0,
+        neighbor_weight=0.030,
+        label_weight=0.100,
+        dilution_rate=0.040,
+        noise_scale=0.13,
+        bias_weak_fraction=0.30,
+        bias_penalty=0.26,
+    ),
+}
+
+
+def make_model(
+    name: str,
+    vocabulary: ClassVocabulary,
+    seed: int = 0,
+    tokenizer: Tokenizer | None = None,
+) -> SimulatedLLM:
+    """Instantiate a preset simulated model by name."""
+    key = name.lower()
+    if key not in MODEL_PROFILES:
+        raise KeyError(f"unknown model {name!r}; known: {sorted(MODEL_PROFILES)}")
+    profile = MODEL_PROFILES[key]
+    bias = BiasProfile.generate(
+        vocabulary.num_classes,
+        seed,
+        profile.name,
+        weak_fraction=profile.bias_weak_fraction,
+        penalty=profile.bias_penalty,
+    )
+    return SimulatedLLM(
+        vocabulary=vocabulary,
+        name=profile.name,
+        text_weight=profile.text_weight,
+        neighbor_weight=profile.neighbor_weight,
+        label_weight=profile.label_weight,
+        dilution_rate=profile.dilution_rate,
+        noise_scale=profile.noise_scale,
+        bias=bias,
+        seed=seed,
+        tokenizer=tokenizer,
+    )

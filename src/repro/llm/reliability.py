@@ -1,0 +1,109 @@
+"""Reliability wrappers: transient failures and retry with backoff.
+
+Production deployments of the "LLMs as predictors" paradigm issue thousands
+of API calls; rate limits and transient 5xx errors are routine.  This module
+provides a failure-injecting client (for tests and resilience experiments)
+and a retrying wrapper implementing capped exponential backoff.  Backoff
+waits are *simulated* (accumulated in a counter, never slept) so tests and
+experiments stay fast and deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.llm.interface import LLMClient, LLMResponse
+from repro.utils.rng import spawn_rng
+
+
+class TransientLLMError(RuntimeError):
+    """A retryable failure (rate limit, transient server error)."""
+
+
+class FlakyLLM(LLMClient):
+    """Failure-injecting wrapper: raises :class:`TransientLLMError` randomly.
+
+    Deterministic per (seed, call index), so a test can assert exactly which
+    calls fail.  Failed calls consume no tokens (like a failed HTTP call).
+    """
+
+    def __init__(self, inner: LLMClient, failure_rate: float = 0.2, seed: int = 0):
+        if not 0.0 <= failure_rate < 1.0:
+            raise ValueError("failure_rate must be in [0, 1)")
+        super().__init__(name=f"flaky({inner.name})", tokenizer=inner.tokenizer)
+        self.inner = inner
+        self.failure_rate = failure_rate
+        self.seed = seed
+        self.calls = 0
+        self.failures = 0
+
+    def _complete(self, prompt: str) -> str:
+        raise AssertionError("unreachable: complete() is overridden")
+
+    def complete(self, prompt: str) -> LLMResponse:
+        if not prompt:
+            raise ValueError("prompt must be non-empty")
+        self.calls += 1
+        rng = spawn_rng(self.seed, "flaky", self.calls)
+        if rng.random() < self.failure_rate:
+            self.failures += 1
+            raise TransientLLMError(f"simulated transient failure on call {self.calls}")
+        response = self.inner.complete(prompt)
+        self.usage.record(response)
+        return response
+
+
+class RetryingLLM(LLMClient):
+    """Capped exponential backoff around a client that may raise
+    :class:`TransientLLMError`.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped client.
+    max_attempts:
+        Total attempts per prompt (first try + retries).
+    base_delay, max_delay:
+        Backoff schedule in (simulated) seconds: ``base * 2^attempt`` capped
+        at ``max_delay``; accumulated in :attr:`simulated_wait_seconds`.
+    """
+
+    def __init__(
+        self,
+        inner: LLMClient,
+        max_attempts: int = 4,
+        base_delay: float = 0.5,
+        max_delay: float = 8.0,
+    ):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if base_delay < 0 or max_delay < base_delay:
+            raise ValueError("need 0 <= base_delay <= max_delay")
+        super().__init__(name=f"retry({inner.name})", tokenizer=inner.tokenizer)
+        self.inner = inner
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.retries = 0
+        self.simulated_wait_seconds = 0.0
+
+    def _complete(self, prompt: str) -> str:
+        raise AssertionError("unreachable: complete() is overridden")
+
+    def complete(self, prompt: str) -> LLMResponse:
+        if not prompt:
+            raise ValueError("prompt must be non-empty")
+        last_error: TransientLLMError | None = None
+        for attempt in range(self.max_attempts):
+            try:
+                response = self.inner.complete(prompt)
+                self.usage.record(response)
+                return response
+            except TransientLLMError as error:
+                last_error = error
+                if attempt + 1 < self.max_attempts:
+                    self.retries += 1
+                    self.simulated_wait_seconds += min(
+                        self.base_delay * 2**attempt, self.max_delay
+                    )
+        raise TransientLLMError(
+            f"gave up after {self.max_attempts} attempts: {last_error}"
+        ) from last_error

@@ -1,0 +1,53 @@
+"""Formatting and parsing of the ``Category: ['XX']`` response protocol.
+
+The paper's prompt templates ask the model to "output the most likely
+category as a Python list: Category: ['XX']".  The simulated models emit
+exactly that, and the engine parses it back into a class index; parsing is
+deliberately tolerant (case, whitespace, bare names) the way production
+response parsers have to be with real LLM output.
+"""
+
+from __future__ import annotations
+
+import re
+
+_CATEGORY_RE = re.compile(r"category\s*:\s*\[\s*['\"]([^'\"]+)['\"]\s*\]", re.IGNORECASE)
+
+
+def format_category_response(class_name: str) -> str:
+    """Render the canonical response line for ``class_name``."""
+    if not class_name:
+        raise ValueError("class_name must be non-empty")
+    return f"Category: ['{class_name}']"
+
+
+def _normalize(name: str) -> str:
+    return re.sub(r"[^a-z0-9]+", "", name.lower())
+
+
+def parse_category_response(text: str, class_names: list[str]) -> int | None:
+    """Extract the predicted class index from a model response.
+
+    Tries, in order: the canonical ``Category: ['XX']`` pattern, then a
+    normalized whole-response match, then the first class name appearing as a
+    normalized substring.  Returns ``None`` when nothing matches (callers
+    count this as an incorrect prediction, as the paper's protocol implies).
+    """
+    if not class_names:
+        raise ValueError("class_names must be non-empty")
+    normalized = {_normalize(name): i for i, name in enumerate(class_names)}
+
+    match = _CATEGORY_RE.search(text)
+    candidates = []
+    if match:
+        candidates.append(match.group(1))
+    candidates.append(text.strip())
+    for candidate in candidates:
+        idx = normalized.get(_normalize(candidate))
+        if idx is not None:
+            return idx
+    blob = _normalize(text)
+    for key, idx in normalized.items():
+        if key and key in blob:
+            return idx
+    return None

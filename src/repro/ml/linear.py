@@ -1,0 +1,123 @@
+"""Linear models: least-squares regression and binary logistic regression.
+
+:class:`LinearRegression` is the combiner ``g_θ2`` of the token-pruning
+strategy (paper Eq. 10): it merges the entropy channel and the bias channel
+into one text-inadequacy score by regressing the calibration subset's 0/1
+misclassification indicator on the concatenated channels.
+
+:class:`LogisticRegression` is the surrogate binary classifier used by the
+link-prediction variant (paper Sec. VI-J).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class LinearRegression:
+    """Ordinary least squares with optional L2 (ridge) regularization.
+
+    Solved in closed form via ``lstsq``/normal equations; the bias term is
+    never regularized.
+    """
+
+    def __init__(self, l2: float = 0.0):
+        if l2 < 0:
+            raise ValueError(f"l2 must be >= 0, got {l2}")
+        self.l2 = l2
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LinearRegression":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if x.ndim != 2:
+            raise ValueError(f"x must be 2-D, got shape {x.shape}")
+        if y.shape[0] != x.shape[0]:
+            raise ValueError("x and y must align")
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit on empty data")
+        n, d = x.shape
+        design = np.concatenate([x, np.ones((n, 1))], axis=1)
+        if self.l2 > 0:
+            penalty = np.eye(d + 1) * self.l2
+            penalty[-1, -1] = 0.0  # do not shrink the intercept
+            theta = np.linalg.solve(design.T @ design + penalty, design.T @ y)
+        else:
+            theta, *_ = np.linalg.lstsq(design, y, rcond=None)
+        self.coef_ = theta[:-1]
+        self.intercept_ = float(theta[-1])
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        x = np.asarray(x, dtype=np.float64)
+        return x @ self.coef_ + self.intercept_
+
+
+class LogisticRegression:
+    """Binary logistic regression trained with full-batch gradient descent."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        epochs: int = 300,
+        l2: float = 0.0,
+    ):
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be > 0")
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if l2 < 0:
+            raise ValueError("l2 must be >= 0")
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.l2 = l2
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float | None = None
+
+    @staticmethod
+    def _sigmoid(z: np.ndarray) -> np.ndarray:
+        out = np.empty_like(z)
+        pos = z >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+        ez = np.exp(z[~pos])
+        out[~pos] = ez / (1.0 + ez)
+        return out
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if x.ndim != 2:
+            raise ValueError(f"x must be 2-D, got shape {x.shape}")
+        if y.shape[0] != x.shape[0]:
+            raise ValueError("x and y must align")
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit on empty data")
+        if not np.isin(y, (0.0, 1.0)).all():
+            raise ValueError("y must be binary 0/1")
+        n, d = x.shape
+        w = np.zeros(d)
+        b = 0.0
+        for _ in range(self.epochs):
+            p = self._sigmoid(x @ w + b)
+            err = p - y
+            grad_w = x.T @ err / n + self.l2 * w
+            grad_b = float(err.mean())
+            w -= self.learning_rate * grad_w
+            b -= self.learning_rate * grad_b
+        self.coef_ = w
+        self.intercept_ = b
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """``(n, 2)`` matrix of [P(class 0), P(class 1)] rows."""
+        if self.coef_ is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        x = np.asarray(x, dtype=np.float64)
+        p1 = self._sigmoid(x @ self.coef_ + self.intercept_)
+        return np.stack([1.0 - p1, p1], axis=1)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(x)[:, 1] >= 0.5).astype(np.int64)

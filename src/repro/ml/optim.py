@@ -1,0 +1,76 @@
+"""Gradient-descent optimizers for the numpy models.
+
+Both optimizers operate on lists of parameter arrays updated in place, which
+keeps the MLP implementation free of any framework dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SGD:
+    """Vanilla stochastic gradient descent with optional momentum."""
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.0):
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be > 0, got {learning_rate}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self._velocity: list[np.ndarray] | None = None
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        """Update ``params`` in place from ``grads``."""
+        if len(params) != len(grads):
+            raise ValueError("params and grads must align")
+        if self._velocity is None:
+            self._velocity = [np.zeros_like(p) for p in params]
+        for p, g, v in zip(params, grads, self._velocity):
+            v *= self.momentum
+            v -= self.learning_rate * g
+            p += v
+
+
+class Adam:
+    """Adam optimizer (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ):
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be > 0, got {learning_rate}")
+        for name, b in (("beta1", beta1), ("beta2", beta2)):
+            if not 0.0 <= b < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {b}")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._m: list[np.ndarray] | None = None
+        self._v: list[np.ndarray] | None = None
+        self._t = 0
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        """Update ``params`` in place from ``grads``."""
+        if len(params) != len(grads):
+            raise ValueError("params and grads must align")
+        if self._m is None:
+            self._m = [np.zeros_like(p) for p in params]
+            self._v = [np.zeros_like(p) for p in params]
+        self._t += 1
+        bc1 = 1.0 - self.beta1**self._t
+        bc2 = 1.0 - self.beta2**self._t
+        for p, g, m, v in zip(params, grads, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * np.square(g)
+            m_hat = m / bc1
+            v_hat = v / bc2
+            p -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

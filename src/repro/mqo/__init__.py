@@ -1,0 +1,29 @@
+"""Classical MQO techniques adjacent to the paper's strategies.
+
+The paper positions its contribution against traditional multi-query
+optimization (Sec. II-C): common-subexpression reuse and the prefix-sharing
+techniques recent LLM-serving work applies inside white-box models.  This
+package implements those comparators so the repo can quantify what each
+family of techniques saves on the same workloads:
+
+* :mod:`repro.mqo.prefix_sharing` — shared-prefix token accounting and
+  prompt reordering (the [49]-style row-sorting baseline);
+* :class:`repro.llm.caching.CachingLLM` — exact-result reuse (classical
+  common subexpressions), re-exported here for discoverability.
+"""
+
+from repro.llm.caching import CachingLLM
+from repro.mqo.prefix_sharing import (
+    PrefixSharingReport,
+    analyze_prefix_sharing,
+    shared_prefix_tokens,
+    sort_for_prefix_sharing,
+)
+
+__all__ = [
+    "CachingLLM",
+    "shared_prefix_tokens",
+    "sort_for_prefix_sharing",
+    "analyze_prefix_sharing",
+    "PrefixSharingReport",
+]

@@ -1,0 +1,20 @@
+"""Prompt construction following the paper's Table III templates."""
+
+from repro.prompts.templates import (
+    NEIGHBOR_BLOCK_TEMPLATE,
+    NEIGHBOR_HEADER_TEMPLATE,
+    TASK_TEMPLATE,
+    TARGET_TEMPLATE,
+)
+from repro.prompts.builder import NeighborEntry, PromptBuilder
+from repro.prompts.link import LinkPromptBuilder
+
+__all__ = [
+    "PromptBuilder",
+    "NeighborEntry",
+    "LinkPromptBuilder",
+    "TARGET_TEMPLATE",
+    "NEIGHBOR_HEADER_TEMPLATE",
+    "NEIGHBOR_BLOCK_TEMPLATE",
+    "TASK_TEMPLATE",
+]

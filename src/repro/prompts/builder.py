@@ -1,0 +1,112 @@
+"""Assembly of node-classification prompts from node text and neighbor cues.
+
+A :class:`PromptBuilder` is configured once per dataset (node type, edge
+type, category list) and then renders prompts for any query: the vanilla
+zero-shot form, or the neighbor-equipped form used by 1-hop/2-hop random and
+SNS.  Neighbor entries carry an optional label name — this is where the
+query-boosting strategy's pseudo-labels enter the prompt — and optionally
+their abstract (the costlier configurations of paper Table V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.prompts import templates
+
+
+@dataclass(frozen=True)
+class NeighborEntry:
+    """One selected neighbor as it will appear in the prompt."""
+
+    title: str
+    abstract: str | None = None
+    label_name: str | None = None
+
+
+class PromptBuilder:
+    """Render Table III prompts for one dataset.
+
+    Parameters
+    ----------
+    class_names:
+        Category names in label-index order.
+    node_type:
+        ``"paper"`` or ``"product"`` (any lowercase noun works; it is
+        interpolated into the templates).
+    edge_type:
+        Relationship noun, e.g. ``"citation"`` or ``"co-purchase"``.
+    text_field:
+        Name of the long-text field: ``"Abstract"`` for papers,
+        ``"Description"`` for products.
+    """
+
+    def __init__(
+        self,
+        class_names: list[str],
+        node_type: str = "paper",
+        edge_type: str = "citation",
+        text_field: str = "Abstract",
+    ):
+        if not class_names:
+            raise ValueError("class_names must be non-empty")
+        self.class_names = list(class_names)
+        self.node_type = node_type
+        self.edge_type = edge_type
+        self.text_field = text_field
+
+    def _target(self, title: str, abstract: str) -> str:
+        return templates.TARGET_TEMPLATE.format(
+            node_type=self.node_type,
+            title=title,
+            text_field=self.text_field,
+            abstract=abstract,
+        )
+
+    def _task(self) -> str:
+        return templates.TASK_TEMPLATE.format(
+            categories=", ".join(self.class_names),
+            node_type=self.node_type,
+        )
+
+    def zero_shot(self, title: str, abstract: str) -> str:
+        """Vanilla zero-shot prompt: target text and task only."""
+        return self._target(title, abstract) + self._task()
+
+    def with_neighbors(
+        self,
+        title: str,
+        abstract: str,
+        neighbors: list[NeighborEntry],
+        similarity_ranked: bool = False,
+    ) -> str:
+        """Prompt with neighbor text blocks (1/2-hop random, SNS).
+
+        An empty ``neighbors`` list degenerates to the zero-shot prompt, which
+        is exactly what token pruning produces for saturated nodes.
+        """
+        if not neighbors:
+            return self.zero_shot(title, abstract)
+        parts = [self._target(title, abstract)]
+        parts.append(
+            templates.NEIGHBOR_HEADER_TEMPLATE.format(
+                node_type=self.node_type,
+                edge_type=self.edge_type,
+                sns_suffix=templates.SNS_HEADER_SUFFIX if similarity_ranked else "",
+            )
+        )
+        for index, entry in enumerate(neighbors):
+            body = f"Title: {entry.title}\n"
+            if entry.abstract is not None:
+                body += f"{self.text_field}: {entry.abstract}\n"
+            if entry.label_name is not None:
+                body += f"Category: {entry.label_name}\n"
+            parts.append(
+                templates.NEIGHBOR_BLOCK_TEMPLATE.format(
+                    node_type_title=self.node_type.title(),
+                    index=index,
+                    body=body,
+                )
+            )
+        parts.append(self._task())
+        return "".join(parts)

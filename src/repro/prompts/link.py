@@ -1,0 +1,52 @@
+"""Prompts for the link-prediction task (paper Sec. VI-J).
+
+A link query asks whether an edge exists between a node pair.  The prompt
+carries both nodes' text, optionally the titles of each endpoint's known
+neighbors ("neighbor links" in the paper's Base configuration), and asks for
+a Yes/No answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LinkEndpoint:
+    """One endpoint of a link query, with optional neighbor-title context."""
+
+    title: str
+    abstract: str
+    neighbor_titles: tuple[str, ...] = ()
+
+
+class LinkPromptBuilder:
+    """Render link-prediction prompts for one dataset."""
+
+    def __init__(self, node_type: str = "paper", edge_type: str = "citation", text_field: str = "Abstract"):
+        self.node_type = node_type
+        self.edge_type = edge_type
+        self.text_field = text_field
+
+    def _endpoint(self, role: str, endpoint: LinkEndpoint) -> str:
+        part = (
+            f"{role} {self.node_type}: Title: {endpoint.title}\n"
+            f"{self.text_field}: {endpoint.abstract}\n"
+        )
+        if endpoint.neighbor_titles:
+            part += f"Known {self.edge_type} neighbors of the {role.lower()} {self.node_type}:\n"
+            for i, title in enumerate(endpoint.neighbor_titles):
+                part += f"Neighbor {i}: Title: {title}\n"
+        return part
+
+    def build(self, first: LinkEndpoint, second: LinkEndpoint) -> str:
+        """Prompt asking whether the two nodes are linked."""
+        return (
+            self._endpoint("First", first)
+            + "\n"
+            + self._endpoint("Second", second)
+            + "\nTask:\n"
+            f"Does a {self.edge_type} relationship exist between the first and "
+            f"second {self.node_type}?\n"
+            "Please answer as a Python list: Answer: ['Yes'] or Answer: ['No']."
+        )

@@ -1,0 +1,31 @@
+"""String templates for node-classification prompts (paper Table III).
+
+The templates keep the paper's exact structural markers (``Target paper:``,
+``Neighbor Paper0: {{ ... }}``, ``Categories:``, ``Category: ['XX']``)
+because both the simulated LLM's reader and the response parser key off
+them, just as the authors' regexes keyed off their templates.
+
+``{node_type}`` is "paper" for citation graphs and "product" for
+co-purchase graphs; ``{text_field}`` is "Abstract" or "Description"
+accordingly.
+"""
+
+TARGET_TEMPLATE = "Target {node_type}: Title: {title}\n{text_field}: {abstract}\n"
+
+NEIGHBOR_HEADER_TEMPLATE = (
+    "\nTarget {node_type} has the following important neighbors with "
+    "{edge_type} relationships{sns_suffix}:\n"
+)
+
+#: Suffix appended by SNS, whose neighbors arrive similarity-ranked.
+SNS_HEADER_SUFFIX = ", from most related to least related"
+
+NEIGHBOR_BLOCK_TEMPLATE = "Neighbor {node_type_title}{index}: {{{{\n{body}}}}}\n"
+
+TASK_TEMPLATE = (
+    "Task:\n"
+    "Categories:\n"
+    "[{categories}]\n"
+    "Which category does the target {node_type} belong to?\n"
+    "Please output the most likely category as a Python list: Category: ['XX']."
+)

@@ -1,0 +1,18 @@
+"""Multi-query execution runtime: engine, results, baseline strategies."""
+
+from repro.runtime.results import QueryRecord, RunResult
+from repro.runtime.engine import MultiQueryEngine
+from repro.runtime.baselines import (
+    random_prune_set,
+    random_round_schedule,
+    run_unscheduled_boosting,
+)
+
+__all__ = [
+    "QueryRecord",
+    "RunResult",
+    "MultiQueryEngine",
+    "random_prune_set",
+    "random_round_schedule",
+    "run_unscheduled_boosting",
+]

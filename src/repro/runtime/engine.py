@@ -1,0 +1,226 @@
+"""Multi-query execution engine.
+
+The engine owns everything one "LLMs as predictors" deployment needs to run
+a query set: the graph, the black-box LLM client, a neighbor-selection
+method, the prompt builder, and the evolving label state (gold labels of
+``V_L`` plus pseudo-labels appended by query boosting).  Strategies drive it
+query by query (boosting) or in bulk (plain runs, Algorithm 1 pruned runs).
+
+Neighbor sampling randomness is seeded per *node*, not per call, so the same
+query node draws the same random neighbors whether or not it is pruned,
+boosted, or reordered — exactly the paired-comparison setup the paper's
+tables rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.budget import BudgetLedger
+from repro.graph.tag import TextAttributedGraph
+from repro.llm.interface import LLMClient
+from repro.llm.responses import parse_category_response
+from repro.prompts.builder import NeighborEntry, PromptBuilder
+from repro.runtime.results import QueryRecord, RunResult
+from repro.selection.base import NeighborSelector, SelectedNeighbor
+from repro.utils.rng import spawn_rng
+
+
+class MultiQueryEngine:
+    """Stateful executor of node-classification queries.
+
+    Parameters
+    ----------
+    graph, llm, selector, builder:
+        The four substrates a deployment wires together.
+    labeled:
+        Node ids of ``V_L``; their gold labels seed the label state.
+    max_neighbors:
+        Per-prompt neighbor cap ``M``.
+    include_neighbor_abstracts:
+        Whether neighbor blocks carry abstracts as well as titles (the
+        costlier Table V configurations; default False per Sec. VI-A2).
+    ledger:
+        Optional token ledger charged for every executed query.
+    seed:
+        Base seed for per-node neighbor sampling.
+    """
+
+    def __init__(
+        self,
+        graph: TextAttributedGraph,
+        llm: LLMClient,
+        selector: NeighborSelector,
+        builder: PromptBuilder,
+        labeled: np.ndarray,
+        max_neighbors: int = 4,
+        include_neighbor_abstracts: bool = False,
+        ledger: BudgetLedger | None = None,
+        seed: int = 0,
+    ):
+        if max_neighbors < 0:
+            raise ValueError("max_neighbors must be >= 0")
+        self.graph = graph
+        self.llm = llm
+        self.selector = selector
+        self.builder = builder
+        self.max_neighbors = max_neighbors
+        self.include_neighbor_abstracts = include_neighbor_abstracts
+        self.ledger = ledger
+        self.seed = seed
+        self._labels: dict[int, int] = {
+            int(v): int(graph.labels[int(v)]) for v in np.asarray(labeled, dtype=np.int64)
+        }
+        self._pseudo: set[int] = set()
+
+    # ------------------------------------------------------------ label state
+
+    @property
+    def label_map(self) -> dict[int, int]:
+        """Current labels (gold + pseudo).  Treat as read-only."""
+        return self._labels
+
+    @property
+    def pseudo_labeled(self) -> frozenset[int]:
+        return frozenset(self._pseudo)
+
+    def add_pseudo_label(self, node: int, label: int) -> None:
+        """Record a pseudo-label from an executed query (Algorithm 2 step 3).
+
+        Gold labels are never overwritten; re-adding a pseudo-label for the
+        same node raises, since each query executes exactly once.
+        """
+        node = int(node)
+        if node in self._labels:
+            raise ValueError(f"node {node} already has a label")
+        if not 0 <= label < self.graph.num_classes:
+            raise ValueError(f"label {label} out of range")
+        self._labels[node] = int(label)
+        self._pseudo.add(node)
+
+    # -------------------------------------------------------------- selection
+
+    def select_neighbors(self, node: int) -> list[SelectedNeighbor]:
+        """Run the selector for ``node`` against the current label state."""
+        rng = spawn_rng(self.seed, "neighbor-sample", node)
+        return self.selector.select(
+            self.graph, int(node), self._labels, self.max_neighbors, rng
+        )
+
+    def _entries(self, selected: list[SelectedNeighbor]) -> list[NeighborEntry]:
+        entries = []
+        for sn in selected:
+            text = self.graph.texts[sn.node]
+            entries.append(
+                NeighborEntry(
+                    title=text.title,
+                    abstract=text.abstract if self.include_neighbor_abstracts else None,
+                    label_name=self.graph.class_names[sn.label] if sn.label is not None else None,
+                )
+            )
+        return entries
+
+    def build_prompt(self, node: int, include_neighbors: bool = True) -> tuple[str, list[SelectedNeighbor]]:
+        """Render the prompt for ``node`` and return the neighbors used."""
+        text = self.graph.texts[int(node)]
+        if not include_neighbors:
+            return self.builder.zero_shot(text.title, text.abstract), []
+        selected = self.select_neighbors(node)
+        prompt = self.builder.with_neighbors(
+            text.title,
+            text.abstract,
+            self._entries(selected),
+            similarity_ranked=self.selector.similarity_ranked,
+        )
+        return prompt, selected
+
+    # -------------------------------------------------------------- execution
+
+    def execute_query(
+        self,
+        node: int,
+        include_neighbors: bool = True,
+        round_index: int | None = None,
+    ) -> QueryRecord:
+        """Execute one LLM query and return its record.
+
+        ``include_neighbors=False`` is the token-pruned (zero-shot) form.
+        """
+        node = int(node)
+        prompt, selected = self.build_prompt(node, include_neighbors)
+        response = self.llm.complete(prompt)
+        if self.ledger is not None:
+            self.ledger.charge(response.total_tokens)
+        predicted = parse_category_response(response.text, self.graph.class_names)
+        labeled_neighbors = [sn for sn in selected if sn.label is not None]
+        return QueryRecord(
+            node=node,
+            true_label=int(self.graph.labels[node]),
+            predicted_label=predicted,
+            prompt_tokens=response.prompt_tokens,
+            completion_tokens=response.completion_tokens,
+            num_neighbors=len(selected),
+            num_neighbor_labels=len(labeled_neighbors),
+            num_pseudo_labels=sum(sn.node in self._pseudo for sn in labeled_neighbors),
+            pruned=not include_neighbors,
+            round_index=round_index,
+            confidence=response.confidence,
+        )
+
+    def run(self, queries: np.ndarray, pruned: frozenset[int] | set[int] = frozenset()) -> RunResult:
+        """Execute ``queries`` in order; nodes in ``pruned`` go zero-shot.
+
+        This is the plain (non-boosted) execution mode used by the original
+        benchmark methods and by Algorithm 1.
+        """
+        result = RunResult()
+        for node in np.asarray(queries, dtype=np.int64):
+            result.add(self.execute_query(int(node), include_neighbors=int(node) not in pruned))
+        return result
+
+    def run_with_budget_guard(
+        self,
+        queries: np.ndarray,
+        pruned: frozenset[int] | set[int] = frozenset(),
+        completion_reserve: int = 16,
+    ) -> RunResult:
+        """Budget-enforcing execution (the hard constraint of paper Eq. 2).
+
+        Prompt token counts are known *before* any LLM call, so the guard
+        rations exactly: a query keeps its neighbor text only if, after
+        paying for the full prompt, the remaining budget still covers the
+        zero-shot floor of every query left.  ``completion_reserve`` headroom
+        is kept per query for responses.  If even the all-zero-shot floor
+        does not fit, the guard raises up front — spending past a hard
+        budget is never acceptable.
+
+        Static planning (Sec. V-C1's τ formula) should normally keep the
+        guard inactive; this is the safety net for estimate error.
+        """
+        if self.ledger is None or self.ledger.budget is None:
+            raise ValueError("run_with_budget_guard needs an engine ledger with a budget")
+        if completion_reserve < 0:
+            raise ValueError("completion_reserve must be >= 0")
+        tokenizer = self.llm.tokenizer
+        nodes = [int(v) for v in np.asarray(queries, dtype=np.int64)]
+        # Exact zero-shot floor per query (tokenizer only — no LLM spend).
+        floors = []
+        for node in nodes:
+            prompt, _ = self.build_prompt(node, include_neighbors=False)
+            floors.append(tokenizer.count(prompt) + completion_reserve)
+        floor_after = np.concatenate([np.cumsum(np.asarray(floors[::-1]))[::-1][1:], [0]])
+        if self.ledger.would_exceed(int(floors[0] + floor_after[0])):
+            raise RuntimeError(
+                f"token budget cannot cover the all-zero-shot floor of {len(nodes)} "
+                f"queries ({self.ledger.remaining:.0f} tokens left)"
+            )
+        result = RunResult()
+        for i, node in enumerate(nodes):
+            include = node not in pruned
+            if include:
+                prompt, _ = self.build_prompt(node, include_neighbors=True)
+                cost = tokenizer.count(prompt) + completion_reserve
+                if self.ledger.would_exceed(cost + int(floor_after[i])):
+                    include = False
+            result.add(self.execute_query(node, include_neighbors=include))
+        return result

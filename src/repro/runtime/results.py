@@ -1,0 +1,92 @@
+"""Execution records and aggregate results for multi-query runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.llm.pricing import PRICES_PER_1K_TOKENS, cost_usd
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """Outcome of one executed node query."""
+
+    node: int
+    true_label: int
+    predicted_label: int | None
+    prompt_tokens: int
+    completion_tokens: int
+    num_neighbors: int
+    num_neighbor_labels: int
+    num_pseudo_labels: int
+    pruned: bool = False
+    round_index: int | None = None
+    confidence: float | None = None
+
+    @property
+    def correct(self) -> bool:
+        return self.predicted_label is not None and self.predicted_label == self.true_label
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+
+@dataclass
+class RunResult:
+    """Aggregate of a multi-query execution."""
+
+    records: list[QueryRecord] = field(default_factory=list)
+
+    def add(self, record: QueryRecord) -> None:
+        self.records.append(record)
+
+    def extend(self, records: list[QueryRecord]) -> None:
+        self.records.extend(records)
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.records)
+
+    @property
+    def accuracy(self) -> float:
+        if not self.records:
+            raise ValueError("no records; accuracy is undefined")
+        return sum(r.correct for r in self.records) / len(self.records)
+
+    @property
+    def prompt_tokens(self) -> int:
+        return sum(r.prompt_tokens for r in self.records)
+
+    @property
+    def completion_tokens(self) -> int:
+        return sum(r.completion_tokens for r in self.records)
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+    @property
+    def queries_with_neighbors(self) -> int:
+        """How many queries carried neighbor text (Table VIII's cost proxy)."""
+        return sum(r.num_neighbors > 0 for r in self.records)
+
+    @property
+    def pseudo_label_uses(self) -> int:
+        """Total pseudo-labels consumed across prompts (Fig. 8's measure)."""
+        return sum(r.num_pseudo_labels for r in self.records)
+
+    @property
+    def num_rounds(self) -> int:
+        rounds = {r.round_index for r in self.records if r.round_index is not None}
+        return len(rounds)
+
+    def cost_usd(self, model: str) -> float:
+        """Dollar cost under ``model`` pricing (models without a price raise)."""
+        return cost_usd(model, self.prompt_tokens, self.completion_tokens)
+
+    def cost_usd_or_none(self, model: str) -> float | None:
+        """Like :meth:`cost_usd` but ``None`` for unpriced simulated models."""
+        if model.lower() not in PRICES_PER_1K_TOKENS:
+            return None
+        return self.cost_usd(model)

@@ -1,0 +1,22 @@
+"""Neighbor-selection methods of the "LLMs as predictors" paradigm.
+
+The benchmark methods the paper optimizes differ only in how they pick the
+up-to-``M`` neighbors whose text enters the prompt (paper Table I): vanilla
+zero-shot picks none, k-hop random samples within a hop range preferring
+labeled nodes, and SNS ranks labeled neighbors by text similarity.
+"""
+
+from repro.selection.base import NeighborSelector, SelectedNeighbor, VanillaSelector
+from repro.selection.random_khop import KHopRandomSelector
+from repro.selection.sns import SNSSelector
+from repro.selection.registry import METHOD_NAMES, make_selector
+
+__all__ = [
+    "NeighborSelector",
+    "SelectedNeighbor",
+    "VanillaSelector",
+    "KHopRandomSelector",
+    "SNSSelector",
+    "make_selector",
+    "METHOD_NAMES",
+]

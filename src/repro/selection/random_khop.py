@@ -1,0 +1,50 @@
+"""k-hop random neighbor selection (paper Table I / Sec. VI-A2).
+
+Neighbors are drawn from the k-hop neighborhood with a preference for
+labeled nodes: labeled candidates are sampled first (randomly among
+themselves), then unlabeled candidates fill the remaining slots, up to the
+per-prompt limit ``M``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.tag import TextAttributedGraph
+from repro.selection.base import NeighborSelector, SelectedNeighbor
+
+
+class KHopRandomSelector(NeighborSelector):
+    """Random selection within ``k`` hops, labeled neighbors first."""
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+
+    def select(
+        self,
+        graph: TextAttributedGraph,
+        node: int,
+        label_map: dict[int, int],
+        max_neighbors: int,
+        rng: np.random.Generator,
+    ) -> list[SelectedNeighbor]:
+        if max_neighbors < 0:
+            raise ValueError("max_neighbors must be >= 0")
+        if max_neighbors == 0:
+            return []
+        candidates = graph.k_hop(node, self.k)
+        if candidates.size == 0:
+            return []
+        labeled = [int(v) for v in candidates if v in label_map]
+        unlabeled = [int(v) for v in candidates if v not in label_map]
+        chosen: list[int] = []
+        if labeled:
+            take = min(max_neighbors, len(labeled))
+            chosen.extend(int(v) for v in rng.choice(labeled, size=take, replace=False))
+        remaining = max_neighbors - len(chosen)
+        if remaining > 0 and unlabeled:
+            take = min(remaining, len(unlabeled))
+            chosen.extend(int(v) for v in rng.choice(unlabeled, size=take, replace=False))
+        return self._attach_labels(chosen, label_map)

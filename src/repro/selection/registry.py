@@ -1,0 +1,28 @@
+"""Registry mapping the paper's method names to selector instances."""
+
+from __future__ import annotations
+
+from repro.selection.base import NeighborSelector, VanillaSelector
+from repro.selection.random_khop import KHopRandomSelector
+from repro.selection.sns import SNSSelector
+
+#: Method names in the paper's presentation order.
+METHOD_NAMES: tuple[str, ...] = ("vanilla", "1-hop", "2-hop", "sns")
+
+
+def make_selector(name: str) -> NeighborSelector:
+    """Create the selector for a benchmark method name.
+
+    Accepted names (case-insensitive): ``vanilla`` (zero-shot), ``1-hop``,
+    ``2-hop`` (random k-hop), and ``sns``.
+    """
+    key = name.lower().replace("_", "-")
+    if key in ("vanilla", "zero-shot", "vanilla-zero-shot"):
+        return VanillaSelector()
+    if key in ("1-hop", "1-hop-random", "1hop"):
+        return KHopRandomSelector(k=1)
+    if key in ("2-hop", "2-hop-random", "2hop"):
+        return KHopRandomSelector(k=2)
+    if key == "sns":
+        return SNSSelector()
+    raise ValueError(f"unknown method {name!r}; known: {METHOD_NAMES}")

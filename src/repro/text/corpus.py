@@ -1,0 +1,166 @@
+"""Synthesis of node text (titles and abstracts) for synthetic TAGs.
+
+Each node's text is a mixture of three word sources:
+
+* its **own class keywords**, with mixing weight proportional to the node's
+  *clarity* — the knob that makes a node saturated (text alone suffices) or
+  non-saturated;
+* **confuser keywords** from one other class, which create genuinely
+  ambiguous nodes (the hard cases where neighbor information helps);
+* **background words**, topic-neutral filler that pads the text to a
+  realistic length (and realistic token cost).
+
+Titles are short and denser in keywords than abstracts, matching how the
+paper's prompt templates use neighbor *titles* as cheap-but-informative cues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.text.vocabulary import ClassVocabulary
+
+
+@dataclass(frozen=True)
+class NodeText:
+    """Text attribute of one node: a title and an abstract."""
+
+    title: str
+    abstract: str
+
+    @property
+    def full(self) -> str:
+        return f"{self.title}. {self.abstract}"
+
+
+class TextSynthesizer:
+    """Generate titles/abstracts with controllable label signal.
+
+    Parameters
+    ----------
+    vocabulary:
+        The class/background vocabulary to draw words from.
+    title_words:
+        Mean number of words in a title.
+    abstract_words:
+        Mean number of words in an abstract.
+    title_keyword_density:
+        Fraction of title words that are keyword slots (the rest are
+        background) before clarity weighting.
+    abstract_keyword_density:
+        Same for abstracts; lower, since abstracts are mostly filler.
+    """
+
+    def __init__(
+        self,
+        vocabulary: ClassVocabulary,
+        title_words: int = 10,
+        abstract_words: int = 110,
+        title_keyword_density: float = 0.55,
+        abstract_keyword_density: float = 0.28,
+    ):
+        if title_words < 1 or abstract_words < 1:
+            raise ValueError("title/abstract lengths must be >= 1")
+        for name, value in (
+            ("title_keyword_density", title_keyword_density),
+            ("abstract_keyword_density", abstract_keyword_density),
+        ):
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1], got {value}")
+        self.vocabulary = vocabulary
+        self.title_words = title_words
+        self.abstract_words = abstract_words
+        self.title_keyword_density = title_keyword_density
+        self.abstract_keyword_density = abstract_keyword_density
+
+    def _keyword_pool(self, label: int, confuser: int, clarity: float, rng: np.random.Generator, n: int) -> list[str]:
+        """Draw ``n`` keyword-slot words: own-class w.p. ``clarity`` else confuser."""
+        vocab = self.vocabulary
+        own = vocab.class_words[label]
+        other = vocab.class_words[confuser]
+        own_mask = rng.random(n) < clarity
+        own_idx = rng.integers(len(own), size=n)
+        other_idx = rng.integers(len(other), size=n)
+        return [own[own_idx[i]] if own_mask[i] else other[other_idx[i]] for i in range(n)]
+
+    def _compose(
+        self,
+        label: int,
+        confuser: int,
+        clarity: float,
+        rng: np.random.Generator,
+        length: int,
+        keyword_density: float,
+    ) -> str:
+        n_keywords = max(1, int(round(length * keyword_density)))
+        n_background = max(0, length - n_keywords)
+        words = self._keyword_pool(label, confuser, clarity, rng, n_keywords)
+        background = self.vocabulary.background_words
+        bg_idx = rng.integers(len(background), size=n_background)
+        words.extend(background[i] for i in bg_idx)
+        rng.shuffle(words)
+        return " ".join(words)
+
+    def synthesize(
+        self,
+        label: int,
+        clarity: float,
+        rng: np.random.Generator,
+        length_jitter: float = 0.2,
+        title_clarity_shift: float = 0.0,
+        confuser: int | None = None,
+    ) -> NodeText:
+        """Generate one node's text.
+
+        Parameters
+        ----------
+        label:
+            Ground-truth class of the node.
+        clarity:
+            In ``[0, 1]``; probability that each keyword slot uses the node's
+            own class vocabulary instead of the confuser class.
+        rng:
+            Node-scoped generator (determinism is the caller's concern).
+        length_jitter:
+            Relative +/- range applied to the mean lengths.
+        title_clarity_shift:
+            Added to ``clarity`` for the *title only* (clamped to [0, 1]).
+            Domains like Pubmed/Ogbn-Arxiv have titles that index poorly onto
+            their fine-grained classes; a negative shift reproduces that, and
+            with it the paper's observation that neighbor titles can be noise.
+        confuser:
+            Class whose keywords fill the non-own keyword slots.  ``None``
+            draws a uniform other class; generators with sibling-confusion
+            structure pass a fixed related class instead (cs.AI texts confuse
+            toward cs.LG, not toward cs.OS).
+        """
+        if not 0.0 <= clarity <= 1.0:
+            raise ValueError(f"clarity must be in [0, 1], got {clarity}")
+        title_clarity = min(1.0, max(0.0, clarity + title_clarity_shift))
+        num_classes = self.vocabulary.num_classes
+        if not 0 <= label < num_classes:
+            raise ValueError(f"label {label} out of range for {num_classes} classes")
+        if confuser is None:
+            if num_classes == 1:
+                confuser = label
+            else:
+                confuser = int(rng.integers(num_classes - 1))
+                if confuser >= label:
+                    confuser += 1
+        elif not 0 <= confuser < num_classes:
+            raise ValueError(f"confuser {confuser} out of range for {num_classes} classes")
+
+        def jittered(mean: int) -> int:
+            low = max(1, int(mean * (1 - length_jitter)))
+            high = max(low + 1, int(mean * (1 + length_jitter)) + 1)
+            return int(rng.integers(low, high))
+
+        title = self._compose(
+            label, confuser, title_clarity, rng, jittered(self.title_words), self.title_keyword_density
+        )
+        abstract = self._compose(
+            label, confuser, clarity, rng, jittered(self.abstract_words), self.abstract_keyword_density
+        )
+        return NodeText(title=title, abstract=abstract)

@@ -1,0 +1,57 @@
+"""Cosine-similarity utilities (the SimCSE substitute for SNS ranking).
+
+The SNS neighbor selector [27] ranks candidate labeled neighbors by the
+similarity of their text to the query node's text.  The paper uses SimCSE
+embeddings; this module provides the same ranking primitive over any vector
+representation (TF-IDF by default in this repo).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity between two 1-D vectors (0.0 if either is zero)."""
+    a = np.asarray(a, dtype=float).ravel()
+    b = np.asarray(b, dtype=float).ravel()
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    na = np.linalg.norm(a)
+    nb = np.linalg.norm(b)
+    if na == 0.0 or nb == 0.0:
+        return 0.0
+    return float(a @ b / (na * nb))
+
+
+def pairwise_cosine(query: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+    """Cosine similarity of one query vector against rows of ``candidates``.
+
+    Zero rows (empty documents) get similarity 0.
+    """
+    query = np.asarray(query, dtype=float).ravel()
+    candidates = np.asarray(candidates, dtype=float)
+    if candidates.ndim != 2 or candidates.shape[1] != query.shape[0]:
+        raise ValueError(f"candidates must be (n, {query.shape[0]}), got {candidates.shape}")
+    qn = np.linalg.norm(query)
+    if qn == 0.0:
+        return np.zeros(candidates.shape[0])
+    cn = np.linalg.norm(candidates, axis=1)
+    sims = candidates @ query
+    out = np.zeros(candidates.shape[0])
+    nonzero = cn > 0
+    out[nonzero] = sims[nonzero] / (cn[nonzero] * qn)
+    return out
+
+
+def top_k_similar(query: np.ndarray, candidates: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` most similar candidate rows, best first.
+
+    Ties are broken by candidate index for determinism.  ``k`` larger than the
+    candidate count returns all candidates ranked.
+    """
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    sims = pairwise_cosine(query, candidates)
+    order = np.lexsort((np.arange(sims.shape[0]), -sims))
+    return order[:k]

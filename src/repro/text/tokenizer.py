@@ -1,0 +1,79 @@
+"""Deterministic tokenizer used for all token accounting.
+
+The paper budgets queries in GPT BPE tokens.  We cannot ship tiktoken in an
+offline build, so this module implements a small deterministic tokenizer with
+the same coarse behaviour: words are split on whitespace/punctuation,
+punctuation marks count as their own tokens, and long words are broken into
+sub-word pieces (real BPE splits rare long words into several tokens).  On
+English-like text this averages roughly four characters per token, matching
+the rule of thumb used for GPT models.
+"""
+
+from __future__ import annotations
+
+import re
+from functools import lru_cache
+
+_WORD_RE = re.compile(r"[A-Za-z0-9]+|[^\sA-Za-z0-9]")
+
+#: Maximum characters per sub-word piece.  Words longer than this are split
+#: into consecutive chunks, mimicking byte-pair encodings of rare words.
+_MAX_PIECE_LEN = 6
+
+
+class Tokenizer:
+    """Word/sub-word tokenizer with deterministic output.
+
+    Parameters
+    ----------
+    max_piece_len:
+        Longest sub-word piece emitted; longer alphanumeric runs are split
+        into consecutive chunks of at most this length.
+    lowercase:
+        Whether tokens are lower-cased (the default, since class-keyword
+        matching in the simulated LLM is case-insensitive).
+    """
+
+    def __init__(self, max_piece_len: int = _MAX_PIECE_LEN, lowercase: bool = True):
+        if max_piece_len < 1:
+            raise ValueError(f"max_piece_len must be >= 1, got {max_piece_len}")
+        self.max_piece_len = max_piece_len
+        self.lowercase = lowercase
+
+    def tokenize(self, text: str) -> list[str]:
+        """Split ``text`` into tokens (sub-word pieces and punctuation)."""
+        if self.lowercase:
+            text = text.lower()
+        tokens: list[str] = []
+        for match in _WORD_RE.finditer(text):
+            piece = match.group(0)
+            if len(piece) <= self.max_piece_len:
+                tokens.append(piece)
+            else:
+                for start in range(0, len(piece), self.max_piece_len):
+                    tokens.append(piece[start : start + self.max_piece_len])
+        return tokens
+
+    def words(self, text: str) -> list[str]:
+        """Split ``text`` into whole alphanumeric words (no sub-word pieces).
+
+        Used by the simulated LLM for vocabulary matching, where splitting a
+        keyword into pieces would destroy the match.
+        """
+        if self.lowercase:
+            text = text.lower()
+        return [m.group(0) for m in _WORD_RE.finditer(text) if m.group(0)[0].isalnum()]
+
+    def count(self, text: str) -> int:
+        """Number of tokens in ``text``."""
+        return len(self.tokenize(text))
+
+
+@lru_cache(maxsize=1)
+def _default_tokenizer() -> Tokenizer:
+    return Tokenizer()
+
+
+def count_tokens(text: str) -> int:
+    """Count tokens with the library-default :class:`Tokenizer`."""
+    return _default_tokenizer().count(text)

@@ -1,0 +1,5 @@
+"""Terminal visualization: ASCII bar charts, line plots, sparklines."""
+
+from repro.viz.ascii_charts import bar_chart, line_plot, sparkline
+
+__all__ = ["bar_chart", "line_plot", "sparkline"]

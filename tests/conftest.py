@@ -1,0 +1,84 @@
+"""Shared fixtures: a small, fast synthetic TAG plus wired engines.
+
+The ``tiny`` fixtures use a purpose-built 320-node graph (not a dataset
+replica) so unit tests run in milliseconds; the session scope means the
+graph is generated once per test run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import GeneratedTag, GeneratorConfig, generate_tag
+from repro.graph.splits import LabeledSplit, make_split
+from repro.llm.simulated import SimulatedLLM
+from repro.prompts.builder import PromptBuilder
+from repro.runtime.engine import MultiQueryEngine
+from repro.selection.registry import make_selector
+
+TINY_CLASSES = ("Alpha", "Beta", "Gamma", "Delta")
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> GeneratorConfig:
+    return GeneratorConfig(
+        class_names=TINY_CLASSES,
+        num_nodes=320,
+        num_edges=900,
+        homophily=0.8,
+        clear_fraction=0.6,
+        feature_dim=96,
+        title_words=8,
+        abstract_words=40,
+        name="tiny",
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_tag(tiny_config: GeneratorConfig) -> GeneratedTag:
+    return generate_tag(tiny_config, seed=42)
+
+
+@pytest.fixture(scope="session")
+def tiny_graph(tiny_tag: GeneratedTag):
+    return tiny_tag.graph
+
+
+@pytest.fixture(scope="session")
+def tiny_split(tiny_graph) -> LabeledSplit:
+    return make_split(tiny_graph, num_queries=80, labeled_per_class=10, seed=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_builder(tiny_graph) -> PromptBuilder:
+    return PromptBuilder(tiny_graph.class_names, "paper", "citation", "Abstract")
+
+
+@pytest.fixture()
+def tiny_llm(tiny_tag: GeneratedTag) -> SimulatedLLM:
+    return SimulatedLLM(tiny_tag.vocabulary, name="gpt-3.5", seed=5)
+
+
+@pytest.fixture()
+def make_tiny_engine(tiny_graph, tiny_split, tiny_builder, tiny_tag):
+    """Factory for fresh engines on the tiny graph."""
+
+    def factory(method: str = "1-hop", llm: SimulatedLLM | None = None, **kwargs) -> MultiQueryEngine:
+        return MultiQueryEngine(
+            graph=tiny_graph,
+            llm=llm or SimulatedLLM(tiny_tag.vocabulary, name="gpt-3.5", seed=5),
+            selector=make_selector(method),
+            builder=tiny_builder,
+            labeled=tiny_split.labeled,
+            max_neighbors=kwargs.pop("max_neighbors", 4),
+            seed=kwargs.pop("seed", 9),
+            **kwargs,
+        )
+
+    return factory
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

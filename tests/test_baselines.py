@@ -1,0 +1,95 @@
+"""Tests for baseline strategies (random pruning, random rounds)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime.baselines import random_prune_set, random_round_schedule
+
+
+class TestRandomPrune:
+    def test_size_matches_tau(self):
+        queries = np.arange(100)
+        assert len(random_prune_set(queries, 0.2)) == 20
+        assert len(random_prune_set(queries, 0.0)) == 0
+        assert len(random_prune_set(queries, 1.0)) == 100
+
+    def test_subset_of_queries(self):
+        queries = np.arange(50, 80)
+        pruned = random_prune_set(queries, 0.5)
+        assert pruned <= set(queries.tolist())
+
+    def test_deterministic_per_seed(self):
+        queries = np.arange(40)
+        assert random_prune_set(queries, 0.5, seed=1) == random_prune_set(queries, 0.5, seed=1)
+        assert random_prune_set(queries, 0.5, seed=1) != random_prune_set(queries, 0.5, seed=2)
+
+    def test_invalid_tau(self):
+        with pytest.raises(ValueError):
+            random_prune_set(np.arange(5), 1.2)
+
+
+class TestRandomRounds:
+    def test_partition(self):
+        queries = np.arange(53)
+        rounds = random_round_schedule(queries, 10, seed=0)
+        flat = np.concatenate(rounds)
+        assert sorted(flat.tolist()) == list(range(53))
+
+    def test_round_count(self):
+        rounds = random_round_schedule(np.arange(100), 10, seed=0)
+        assert len(rounds) == 10
+
+    def test_more_rounds_than_queries(self):
+        rounds = random_round_schedule(np.arange(3), 10, seed=0)
+        assert len(rounds) == 3
+        assert all(r.size == 1 for r in rounds)
+
+    def test_shuffled(self):
+        rounds = random_round_schedule(np.arange(100), 1, seed=0)
+        assert not np.array_equal(rounds[0], np.arange(100))
+
+    def test_invalid_rounds(self):
+        with pytest.raises(ValueError):
+            random_round_schedule(np.arange(5), 0)
+
+
+class TestUnscheduledBoosting:
+    def test_covers_all_queries(self, make_tiny_engine, tiny_split):
+        from repro.runtime.baselines import run_unscheduled_boosting
+
+        result = run_unscheduled_boosting(make_tiny_engine(), tiny_split.queries, num_rounds=8)
+        assert result.num_queries == tiny_split.num_queries
+        assert {r.node for r in result.records} == {int(v) for v in tiny_split.queries}
+
+    def test_pseudo_labels_published(self, make_tiny_engine, tiny_split):
+        from repro.runtime.baselines import run_unscheduled_boosting
+
+        engine = make_tiny_engine()
+        run_unscheduled_boosting(engine, tiny_split.queries, num_rounds=8)
+        assert len(engine.pseudo_labeled) == tiny_split.num_queries
+
+    def test_uses_pseudo_labels_across_rounds(self, make_tiny_engine, tiny_split):
+        from repro.runtime.baselines import run_unscheduled_boosting
+
+        result = run_unscheduled_boosting(
+            make_tiny_engine(method="2-hop"), tiny_split.queries, num_rounds=8
+        )
+        assert result.pseudo_label_uses > 0
+
+    def test_respects_prune_set(self, make_tiny_engine, tiny_split):
+        from repro.runtime.baselines import run_unscheduled_boosting
+
+        pruned = {int(v) for v in tiny_split.queries[:10]}
+        result = run_unscheduled_boosting(
+            make_tiny_engine(), tiny_split.queries, num_rounds=5, pruned=pruned
+        )
+        for record in result.records:
+            assert record.pruned == (record.node in pruned)
+
+    def test_round_indices_assigned(self, make_tiny_engine, tiny_split):
+        from repro.runtime.baselines import run_unscheduled_boosting
+
+        result = run_unscheduled_boosting(make_tiny_engine(), tiny_split.queries, num_rounds=8)
+        assert result.num_rounds == 8

@@ -1,0 +1,50 @@
+"""Tests for per-class bias profiles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.llm.bias import BiasProfile
+
+
+class TestGenerate:
+    def test_deterministic(self):
+        a = BiasProfile.generate(10, seed=1, model_name="m")
+        b = BiasProfile.generate(10, seed=1, model_name="m")
+        assert np.array_equal(a.penalties, b.penalties)
+
+    def test_models_differ(self):
+        a = BiasProfile.generate(10, seed=1, model_name="m1")
+        b = BiasProfile.generate(10, seed=1, model_name="m2")
+        assert not np.array_equal(a.penalties, b.penalties)
+
+    def test_weak_fraction_respected(self):
+        profile = BiasProfile.generate(20, seed=0, model_name="m", weak_fraction=0.25)
+        assert profile.penalized_classes().size == 5
+
+    def test_zero_fraction(self):
+        profile = BiasProfile.generate(10, seed=0, model_name="m", weak_fraction=0.0)
+        assert profile.penalized_classes().size == 0
+
+    def test_penalties_nonpositive(self):
+        profile = BiasProfile.generate(10, seed=0, model_name="m")
+        assert (profile.penalties <= 0).all()
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            BiasProfile.generate(0, seed=0, model_name="m")
+        with pytest.raises(ValueError):
+            BiasProfile.generate(5, seed=0, model_name="m", weak_fraction=2.0)
+        with pytest.raises(ValueError):
+            BiasProfile.generate(5, seed=0, model_name="m", penalty=-1.0)
+
+
+class TestValidation:
+    def test_positive_penalties_rejected(self):
+        with pytest.raises(ValueError):
+            BiasProfile(penalties=np.array([0.1, 0.0]))
+
+    def test_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            BiasProfile(penalties=np.zeros((2, 2)))

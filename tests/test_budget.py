@@ -1,0 +1,85 @@
+"""Tests for token-budget arithmetic (Sec. V-C1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.budget import BudgetLedger, budget_for_tau, tau_for_budget
+
+
+class TestTauForBudget:
+    def test_full_budget_needs_no_pruning(self):
+        assert tau_for_budget(100, 500, 200, budget=50_000) == 0.0
+
+    def test_exact_interior_point(self):
+        # 100 queries, full 500, neighbor 200: pruning half saves 100*200*0.5
+        budget = 100 * 500 - 0.5 * 100 * 200
+        assert tau_for_budget(100, 500, 200, budget) == pytest.approx(0.5)
+
+    def test_minimum_feasible_budget(self):
+        budget = 100 * (500 - 200)
+        assert tau_for_budget(100, 500, 200, budget) == pytest.approx(1.0)
+
+    def test_infeasible_budget_raises(self):
+        with pytest.raises(ValueError, match="below the fully-pruned cost"):
+            tau_for_budget(100, 500, 200, budget=100 * 300 - 1)
+
+    def test_invalid_costs(self):
+        with pytest.raises(ValueError):
+            tau_for_budget(100, 500, 600, budget=1)  # neighbor >= full
+        with pytest.raises(ValueError):
+            tau_for_budget(0, 500, 200, budget=1)
+
+    @given(
+        st.integers(min_value=1, max_value=10_000),
+        st.floats(min_value=10, max_value=5_000),
+        st.floats(min_value=0.01, max_value=0.99),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_roundtrip(self, n, full, neighbor_share, tau):
+        """budget_for_tau and tau_for_budget are inverse on feasible inputs."""
+        neighbor = full * neighbor_share
+        budget = budget_for_tau(n, full, neighbor, tau)
+        recovered = tau_for_budget(n, full, neighbor, budget)
+        assert recovered == pytest.approx(tau, abs=1e-6)
+
+    @given(
+        st.integers(min_value=1, max_value=10_000),
+        st.floats(min_value=10, max_value=5_000),
+        st.floats(min_value=0.01, max_value=0.99),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_budget_monotone_decreasing_in_tau(self, n, full, neighbor_share, tau):
+        neighbor = full * neighbor_share
+        assert budget_for_tau(n, full, neighbor, tau) <= budget_for_tau(n, full, neighbor, 0.0)
+
+
+class TestBudgetLedger:
+    def test_unlimited_by_default(self):
+        ledger = BudgetLedger()
+        assert not ledger.would_exceed(10**12)
+        assert ledger.remaining == float("inf")
+
+    def test_charging_accumulates(self):
+        ledger = BudgetLedger(budget=100)
+        ledger.charge(40)
+        ledger.charge(30)
+        assert ledger.spent == 70
+        assert ledger.charges == 2
+        assert ledger.remaining == 30
+
+    def test_would_exceed(self):
+        ledger = BudgetLedger(budget=100)
+        ledger.charge(90)
+        assert ledger.would_exceed(11)
+        assert not ledger.would_exceed(10)
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            BudgetLedger(budget=0)
+
+    def test_negative_charge(self):
+        with pytest.raises(ValueError):
+            BudgetLedger().charge(-1)

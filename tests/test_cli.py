@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_experiments(self):
+        args = build_parser().parse_args(["experiment", "table4"])
+        assert args.name == "table4"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table99"])
+
+    def test_classify_defaults(self):
+        args = build_parser().parse_args(["classify"])
+        assert args.dataset == "cora"
+        assert args.strategy == "none"
+        assert args.tau == 0.2
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "cora" in out and "2,449,029" in out
+
+    def test_prices(self, capsys):
+        assert main(["prices"]) == 0
+        out = capsys.readouterr().out
+        assert "gpt-3.5" in out and "$0.00050" in out
+
+    def test_info_small_scale(self, capsys):
+        assert main(["info", "cora", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "edge homophily" in out
+        assert "cora replica" in out
+
+    def test_classify_quick(self, capsys, tmp_path):
+        run_path = tmp_path / "run.json"
+        csv_path = tmp_path / "run.csv"
+        code = main(
+            [
+                "classify",
+                "--dataset", "cora",
+                "--scale", "0.15",
+                "--queries", "30",
+                "--strategy", "none",
+                "--save-run", str(run_path),
+                "--csv", str(csv_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+        assert run_path.exists() and csv_path.exists()
+
+    def test_classify_joint_quick(self, capsys):
+        code = main(
+            [
+                "classify",
+                "--dataset", "cora",
+                "--scale", "0.15",
+                "--queries", "30",
+                "--strategy", "joint",
+            ]
+        )
+        assert code == 0
+        assert "w/ N_i" in capsys.readouterr().out

@@ -1,0 +1,82 @@
+"""Tests for response confidence and confidence-filtered boosting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.boosting import QueryBoostingStrategy
+from repro.llm.simulated import SimulatedLLM
+from repro.prompts.builder import PromptBuilder
+from repro.text.vocabulary import ClassVocabulary
+
+
+@pytest.fixture(scope="module")
+def vocab() -> ClassVocabulary:
+    return ClassVocabulary.build(["A", "B"], seed=4, words_per_class=30)
+
+
+class TestResponseConfidence:
+    def test_confidence_in_unit_interval(self, vocab):
+        llm = SimulatedLLM(vocab, seed=0)
+        builder = PromptBuilder(["A", "B"])
+        response = llm.complete(builder.zero_shot("t", " ".join(vocab.class_words[0][:10])))
+        assert response.confidence is not None
+        assert 0.0 < response.confidence <= 1.0
+
+    def test_clear_text_more_confident_than_mixed(self, vocab):
+        llm = SimulatedLLM(vocab, seed=0, noise_scale=0.05)
+        builder = PromptBuilder(["A", "B"])
+        clear = llm.complete(builder.zero_shot("t1", " ".join(vocab.class_words[0][:20])))
+        mixed_text = " ".join(vocab.class_words[0][:10] + vocab.class_words[1][:10])
+        mixed = llm.complete(builder.zero_shot("t2", mixed_text))
+        assert clear.confidence > mixed.confidence
+
+    def test_unknown_categories_have_no_confidence(self, vocab):
+        llm = SimulatedLLM(vocab, seed=0)
+        prompt = (
+            "Target paper: Title: t\nAbstract: a\n"
+            "Task:\nCategories:\n[X, Y]\nWhich category does the target paper belong to?\n"
+            "Please output the most likely category as a Python list: Category: ['XX']."
+        )
+        assert llm.complete(prompt).confidence is None
+
+    def test_engine_records_confidence(self, make_tiny_engine, tiny_split):
+        engine = make_tiny_engine()
+        record = engine.execute_query(int(tiny_split.queries[0]))
+        assert record.confidence is not None
+        assert 0.0 < record.confidence <= 1.0
+
+
+class TestConfidenceFilteredBoosting:
+    def test_threshold_withholds_uncertain_pseudo_labels(self, make_tiny_engine, tiny_split):
+        strict = make_tiny_engine()
+        QueryBoostingStrategy(min_pseudo_confidence=0.99999).execute(strict, tiny_split.queries)
+        permissive = make_tiny_engine()
+        QueryBoostingStrategy(min_pseudo_confidence=None).execute(permissive, tiny_split.queries)
+        assert len(strict.pseudo_labeled) < len(permissive.pseudo_labeled)
+        assert len(permissive.pseudo_labeled) == tiny_split.num_queries
+
+    def test_all_queries_still_executed(self, make_tiny_engine, tiny_split):
+        result = QueryBoostingStrategy(min_pseudo_confidence=0.9).execute(
+            make_tiny_engine(), tiny_split.queries
+        )
+        assert result.run.num_queries == tiny_split.num_queries
+
+    def test_published_pseudo_labels_are_more_accurate(self, make_tiny_engine, tiny_split):
+        """The extension's premise: confident pseudo-labels are better."""
+        engine = make_tiny_engine()
+        result = QueryBoostingStrategy(min_pseudo_confidence=0.8).execute(
+            engine, tiny_split.queries
+        )
+        published = engine.pseudo_labeled
+        records = {r.node: r for r in result.run.records}
+        pub_acc = np.mean([records[n].correct for n in published])
+        withheld = [n for n in records if n not in published]
+        if withheld:
+            withheld_acc = np.mean([records[n].correct for n in withheld])
+            assert pub_acc >= withheld_acc
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            QueryBoostingStrategy(min_pseudo_confidence=1.5)

@@ -1,0 +1,75 @@
+"""Tests for k-fold cross-validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.crossval import cross_val_proba, kfold_indices
+from repro.ml.mlp import MLPClassifier
+
+
+class TestKFoldIndices:
+    def test_covers_all_indices_once(self):
+        folds = kfold_indices(17, 3, seed=0)
+        all_test = np.concatenate([test for _, test in folds])
+        assert sorted(all_test.tolist()) == list(range(17))
+
+    def test_train_test_disjoint_and_complete(self):
+        for train, test in kfold_indices(20, 4, seed=1):
+            assert np.intersect1d(train, test).size == 0
+            assert len(train) + len(test) == 20
+
+    def test_fold_sizes_balanced(self):
+        folds = kfold_indices(10, 3, seed=2)
+        sizes = sorted(len(test) for _, test in folds)
+        assert sizes == [3, 3, 4]
+
+    def test_deterministic(self):
+        a = kfold_indices(15, 3, seed=5)
+        b = kfold_indices(15, 3, seed=5)
+        for (ta, sa), (tb, sb) in zip(a, b):
+            assert np.array_equal(ta, tb) and np.array_equal(sa, sb)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            kfold_indices(5, 1)
+        with pytest.raises(ValueError):
+            kfold_indices(3, 4)
+
+
+class TestCrossValProba:
+    def test_shape_and_rows_sum(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(30, 4))
+        y = rng.integers(0, 3, size=30)
+        probs = cross_val_proba(MLPClassifier(epochs=10), x, y, num_classes=3, k=3, seed=0)
+        assert probs.shape == (30, 3)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_model_not_mutated(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(12, 2))
+        y = rng.integers(0, 2, size=12)
+        template = MLPClassifier(epochs=5)
+        cross_val_proba(template, x, y, num_classes=2, k=3, seed=0)
+        assert template.weights_ is None
+
+    def test_out_of_fold_probs_differ_from_in_sample(self):
+        """Held-out probabilities should be less confident than in-sample."""
+        rng = np.random.default_rng(2)
+        # Memorizable noise: in-sample fit should be confident, CV should not.
+        x = rng.normal(size=(30, 8))
+        y = rng.integers(0, 2, size=30)
+        model = MLPClassifier(hidden_sizes=(32,), epochs=300, learning_rate=0.05)
+        cv = cross_val_proba(model, x, y, num_classes=2, k=3, seed=0)
+        fitted = model.clone()
+        fitted.fit(x, y, num_classes=2)
+        in_sample = fitted.predict_proba(x)
+        cv_conf = cv[np.arange(30), y].mean()
+        in_conf = in_sample[np.arange(30), y].mean()
+        assert cv_conf < in_conf
+
+    def test_misaligned(self):
+        with pytest.raises(ValueError):
+            cross_val_proba(MLPClassifier(), np.ones((3, 2)), np.ones(4, dtype=int), 2)

@@ -1,0 +1,87 @@
+"""Tests for the dataset replica registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.datasets import (
+    DATASET_SPECS,
+    dataset_names,
+    get_spec,
+    load_dataset,
+)
+
+
+class TestRegistry:
+    def test_five_datasets(self):
+        assert dataset_names() == ["cora", "citeseer", "pubmed", "ogbn-arxiv", "ogbn-products"]
+
+    def test_get_spec_case_insensitive(self):
+        assert get_spec("CORA").name == "cora"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            get_spec("imaginary")
+
+    def test_table2_statistics(self):
+        """Full-scale statistics must match the paper's Table II exactly."""
+        expected = {
+            "cora": (2_708, 5_429, 1_433, 7),
+            "citeseer": (3_186, 4_277, 500, 6),
+            "pubmed": (19_717, 44_338, 384, 3),
+            "ogbn-arxiv": (169_343, 1_166_243, 128, 40),
+            "ogbn-products": (2_449_029, 61_859_140, 100, 47),
+        }
+        for name, (nodes, edges, feats, classes) in expected.items():
+            spec = get_spec(name)
+            assert spec.full_num_nodes == nodes
+            assert spec.full_num_edges == edges
+            assert spec.feature_dim == feats
+            assert spec.num_classes == classes
+
+    def test_node_types(self):
+        assert get_spec("ogbn-products").node_type == "Product"
+        assert get_spec("cora").node_type == "Paper"
+
+    def test_class_names_unique(self):
+        for spec in DATASET_SPECS.values():
+            assert len(set(spec.class_names)) == len(spec.class_names)
+
+
+class TestScaling:
+    def test_scaled_nodes_proportional(self):
+        spec = get_spec("ogbn-arxiv")
+        assert spec.scaled_nodes(0.1) == pytest.approx(16_934, abs=1)
+
+    def test_scaled_edges_preserve_avg_degree(self):
+        spec = get_spec("ogbn-products")
+        scale = 0.01
+        nodes = spec.scaled_nodes(scale)
+        edges = spec.scaled_edges(scale)
+        real_avg = 2 * spec.full_num_edges / spec.full_num_nodes
+        assert 2 * edges / nodes == pytest.approx(real_avg, rel=0.01)
+
+    def test_minimum_nodes_floor(self):
+        spec = get_spec("cora")
+        assert spec.scaled_nodes(1e-9) >= spec.num_classes * 4
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            get_spec("cora").generator_config(scale=0.0)
+
+
+class TestLoadDataset:
+    def test_load_small_scale(self):
+        tag = load_dataset("cora", scale=0.1, seed=0)
+        assert tag.graph.num_nodes == get_spec("cora").scaled_nodes(0.1)
+        assert tag.graph.num_classes == 7
+
+    def test_cached(self):
+        a = load_dataset("cora", scale=0.1, seed=0)
+        b = load_dataset("cora", scale=0.1, seed=0)
+        assert a is b
+
+    def test_different_seed_not_cached_together(self):
+        a = load_dataset("cora", scale=0.1, seed=0)
+        b = load_dataset("cora", scale=0.1, seed=1)
+        assert a is not b

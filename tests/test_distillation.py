@@ -1,0 +1,38 @@
+"""Tests for the label-free distillation extension."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.distillation import (
+    DistillationRow,
+    format_distillation,
+    run_distillation,
+)
+
+
+class TestDistillationRow:
+    def test_gap(self):
+        row = DistillationRow("x", 70.0, 90.0, 85.0, 86.0, 20.0)
+        assert row.gap_to_supervised == -5.0
+
+
+class TestRunDistillation:
+    def test_small_scale_shapes(self):
+        result = run_distillation(
+            datasets=("cora",), num_queries=120, holdout_size=80, scale=0.3
+        )
+        row = result.rows[0]
+        assert 0 <= row.pseudo_label_accuracy <= 100
+        assert row.label_free_gcn > row.majority_baseline
+        out = format_distillation(result)
+        assert "label-free" in out and "cora" in out
+
+    def test_holdout_disjoint(self):
+        from repro.experiments.common import load_setup
+        from repro.experiments.distillation import _holdout
+
+        setup = load_setup("cora", num_queries=100, scale=0.3)
+        holdout = _holdout(setup, 50)
+        assert np.intersect1d(holdout, setup.split.labeled).size == 0
+        assert np.intersect1d(holdout, setup.queries).size == 0

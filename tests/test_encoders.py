@@ -1,0 +1,105 @@
+"""Tests for text encoders (BoW, TF-IDF, hashing)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.encoders import BagOfWordsEncoder, HashingEncoder, TfidfEncoder
+
+DOCS = [
+    "graph mining with llms",
+    "llms for graph tasks",
+    "token pruning saves tokens",
+    "query boosting uses pseudo labels",
+]
+
+
+class TestBagOfWords:
+    def test_shape_and_dtype(self):
+        x = BagOfWordsEncoder(dim=16).fit_transform(DOCS)
+        assert x.shape == (4, 16) and x.dtype == np.float32
+
+    def test_binary_entries(self):
+        x = BagOfWordsEncoder(dim=16, binary=True).fit_transform(["a a a b"])
+        assert set(np.unique(x)) <= {0.0, 1.0}
+
+    def test_count_mode(self):
+        enc = BagOfWordsEncoder(dim=4, binary=False).fit(["a a a b"])
+        x = enc.transform(["a a b"])
+        assert x[0, enc.vocabulary_["a"]] == 2.0
+
+    def test_unknown_words_ignored(self):
+        enc = BagOfWordsEncoder(dim=8).fit(DOCS)
+        x = enc.transform(["entirely novel vocabulary"])
+        assert x.sum() == 0
+
+    def test_vocabulary_truncated_to_dim(self):
+        enc = BagOfWordsEncoder(dim=3).fit(DOCS)
+        assert len(enc.vocabulary_) == 3
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            BagOfWordsEncoder(dim=4).transform(DOCS)
+
+    def test_deterministic_vocab(self):
+        a = BagOfWordsEncoder(dim=8).fit(DOCS).vocabulary_
+        b = BagOfWordsEncoder(dim=8).fit(DOCS).vocabulary_
+        assert a == b
+
+
+class TestTfidf:
+    def test_rows_are_unit_norm(self):
+        x = TfidfEncoder(dim=16).fit_transform(DOCS)
+        norms = np.linalg.norm(x, axis=1)
+        assert np.allclose(norms[norms > 0], 1.0, atol=1e-5)
+
+    def test_rare_words_weigh_more(self):
+        docs = ["common rare", "common", "common", "common"]
+        enc = TfidfEncoder(dim=4).fit(docs)
+        x = enc.transform(["common rare"])
+        assert x[0, enc.vocabulary_["rare"]] > x[0, enc.vocabulary_["common"]]
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            TfidfEncoder(dim=4).transform(DOCS)
+
+
+class TestHashing:
+    def test_stateless_fit(self):
+        enc = HashingEncoder(dim=32)
+        assert enc.fit(DOCS) is enc
+
+    def test_deterministic(self):
+        a = HashingEncoder(dim=32).transform(DOCS)
+        b = HashingEncoder(dim=32).transform(DOCS)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_hashing(self):
+        a = HashingEncoder(dim=32, seed=0).transform(DOCS)
+        b = HashingEncoder(dim=32, seed=1).transform(DOCS)
+        assert not np.array_equal(a, b)
+
+    def test_rows_unit_norm(self):
+        x = HashingEncoder(dim=32).transform(DOCS)
+        norms = np.linalg.norm(x, axis=1)
+        assert np.allclose(norms[norms > 0], 1.0, atol=1e-5)
+
+    @given(st.integers(min_value=1, max_value=64))
+    def test_any_dim_works(self, dim):
+        x = HashingEncoder(dim=dim).transform(["a b c"])
+        assert x.shape == (1, dim)
+
+
+@pytest.mark.parametrize("encoder_cls", [BagOfWordsEncoder, TfidfEncoder, HashingEncoder])
+class TestCommonBehaviour:
+    def test_rejects_nonpositive_dim(self, encoder_cls):
+        with pytest.raises(ValueError):
+            encoder_cls(dim=0)
+
+    def test_empty_documents(self, encoder_cls):
+        x = encoder_cls(dim=8).fit_transform(["", ""])
+        assert x.shape == (2, 8)
+        assert x.sum() == 0

@@ -1,0 +1,136 @@
+"""Tests for the multi-query execution engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.budget import BudgetLedger
+
+
+class TestLabelState:
+    def test_initial_labels_are_gold(self, make_tiny_engine, tiny_graph, tiny_split):
+        engine = make_tiny_engine()
+        for v in tiny_split.labeled:
+            assert engine.label_map[int(v)] == int(tiny_graph.labels[int(v)])
+
+    def test_add_pseudo_label(self, make_tiny_engine, tiny_split):
+        engine = make_tiny_engine()
+        node = int(tiny_split.queries[0])
+        engine.add_pseudo_label(node, 1)
+        assert engine.label_map[node] == 1
+        assert node in engine.pseudo_labeled
+
+    def test_cannot_overwrite(self, make_tiny_engine, tiny_split):
+        engine = make_tiny_engine()
+        node = int(tiny_split.labeled[0])
+        with pytest.raises(ValueError, match="already has a label"):
+            engine.add_pseudo_label(node, 0)
+
+    def test_label_out_of_range(self, make_tiny_engine, tiny_split):
+        engine = make_tiny_engine()
+        with pytest.raises(ValueError, match="out of range"):
+            engine.add_pseudo_label(int(tiny_split.queries[0]), 99)
+
+
+class TestSelection:
+    def test_per_node_sampling_is_stable(self, make_tiny_engine, tiny_split):
+        engine = make_tiny_engine()
+        node = int(tiny_split.queries[0])
+        assert engine.select_neighbors(node) == engine.select_neighbors(node)
+
+    def test_selection_refreshes_with_labels(self, make_tiny_engine, tiny_graph, tiny_split):
+        engine = make_tiny_engine(method="1-hop")
+        # Find a query with an unlabeled neighbor that is also a query node.
+        target, neighbor = None, None
+        queries = set(int(v) for v in tiny_split.queries)
+        for q in tiny_split.queries:
+            for v in tiny_graph.neighbors(int(q)):
+                if int(v) in queries and int(v) != int(q):
+                    target, neighbor = int(q), int(v)
+                    break
+            if target is not None:
+                break
+        assert target is not None, "fixture graph should connect some queries"
+        engine.add_pseudo_label(neighbor, 2)
+        selected = engine.select_neighbors(target)
+        labels = {sn.node: sn.label for sn in selected}
+        if neighbor in labels:  # selector prefers labeled, so this holds
+            assert labels[neighbor] == 2
+
+
+class TestExecution:
+    def test_record_fields(self, make_tiny_engine, tiny_graph, tiny_split):
+        engine = make_tiny_engine()
+        node = int(tiny_split.queries[0])
+        record = engine.execute_query(node)
+        assert record.node == node
+        assert record.true_label == int(tiny_graph.labels[node])
+        assert record.prompt_tokens > 0
+        assert record.completion_tokens > 0
+        assert not record.pruned
+
+    def test_pruned_query_has_no_neighbors(self, make_tiny_engine, tiny_split):
+        engine = make_tiny_engine()
+        record = engine.execute_query(int(tiny_split.queries[0]), include_neighbors=False)
+        assert record.num_neighbors == 0
+        assert record.pruned
+
+    def test_pruned_prompt_is_cheaper(self, make_tiny_engine, tiny_split):
+        engine = make_tiny_engine()
+        # Pick a query with at least one neighbor selected.
+        for q in tiny_split.queries:
+            full, selected = engine.build_prompt(int(q), include_neighbors=True)
+            if selected:
+                bare, _ = engine.build_prompt(int(q), include_neighbors=False)
+                assert len(full) > len(bare)
+                return
+        pytest.fail("no query with neighbors found")
+
+    def test_run_covers_all_queries(self, make_tiny_engine, tiny_split):
+        engine = make_tiny_engine()
+        result = engine.run(tiny_split.queries[:20])
+        assert result.num_queries == 20
+        assert {r.node for r in result.records} == {int(v) for v in tiny_split.queries[:20]}
+
+    def test_run_respects_prune_set(self, make_tiny_engine, tiny_split):
+        engine = make_tiny_engine()
+        pruned = {int(tiny_split.queries[0]), int(tiny_split.queries[3])}
+        result = engine.run(tiny_split.queries[:5], pruned=pruned)
+        for record in result.records:
+            assert record.pruned == (record.node in pruned)
+
+    def test_ledger_charged(self, make_tiny_engine, tiny_split):
+        ledger = BudgetLedger()
+        engine = make_tiny_engine(ledger=ledger)
+        result = engine.run(tiny_split.queries[:5])
+        assert ledger.spent == result.total_tokens
+        assert ledger.charges == 5
+
+    def test_accuracy_reasonable_on_tiny_graph(self, make_tiny_engine, tiny_split):
+        engine = make_tiny_engine()
+        result = engine.run(tiny_split.queries)
+        assert result.accuracy > 0.5  # far above the 25% random baseline
+
+    def test_pseudo_label_use_counted(self, make_tiny_engine, tiny_graph, tiny_split):
+        engine = make_tiny_engine(method="1-hop")
+        queries = set(int(v) for v in tiny_split.queries)
+        target, neighbor = None, None
+        for q in tiny_split.queries:
+            for v in tiny_graph.neighbors(int(q)):
+                if int(v) in queries and int(v) != int(q):
+                    target, neighbor = int(q), int(v)
+                    break
+            if target:
+                break
+        engine.add_pseudo_label(neighbor, 0)
+        record = engine.execute_query(target)
+        selected = {sn.node for sn in engine.select_neighbors(target)}
+        if neighbor in selected:
+            assert record.num_pseudo_labels >= 1
+
+
+class TestValidation:
+    def test_negative_max_neighbors(self, make_tiny_engine):
+        with pytest.raises(ValueError):
+            make_tiny_engine(max_neighbors=-1)

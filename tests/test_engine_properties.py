@@ -1,0 +1,50 @@
+"""Property-based tests on engine-level invariants."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.baselines import random_prune_set
+
+
+class TestEngineInvariants:
+    @given(st.integers(min_value=1, max_value=30))
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_prompt_tokens_positive_and_pruning_cheaper(
+        self, make_tiny_engine, tiny_split, n
+    ):
+        engine = make_tiny_engine()
+        queries = tiny_split.queries[:n]
+        result = engine.run(queries)
+        assert all(r.prompt_tokens > 0 for r in result.records)
+        assert all(r.completion_tokens > 0 for r in result.records)
+        pruned_engine = make_tiny_engine()
+        pruned = pruned_engine.run(queries, pruned={int(v) for v in queries})
+        assert pruned.total_tokens <= result.total_tokens
+
+    @given(st.floats(min_value=0, max_value=1))
+    @settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_random_prune_respects_tau_everywhere(self, make_tiny_engine, tiny_split, tau):
+        queries = tiny_split.queries
+        pruned_set = random_prune_set(queries, tau, seed=1)
+        engine = make_tiny_engine()
+        result = engine.run(queries[:20], pruned=pruned_set)
+        for record in result.records:
+            assert record.pruned == (record.node in pruned_set)
+            if record.pruned:
+                assert record.num_neighbors == 0
+
+    def test_usage_matches_records(self, make_tiny_engine, tiny_split):
+        engine = make_tiny_engine()
+        result = engine.run(tiny_split.queries[:25])
+        assert engine.llm.usage.prompt_tokens == result.prompt_tokens
+        assert engine.llm.usage.completion_tokens == result.completion_tokens
+        assert engine.llm.usage.num_queries == result.num_queries
+
+    def test_record_neighbor_label_counts_consistent(self, make_tiny_engine, tiny_split):
+        engine = make_tiny_engine(method="2-hop")
+        result = engine.run(tiny_split.queries[:30])
+        for record in result.records:
+            assert 0 <= record.num_neighbor_labels <= record.num_neighbors <= 4
+            assert record.num_pseudo_labels <= record.num_neighbor_labels

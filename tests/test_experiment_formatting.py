@@ -1,0 +1,91 @@
+"""Unit tests for experiment result objects and their formatting.
+
+These cover the pure-python surfaces of the experiment modules (dataclasses,
+accessors, table renderers) without running any LLM workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig7 import Fig7Result, Fig7Series
+from repro.experiments.fig8 import Fig8Cell, Fig8Result
+from repro.experiments.table4 import Table4Cell, Table4Result, format_table4
+from repro.experiments.table7 import Table7Cell, Table7Result, format_table7
+from repro.experiments.table9 import Table9Result, Table9Row, format_table9
+
+
+class TestTable4Objects:
+    def test_delta_percent(self):
+        cell = Table4Cell("cora", "1-hop", base_accuracy=80.0, pruned_accuracy=78.0)
+        assert cell.delta_percent == pytest.approx(-2.5)
+
+    def test_cell_lookup(self):
+        result = Table4Result([Table4Cell("cora", "sns", 80.0, 80.4)], tau=0.2)
+        assert result.cell("cora", "sns").pruned_accuracy == 80.4
+        with pytest.raises(KeyError):
+            result.cell("cora", "1-hop")
+
+    def test_format_shows_all_rows(self):
+        result = Table4Result(
+            [
+                Table4Cell("cora", "1-hop", 72.3, 72.5),
+                Table4Cell("pubmed", "1-hop", 87.4, 88.9),
+            ],
+            tau=0.2,
+        )
+        out = format_table4(result)
+        assert "w/ token prune" in out and "Δ%" in out
+        assert "cora" in out and "pubmed" in out
+        assert "+0.28%" in out  # cora delta
+        assert "20%" in out  # tau in the title
+
+
+class TestFig7Objects:
+    def test_series_lookup(self):
+        series = Fig7Series("cora", (1.0, 0.0), [70.0, 68.0], [70.0, 68.0])
+        result = Fig7Result([series])
+        assert result.for_dataset("cora") is series
+        with pytest.raises(KeyError):
+            result.for_dataset("pubmed")
+
+
+class TestFig8Objects:
+    def test_ratio(self):
+        cell = Fig8Cell("cora", 1, 4, utilization_scheduled=200, utilization_random=100)
+        assert cell.ratio == 2.0
+
+    def test_ratio_zero_random(self):
+        assert Fig8Cell("x", 1, 4, 10, 0).ratio == float("inf")
+        assert Fig8Cell("x", 1, 4, 0, 0).ratio == 1.0
+
+    def test_cell_lookup(self):
+        result = Fig8Result([Fig8Cell("cora", 2, 10, 5, 4)])
+        assert result.cell("cora", 2, 10).utilization_scheduled == 5
+        with pytest.raises(KeyError):
+            result.cell("cora", 1, 4)
+
+
+class TestTable7Objects:
+    def test_gain_and_improved(self):
+        cell = Table7Cell("cora", "sns", "gpt-3.5", base_accuracy=74.8, boosted_accuracy=76.3)
+        assert cell.improved
+        assert cell.gain == pytest.approx(1.5)
+
+    def test_format_marks_improvements(self):
+        result = Table7Result(
+            [Table7Cell("cora", "sns", "gpt-3.5", 74.8, 76.3)], gamma1=3, gamma2=2
+        )
+        out = format_table7(result)
+        assert "76.3^" in out
+
+
+class TestTable9Objects:
+    def test_row_lookup_and_format(self):
+        row = Table9Row("1-hop, w/ raw, no path", 84.2, 85.8, 78.6, 83.1, 84.2)
+        result = Table9Result([row], tau=0.3)
+        assert result.row("1-hop, w/ raw, no path").boost == 85.8
+        with pytest.raises(KeyError):
+            result.row("nonexistent")
+        out = format_table9(result)
+        assert "w/ random" in out and "30%" in out

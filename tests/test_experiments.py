@@ -1,0 +1,137 @@
+"""Integration tests: every table/figure runner executes at reduced scale.
+
+These run the real experiment code paths end-to-end on small query samples
+(the benchmarks run them at paper scale) and assert the *shape* claims each
+paper artifact makes, not exact numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig3, fig7, fig8, table4, table5, table6, table7, table8, table9, table10
+
+SMALL = dict(num_queries=120)
+SCALED = dict(num_queries=120, scale=0.15)
+
+
+class TestFig3:
+    def test_runs_and_formats(self):
+        result = fig3.run_fig3(datasets=("cora",), methods=("1-hop",), **SMALL)
+        out = fig3.format_fig3(result)
+        assert "cora" in out
+        cell = result.cells[0]
+        assert 0 <= cell.share_with_labels <= 100
+        assert cell.share_with_labels + cell.share_without_labels == pytest.approx(100.0)
+
+    def test_labeled_group_gains_more(self):
+        result = fig3.run_fig3(datasets=("cora",), methods=("2-hop",), num_queries=300)
+        cell = result.cells[0]
+        assert cell.ig_with_labels >= cell.ig_without_labels
+
+
+class TestTable4:
+    def test_prune_changes_are_small(self):
+        result = table4.run_table4(datasets=("cora",), methods=("1-hop",), num_queries=250)
+        cell = result.cells[0]
+        assert abs(cell.delta_percent) < 6.0
+        assert "Table IV" in table4.format_table4(result)
+
+
+class TestFig7:
+    def test_pruning_dominates_random(self):
+        result = fig7.run_fig7(datasets=("cora",), inclusion_levels=(0.6, 0.2), num_queries=250)
+        series = result.for_dataset("cora")
+        # At interior budgets the inadequacy ranking should not lose to random.
+        for ours, rand in zip(series.pruning_accuracy, series.random_accuracy):
+            assert ours >= rand - 1.5
+        assert "Fig. 7" in fig7.format_fig7(result)
+
+    def test_endpoints_match_plain_runs(self):
+        result = fig7.run_fig7(datasets=("cora",), inclusion_levels=(1.0, 0.0), num_queries=120)
+        series = result.for_dataset("cora")
+        # 100% inclusion: both strategies identical (no pruning at all).
+        assert series.pruning_accuracy[0] == pytest.approx(series.random_accuracy[0])
+        # 0% inclusion: everything pruned, again identical.
+        assert series.pruning_accuracy[1] == pytest.approx(series.random_accuracy[1])
+
+
+class TestTable5:
+    def test_reducible_tokens_scale_with_config(self):
+        result = table5.run_table5(datasets=("cora",), num_queries=120, token_sample=40)
+        row = result.rows[0]
+        labels = [c.label for c in result.configs]
+        # Titles+abstracts cost more than titles; 10 neighbors more than 4.
+        assert row.neighbor_tokens[labels[1]] > row.neighbor_tokens[labels[0]]
+        assert row.neighbor_tokens[labels[2]] > row.neighbor_tokens[labels[0]]
+        assert row.neighbor_tokens[labels[3]] == max(row.neighbor_tokens.values())
+        # Reducible count uses the full-scale node count.
+        assert row.reducible_tokens[labels[0]] > 100_000
+        assert "Table V" in table5.format_table5(result)
+
+
+class TestTable6:
+    def test_saturated_scores_lower(self):
+        result = table6.run_table6(datasets=("cora",), num_queries=250)
+        row = result.rows[0]
+        assert row.separates
+        assert row.num_saturated + row.num_non_saturated == 250
+        assert "Table VI" in table6.format_table6(result)
+
+
+class TestFig8:
+    def test_scheduling_helps_and_configs_order(self):
+        # Larger sample: small query sets make utilization counts noisy.
+        result = fig8.run_fig8(
+            datasets=("cora",), configs=((1, 4), (2, 10)), num_queries=450, num_rounds=30
+        )
+        small = result.cell("cora", 1, 4)
+        large = result.cell("cora", 2, 10)
+        assert small.utilization_scheduled >= small.utilization_random
+        assert large.utilization_scheduled >= large.utilization_random
+        assert large.utilization_scheduled >= small.utilization_scheduled
+        assert "Fig. 8" in fig8.format_fig8(result)
+
+
+class TestTable7:
+    def test_boost_improves_most_cells(self):
+        result = table7.run_table7(
+            datasets=("cora", "citeseer"), methods=("2-hop",), models=("gpt-3.5",), num_queries=250
+        )
+        improved = sum(c.improved for c in result.cells)
+        assert improved >= 1
+        for cell in result.cells:
+            assert cell.boosted_accuracy >= cell.base_accuracy - 2.0
+        assert "Table VII" in table7.format_table7(result)
+
+
+class TestTable8:
+    def test_joint_saves_neighbor_cost(self):
+        result = table8.run_table8(
+            datasets=("cora",), methods=("2-hop",), models=("gpt-3.5",), num_queries=200
+        )
+        cell = result.cells[0]
+        assert cell.joint_equipped <= round(cell.base_equipped * 0.82)
+        assert cell.joint_accuracy >= cell.base_accuracy - 3.0
+        assert "Table VIII" in table8.format_table8(result)
+
+
+class TestTable9:
+    def test_prune_beats_random(self):
+        from repro.llm.instruction_tuned import BACKBONE_CONFIGS
+
+        result = table9.run_table9(num_queries=200, backbones=BACKBONE_CONFIGS[:2])
+        for row in result.rows:
+            assert row.prune >= row.random_prune
+            assert row.boost >= row.base - 1.0
+        assert "Table IX" in table9.format_table9(result)
+
+
+class TestTable10:
+    def test_link_shapes(self):
+        result = table10.run_table10(datasets=("cora",), num_queries=160)
+        row = result.rows[0]
+        assert row.boost >= row.base - 2.0
+        assert abs(row.prune - row.base) < 8.0
+        assert row.vanilla > 55.0
+        assert "Table X" in table10.format_table10(result)

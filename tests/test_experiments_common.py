@@ -1,0 +1,48 @@
+"""Tests for the shared experiment setup infrastructure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import DEFAULT_NUM_QUERIES, load_setup
+
+
+class TestLoadSetup:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        return load_setup("cora", num_queries=50, scale=0.15)
+
+    def test_split_matches_protocol(self, setup):
+        # 20 labeled per class on the Planetoid-style datasets.
+        assert setup.split.num_labeled <= 20 * setup.graph.num_classes
+        assert setup.split.num_queries == 50
+
+    def test_builder_matches_node_type(self, setup):
+        prompt = setup.builder.zero_shot("t", "a")
+        assert "Target paper" in prompt
+        assert "citation" in setup.builder.edge_type
+
+    def test_product_dataset_wording(self):
+        products = load_setup("ogbn-products", num_queries=20, scale=0.002)
+        prompt = products.builder.zero_shot("t", "a")
+        assert "Target product" in prompt
+        assert "Description" in prompt
+
+    def test_engines_are_independent(self, setup):
+        a = setup.make_engine("1-hop")
+        b = setup.make_engine("1-hop")
+        assert a.llm is not b.llm
+        a.llm.complete(setup.builder.zero_shot("t", "a"))
+        assert b.llm.usage.num_queries == 0
+
+    def test_max_neighbors_follows_spec(self, setup):
+        assert setup.make_engine("1-hop").max_neighbors == 4
+        products = load_setup("ogbn-products", num_queries=20, scale=0.002)
+        assert products.make_engine("1-hop").max_neighbors == 10
+
+    def test_model_selection(self, setup):
+        engine = setup.make_engine("vanilla", model="gpt-4o-mini")
+        assert engine.llm.name == "gpt-4o-mini"
+
+    def test_default_query_count_is_paper_protocol(self):
+        assert DEFAULT_NUM_QUERIES == 1000

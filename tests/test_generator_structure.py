@@ -1,0 +1,123 @@
+"""Tests for the generator's structural mechanisms.
+
+Covers the link-token injection (shared rare terms on edges), triangle
+closure (clustering), and their interaction with the dataset replicas.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import GeneratorConfig, generate_tag
+from repro.text.tokenizer import Tokenizer
+
+
+@pytest.fixture(scope="module")
+def structured_tag():
+    config = GeneratorConfig(
+        class_names=("a", "b", "c"),
+        num_nodes=240,
+        num_edges=700,
+        homophily=0.8,
+        feature_dim=64,
+        link_token_rate=0.8,
+        link_tokens_per_node_cap=5,
+        triangle_closure=0.3,
+        name="structured",
+    )
+    return generate_tag(config, seed=5)
+
+
+def rare_terms(tag, node):
+    known = set(tag.vocabulary.background_words)
+    for words in tag.vocabulary.class_words:
+        known.update(words)
+    return {w for w in Tokenizer().words(tag.graph.texts[node].full) if w not in known}
+
+
+class TestLinkTokens:
+    def test_some_edges_share_rare_terms(self, structured_tag):
+        g = structured_tag.graph
+        edges = g.edge_array()
+        shared = 0
+        for u, v in edges[:200]:
+            if rare_terms(structured_tag, int(u)) & rare_terms(structured_tag, int(v)):
+                shared += 1
+        assert shared > 50  # rate 0.8 with cap 5 should keep most sampled edges
+
+    def test_non_edges_rarely_share(self, structured_tag):
+        g = structured_tag.graph
+        rng = np.random.default_rng(0)
+        shared = 0
+        checked = 0
+        while checked < 100:
+            u, v = int(rng.integers(g.num_nodes)), int(rng.integers(g.num_nodes))
+            if u == v or g.has_edge(u, v):
+                continue
+            checked += 1
+            if rare_terms(structured_tag, u) & rare_terms(structured_tag, v):
+                shared += 1
+        assert shared == 0  # link tokens are unique per edge
+
+    def test_node_cap_respected(self, structured_tag):
+        for node in range(structured_tag.graph.num_nodes):
+            assert len(rare_terms(structured_tag, node)) <= 5
+
+    def test_rate_zero_adds_nothing(self):
+        config = GeneratorConfig(
+            class_names=("a", "b"),
+            num_nodes=60,
+            num_edges=100,
+            feature_dim=16,
+            link_token_rate=0.0,
+            name="no-links",
+        )
+        tag = generate_tag(config, seed=1)
+        for node in range(tag.graph.num_nodes):
+            assert not rare_terms(tag, node)
+
+
+class TestTriangleClosure:
+    @staticmethod
+    def clustering(graph) -> float:
+        """Global clustering coefficient: 3×triangles / open wedges."""
+        triangles = 0
+        wedges = 0
+        for v in range(graph.num_nodes):
+            nbrs = graph.neighbors(v)
+            d = nbrs.shape[0]
+            wedges += d * (d - 1) // 2
+            for i in range(d):
+                for j in range(i + 1, d):
+                    if graph.has_edge(int(nbrs[i]), int(nbrs[j])):
+                        triangles += 1
+        return triangles / wedges if wedges else 0.0
+
+    def test_closure_raises_clustering(self):
+        base = GeneratorConfig(
+            class_names=("a", "b", "c"),
+            num_nodes=240,
+            num_edges=700,
+            feature_dim=32,
+            triangle_closure=0.0,
+            name="open",
+        )
+        closed = GeneratorConfig(
+            class_names=("a", "b", "c"),
+            num_nodes=240,
+            num_edges=700,
+            feature_dim=32,
+            triangle_closure=0.35,
+            name="closed",
+        )
+        c_open = self.clustering(generate_tag(base, seed=2).graph)
+        c_closed = self.clustering(generate_tag(closed, seed=2).graph)
+        assert c_closed > c_open * 1.5
+
+    def test_edge_budget_still_met(self, structured_tag):
+        assert structured_tag.graph.num_edges >= 700 * 0.9
+
+    def test_invalid_closure(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(class_names=("a", "b"), num_nodes=10, num_edges=10, triangle_closure=1.5)

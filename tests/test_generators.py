@@ -1,0 +1,107 @@
+"""Tests for the synthetic TAG generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import GeneratorConfig, generate_tag, sibling_map
+from repro.graph.homophily import edge_homophily
+
+
+class TestSiblingMap:
+    def test_even_pairs(self):
+        assert list(sibling_map(4)) == [1, 0, 3, 2]
+
+    def test_odd_last_pairs_with_zero(self):
+        assert list(sibling_map(5)) == [1, 0, 3, 2, 0]
+
+    def test_never_self_for_k_ge_2(self):
+        for k in range(2, 12):
+            sib = sibling_map(k)
+            assert all(sib[i] != i for i in range(k))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            sibling_map(0)
+
+
+class TestGeneratorConfig:
+    def test_rejects_single_class(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(class_names=("only",), num_nodes=10, num_edges=10)
+
+    def test_rejects_bad_clarity_range(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(
+                class_names=("a", "b"),
+                num_nodes=10,
+                num_edges=10,
+                ambiguous_clarity=(0.7, 0.4),
+            )
+
+    def test_rejects_unknown_encoder(self):
+        with pytest.raises(ValueError, match="encoder"):
+            GeneratorConfig(class_names=("a", "b"), num_nodes=10, num_edges=10, encoder="bert")
+
+
+class TestGenerateTag:
+    def test_shapes(self, tiny_tag, tiny_config):
+        g = tiny_tag.graph
+        assert g.num_nodes == tiny_config.num_nodes
+        assert g.feature_dim == tiny_config.feature_dim
+        assert len(g.texts) == g.num_nodes
+        assert tiny_tag.clarity.shape == (g.num_nodes,)
+
+    def test_edge_count_close_to_target(self, tiny_tag, tiny_config):
+        assert tiny_tag.graph.num_edges >= int(tiny_config.num_edges * 0.95)
+        assert tiny_tag.graph.num_edges <= tiny_config.num_edges
+
+    def test_every_class_populated(self, tiny_tag):
+        g = tiny_tag.graph
+        assert set(np.unique(g.labels)) == set(range(g.num_classes))
+
+    def test_deterministic(self, tiny_config):
+        a = generate_tag(tiny_config, seed=1)
+        b = generate_tag(tiny_config, seed=1)
+        assert np.array_equal(a.graph.labels, b.graph.labels)
+        assert np.array_equal(a.graph.indices, b.graph.indices)
+        assert a.graph.texts[0].full == b.graph.texts[0].full
+
+    def test_seed_changes_output(self, tiny_config):
+        a = generate_tag(tiny_config, seed=1)
+        b = generate_tag(tiny_config, seed=2)
+        assert not np.array_equal(a.graph.indices, b.graph.indices)
+
+    def test_homophily_matches_config(self, tiny_tag, tiny_config):
+        assert edge_homophily(tiny_tag.graph) >= tiny_config.homophily - 0.05
+
+    def test_clarity_within_ranges(self, tiny_tag, tiny_config):
+        lo = min(tiny_config.ambiguous_clarity[0], tiny_config.clear_clarity[0])
+        hi = max(tiny_config.ambiguous_clarity[1], tiny_config.clear_clarity[1])
+        assert (tiny_tag.clarity >= lo).all() and (tiny_tag.clarity <= hi).all()
+
+    def test_clear_fraction_roughly_honored(self, tiny_tag, tiny_config):
+        threshold = (tiny_config.ambiguous_clarity[1] + tiny_config.clear_clarity[0]) / 2
+        observed = float((tiny_tag.clarity > threshold).mean())
+        assert abs(observed - tiny_config.clear_fraction) < 0.12
+
+    def test_sibling_confusion_shapes_edges(self):
+        config = GeneratorConfig(
+            class_names=("a", "b", "c", "d"),
+            num_nodes=400,
+            num_edges=1200,
+            homophily=0.5,
+            sibling_confusion=1.0,
+            feature_dim=16,
+            name="sibling-test",
+        )
+        tag = generate_tag(config, seed=0)
+        g = tag.graph
+        sib = sibling_map(4)
+        edges = g.edge_array()
+        cross = edges[g.labels[edges[:, 0]] != g.labels[edges[:, 1]]]
+        # With sibling_confusion=1 every cross-class edge joins sibling classes.
+        for u, v in cross:
+            lu, lv = int(g.labels[u]), int(g.labels[v])
+            assert sib[lu] == lv or sib[lv] == lu

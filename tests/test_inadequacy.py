@@ -1,0 +1,86 @@
+"""Tests for the text-inadequacy measure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.inadequacy import TextInadequacyScorer
+from repro.ml.mlp import MLPClassifier
+
+
+@pytest.fixture(scope="module")
+def fitted_scorer(tiny_graph, tiny_split, tiny_builder, tiny_tag):
+    from repro.llm.simulated import SimulatedLLM
+
+    scorer = TextInadequacyScorer(
+        surrogate=MLPClassifier(hidden_sizes=(), epochs=100, learning_rate=0.05),
+        calibration_per_class=8,
+        seed=1,
+    )
+    llm = SimulatedLLM(tiny_tag.vocabulary, name="gpt-3.5", seed=5)
+    scorer.fit(tiny_graph, tiny_split.labeled, llm, tiny_builder)
+    return scorer
+
+
+class TestFit:
+    def test_components_fitted(self, fitted_scorer, tiny_graph):
+        assert fitted_scorer.fold_models_ is not None
+        assert len(fitted_scorer.fold_models_) == 3
+        assert fitted_scorer.regressor_ is not None
+        assert fitted_scorer.bias_ratios_.shape == (tiny_graph.num_classes,)
+
+    def test_calibration_subset_size(self, fitted_scorer, tiny_graph, tiny_split):
+        cal = fitted_scorer.calibration_nodes_
+        assert cal.size <= 8 * tiny_graph.num_classes
+        assert np.isin(cal, tiny_split.labeled).all()
+
+    def test_bias_ratios_are_fractions(self, fitted_scorer):
+        assert ((fitted_scorer.bias_ratios_ >= 0) & (fitted_scorer.bias_ratios_ <= 1)).all()
+
+    def test_requires_enough_labeled(self, tiny_graph, tiny_builder, tiny_tag):
+        from repro.llm.simulated import SimulatedLLM
+
+        scorer = TextInadequacyScorer(seed=0)
+        with pytest.raises(ValueError, match="labeled"):
+            scorer.fit(tiny_graph, np.array([0, 1]), SimulatedLLM(tiny_tag.vocabulary), tiny_builder)
+
+
+class TestScore:
+    def test_scores_shape(self, fitted_scorer, tiny_split):
+        scores = fitted_scorer.score(tiny_split.queries)
+        assert scores.shape == (tiny_split.num_queries,)
+        assert np.isfinite(scores).all()
+
+    def test_channels_exposed(self, fitted_scorer, tiny_split):
+        channels = fitted_scorer.channels(tiny_split.queries)
+        assert channels.entropy.shape == channels.bias.shape == channels.score.shape
+        assert (channels.entropy >= 0).all()
+
+    def test_separates_saturated_nodes(
+        self, fitted_scorer, make_tiny_engine, tiny_split
+    ):
+        """Mean D of zero-shot-correct queries < mean D of incorrect ones."""
+        engine = make_tiny_engine(method="vanilla")
+        run = engine.run(tiny_split.queries)
+        correct = np.array([r.node for r in run.records if r.correct])
+        wrong = np.array([r.node for r in run.records if not r.correct])
+        assert correct.size and wrong.size
+        assert fitted_scorer.score(correct).mean() < fitted_scorer.score(wrong).mean()
+
+    def test_unfitted_raises(self, tiny_split):
+        with pytest.raises(RuntimeError):
+            TextInadequacyScorer().score(tiny_split.queries)
+
+    def test_proba_averaged_over_folds(self, fitted_scorer, tiny_split):
+        probs = fitted_scorer.predict_proba(tiny_split.queries[:5])
+        assert probs.shape[0] == 5
+        assert np.allclose(probs.sum(axis=1), 1.0, atol=1e-6)
+
+
+class TestValidation:
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ValueError):
+            TextInadequacyScorer(calibration_per_class=0)
+        with pytest.raises(ValueError):
+            TextInadequacyScorer(cv_folds=1)

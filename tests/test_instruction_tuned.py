@@ -1,0 +1,62 @@
+"""Tests for instruction-tuned backbone models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.llm.instruction_tuned import BACKBONE_CONFIGS, BackboneConfig, InstructionTunedLLM
+from repro.text.vocabulary import ClassVocabulary
+
+
+@pytest.fixture(scope="module")
+def vocab() -> ClassVocabulary:
+    return ClassVocabulary.build(["A", "B"], seed=0)
+
+
+class TestBackboneConfigs:
+    def test_six_backbones(self):
+        assert len(BACKBONE_CONFIGS) == 6
+
+    def test_display_names_match_table9_rows(self):
+        names = [c.display_name for c in BACKBONE_CONFIGS]
+        assert names == [
+            "1-hop, w/ raw, no path",
+            "2-hop, w/ raw, no path",
+            "2-hop, w/ raw, w/ path",
+            "1-hop, no raw, no path",
+            "2-hop, no raw, no path",
+            "2-hop, no raw, w/ path",
+        ]
+
+    def test_unique_names(self):
+        names = {c.name for c in BACKBONE_CONFIGS}
+        assert len(names) == 6
+
+    def test_invalid_hops(self):
+        with pytest.raises(ValueError):
+            BackboneConfig("x", hops=3, use_raw_text=True, use_path=False)
+
+
+class TestInstructionTunedLLM:
+    def test_raw_text_strengthens_neighbors(self, vocab):
+        raw = InstructionTunedLLM(vocab, BACKBONE_CONFIGS[0])
+        no_raw = InstructionTunedLLM(vocab, BACKBONE_CONFIGS[3])
+        assert raw.neighbor_weight > no_raw.neighbor_weight
+
+    def test_path_mildly_strengthens(self, vocab):
+        no_path = InstructionTunedLLM(vocab, BACKBONE_CONFIGS[1])
+        with_path = InstructionTunedLLM(vocab, BACKBONE_CONFIGS[2])
+        assert with_path.neighbor_weight > no_path.neighbor_weight
+
+    def test_sharper_than_black_box(self, vocab):
+        from repro.llm.profiles import make_model
+
+        tuned = InstructionTunedLLM(vocab, BACKBONE_CONFIGS[0])
+        black_box = make_model("gpt-3.5", vocab)
+        assert tuned.noise_scale < black_box.noise_scale
+        assert tuned.label_weight > black_box.label_weight
+
+    def test_config_attached(self, vocab):
+        llm = InstructionTunedLLM(vocab, BACKBONE_CONFIGS[2])
+        assert llm.config is BACKBONE_CONFIGS[2]
+        assert llm.name == BACKBONE_CONFIGS[2].name

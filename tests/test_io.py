@@ -1,0 +1,103 @@
+"""Tests for graph and run persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.io.graphs import load_graph, save_graph
+from repro.io.runs import load_run, run_to_rows, save_run, write_csv
+from repro.runtime.results import QueryRecord, RunResult
+
+
+class TestGraphPersistence:
+    def test_roundtrip_exact(self, tiny_graph, tmp_path):
+        save_graph(tiny_graph, tmp_path / "g")
+        loaded = load_graph(tmp_path / "g")
+        assert loaded.name == tiny_graph.name
+        assert loaded.class_names == tiny_graph.class_names
+        assert np.array_equal(loaded.indptr, tiny_graph.indptr)
+        assert np.array_equal(loaded.indices, tiny_graph.indices)
+        assert np.array_equal(loaded.labels, tiny_graph.labels)
+        assert np.array_equal(loaded.features, tiny_graph.features)
+        assert loaded.texts[0] == tiny_graph.texts[0]
+        assert loaded.texts[-1] == tiny_graph.texts[-1]
+
+    def test_loaded_graph_is_functional(self, tiny_graph, tmp_path):
+        save_graph(tiny_graph, tmp_path / "g")
+        loaded = load_graph(tmp_path / "g")
+        node = 0
+        assert list(loaded.neighbors(node)) == list(tiny_graph.neighbors(node))
+        assert loaded.num_edges == tiny_graph.num_edges
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_graph(tmp_path / "nowhere")
+
+    def test_version_check(self, tiny_graph, tmp_path):
+        import json
+
+        save_graph(tiny_graph, tmp_path / "g")
+        meta_path = tmp_path / "g" / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["format_version"] = 99
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(ValueError, match="format version"):
+            load_graph(tmp_path / "g")
+
+
+def sample_run() -> RunResult:
+    return RunResult(
+        [
+            QueryRecord(
+                node=i,
+                true_label=i % 2,
+                predicted_label=(i % 2) if i != 3 else None,
+                prompt_tokens=100 + i,
+                completion_tokens=5,
+                num_neighbors=2,
+                num_neighbor_labels=1,
+                num_pseudo_labels=0,
+                pruned=(i == 1),
+                round_index=i // 2,
+            )
+            for i in range(5)
+        ]
+    )
+
+
+class TestRunPersistence:
+    def test_roundtrip(self, tmp_path):
+        original = sample_run()
+        save_run(original, tmp_path / "run.json")
+        loaded = load_run(tmp_path / "run.json")
+        assert loaded.records == original.records
+        assert loaded.accuracy == original.accuracy
+        assert loaded.total_tokens == original.total_tokens
+
+    def test_none_prediction_survives(self, tmp_path):
+        original = sample_run()
+        save_run(original, tmp_path / "run.json")
+        loaded = load_run(tmp_path / "run.json")
+        assert loaded.records[3].predicted_label is None
+
+    def test_version_check(self, tmp_path):
+        import json
+
+        save_run(sample_run(), tmp_path / "run.json")
+        payload = json.loads((tmp_path / "run.json").read_text())
+        payload["format_version"] = 0
+        (tmp_path / "run.json").write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="format version"):
+            load_run(tmp_path / "run.json")
+
+    def test_rows_include_derived_fields(self):
+        rows = run_to_rows(sample_run())
+        assert rows[0]["correct"] is True
+        assert rows[0]["total_tokens"] == 105
+
+    def test_csv_export(self, tmp_path):
+        path = write_csv(sample_run(), tmp_path / "run.csv")
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 6  # header + 5 records
+        assert "node" in lines[0] and "correct" in lines[0]

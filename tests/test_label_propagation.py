@@ -1,0 +1,56 @@
+"""Tests for the label propagation baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gnn.label_propagation import LabelPropagation
+from repro.ml.metrics import accuracy
+
+
+class TestLabelPropagation:
+    def test_clamps_seeds(self, tiny_graph, tiny_split):
+        model = LabelPropagation(num_iterations=10).fit(tiny_graph, tiny_split.labeled)
+        preds = model.predict()
+        seed_preds = preds[tiny_split.labeled]
+        assert np.array_equal(seed_preds, tiny_graph.labels[tiny_split.labeled])
+
+    def test_beats_majority_on_homophilous_graph(self, tiny_graph, tiny_split):
+        model = LabelPropagation().fit(tiny_graph, tiny_split.labeled)
+        preds = model.predict()
+        acc = accuracy(tiny_graph.labels[tiny_split.queries], preds[tiny_split.queries])
+        majority = max(np.bincount(tiny_graph.labels)) / tiny_graph.num_nodes
+        assert acc > majority
+
+    def test_confidence_shape_and_range(self, tiny_graph, tiny_split):
+        model = LabelPropagation().fit(tiny_graph, tiny_split.labeled)
+        conf = model.confidence()
+        assert conf.shape == (tiny_graph.num_nodes,)
+        assert (conf >= 0).all()
+        # Seeds are clamped to one-hot mass.
+        assert np.allclose(conf[tiny_split.labeled], 1.0)
+
+    def test_isolated_nodes_stay_unreached(self, tiny_graph, tiny_split):
+        isolated = [v for v in range(tiny_graph.num_nodes) if tiny_graph.degree(v) == 0]
+        if not isolated:
+            pytest.skip("fixture graph has no isolated nodes")
+        model = LabelPropagation().fit(tiny_graph, tiny_split.labeled)
+        conf = model.confidence()
+        unlabeled_isolated = [v for v in isolated if v not in set(tiny_split.labeled.tolist())]
+        for v in unlabeled_isolated:
+            assert conf[v] == 0.0
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LabelPropagation().predict()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LabelPropagation(num_iterations=0)
+        with pytest.raises(ValueError):
+            LabelPropagation(alpha=0.0)
+
+    def test_empty_labeled_rejected(self, tiny_graph):
+        with pytest.raises(ValueError):
+            LabelPropagation().fit(tiny_graph, np.array([], dtype=np.int64))

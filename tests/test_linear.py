@@ -1,0 +1,84 @@
+"""Tests for linear and logistic regression."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import LinearRegression, LogisticRegression
+
+
+class TestLinearRegression:
+    def test_recovers_exact_line(self):
+        x = np.arange(10, dtype=float).reshape(-1, 1)
+        y = 3.0 * x.ravel() + 2.0
+        model = LinearRegression().fit(x, y)
+        assert model.coef_[0] == pytest.approx(3.0)
+        assert model.intercept_ == pytest.approx(2.0)
+
+    def test_multivariate(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(100, 3))
+        true_w = np.array([1.0, -2.0, 0.5])
+        y = x @ true_w + 0.25
+        model = LinearRegression().fit(x, y)
+        assert np.allclose(model.coef_, true_w, atol=1e-8)
+
+    def test_ridge_shrinks_coefficients(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(30, 2))
+        y = x @ np.array([5.0, -5.0]) + rng.normal(0, 0.1, 30)
+        plain = LinearRegression().fit(x, y)
+        ridge = LinearRegression(l2=100.0).fit(x, y)
+        assert np.abs(ridge.coef_).sum() < np.abs(plain.coef_).sum()
+
+    def test_ridge_does_not_shrink_intercept(self):
+        x = np.zeros((20, 1))
+        y = np.full(20, 7.0)
+        ridge = LinearRegression(l2=1000.0).fit(x + np.random.default_rng(2).normal(0, 1e-6, (20, 1)), y)
+        assert ridge.intercept_ == pytest.approx(7.0, abs=1e-3)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LinearRegression().predict(np.ones((1, 2)))
+
+    def test_misaligned(self):
+        with pytest.raises(ValueError):
+            LinearRegression().fit(np.ones((3, 2)), np.ones(4))
+
+    def test_negative_l2(self):
+        with pytest.raises(ValueError):
+            LinearRegression(l2=-1)
+
+
+class TestLogisticRegression:
+    def test_learns_separable(self):
+        rng = np.random.default_rng(0)
+        x = np.concatenate([rng.normal(-2, 0.5, (50, 2)), rng.normal(2, 0.5, (50, 2))])
+        y = np.concatenate([np.zeros(50), np.ones(50)])
+        model = LogisticRegression(learning_rate=0.5, epochs=300).fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.98
+
+    def test_proba_shape_and_range(self):
+        x = np.random.default_rng(1).normal(size=(10, 2))
+        y = (x[:, 0] > 0).astype(float)
+        model = LogisticRegression(epochs=50).fit(x, y)
+        p = model.predict_proba(x)
+        assert p.shape == (10, 2)
+        assert np.allclose(p.sum(axis=1), 1.0)
+        assert ((p >= 0) & (p <= 1)).all()
+
+    def test_sigmoid_stability(self):
+        z = np.array([-1000.0, 0.0, 1000.0])
+        s = LogisticRegression._sigmoid(z)
+        assert s[0] == pytest.approx(0.0)
+        assert s[1] == pytest.approx(0.5)
+        assert s[2] == pytest.approx(1.0)
+
+    def test_rejects_nonbinary(self):
+        with pytest.raises(ValueError, match="binary"):
+            LogisticRegression().fit(np.ones((2, 1)), np.array([0.0, 2.0]))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict(np.ones((1, 2)))

@@ -1,0 +1,94 @@
+"""Tests for the simulated link-prediction LLM."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.llm.link_model import (
+    SimulatedLinkLLM,
+    format_link_response,
+    parse_link_response,
+)
+from repro.prompts.link import LinkEndpoint, LinkPromptBuilder
+from repro.text.vocabulary import ClassVocabulary
+
+
+@pytest.fixture(scope="module")
+def vocab() -> ClassVocabulary:
+    return ClassVocabulary.build(["X", "Y", "Z"], seed=3, words_per_class=40)
+
+
+@pytest.fixture(scope="module")
+def builder() -> LinkPromptBuilder:
+    return LinkPromptBuilder()
+
+
+def text_of(vocab, k, n=15):
+    return " ".join(vocab.class_words[k][:n])
+
+
+class TestResponses:
+    def test_format(self):
+        assert format_link_response(True) == "Answer: ['Yes']"
+        assert format_link_response(False) == "Answer: ['No']"
+
+    def test_parse_roundtrip(self):
+        assert parse_link_response(format_link_response(True)) is True
+        assert parse_link_response(format_link_response(False)) is False
+
+    def test_parse_case_insensitive(self):
+        assert parse_link_response("answer: ['yes']") is True
+
+    def test_parse_unknown(self):
+        assert parse_link_response("maybe?") is None
+
+
+class TestScoring:
+    def test_same_topic_scores_higher(self, vocab, builder):
+        llm = SimulatedLinkLLM(vocab, noise_scale=0.0, seed=0)
+        same = builder.build(
+            LinkEndpoint("t1", text_of(vocab, 0)), LinkEndpoint("t2", text_of(vocab, 0))
+        )
+        different = builder.build(
+            LinkEndpoint("t1", text_of(vocab, 0)), LinkEndpoint("t2", text_of(vocab, 1))
+        )
+        assert llm.score_pair(same) > llm.score_pair(different)
+
+    def test_direct_hit_bonus(self, vocab, builder):
+        llm = SimulatedLinkLLM(vocab, noise_scale=0.0, seed=0)
+        hit = builder.build(
+            LinkEndpoint("t1", text_of(vocab, 0), neighbor_titles=("t2",)),
+            LinkEndpoint("t2", text_of(vocab, 1)),
+        )
+        miss = builder.build(
+            LinkEndpoint("t1", text_of(vocab, 0), neighbor_titles=("other",)),
+            LinkEndpoint("t2", text_of(vocab, 1)),
+        )
+        assert llm.score_pair(hit) > llm.score_pair(miss) + llm.direct_hit_bonus * 0.9
+
+    def test_context_alignment_helps(self, vocab, builder):
+        llm = SimulatedLinkLLM(vocab, noise_scale=0.0, seed=0)
+        aligned = builder.build(
+            LinkEndpoint("t1", text_of(vocab, 0), neighbor_titles=(text_of(vocab, 1, 5),)),
+            LinkEndpoint("t2", text_of(vocab, 1)),
+        )
+        misaligned = builder.build(
+            LinkEndpoint("t1", text_of(vocab, 0), neighbor_titles=(text_of(vocab, 2, 5),)),
+            LinkEndpoint("t2", text_of(vocab, 1)),
+        )
+        assert llm.score_pair(aligned) > llm.score_pair(misaligned)
+
+    def test_deterministic_per_pair(self, vocab, builder):
+        llm = SimulatedLinkLLM(vocab, seed=0)
+        prompt = builder.build(LinkEndpoint("a", text_of(vocab, 0)), LinkEndpoint("b", text_of(vocab, 0)))
+        assert llm.complete(prompt).text == llm.complete(prompt).text
+
+    def test_complete_emits_parseable_answer(self, vocab, builder):
+        llm = SimulatedLinkLLM(vocab, seed=0)
+        prompt = builder.build(LinkEndpoint("a", text_of(vocab, 0)), LinkEndpoint("b", text_of(vocab, 2)))
+        assert parse_link_response(llm.complete(prompt).text) is not None
+
+    def test_malformed_prompt_rejected(self, vocab):
+        llm = SimulatedLinkLLM(vocab, seed=0)
+        with pytest.raises(ValueError):
+            llm.score_pair("not a link prompt")

@@ -1,0 +1,109 @@
+"""Tests for link-prediction tasks (Sec. VI-J machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.link_tasks import (
+    LinkInadequacyScorer,
+    LinkPredictionTask,
+    sample_link_queries,
+)
+from repro.llm.link_model import SimulatedLinkLLM
+from repro.prompts.link import LinkPromptBuilder
+
+
+@pytest.fixture(scope="module")
+def query_set(tiny_graph):
+    return sample_link_queries(tiny_graph, num_queries=80, seed=1)
+
+
+@pytest.fixture()
+def task(tiny_graph, tiny_tag, query_set) -> LinkPredictionTask:
+    return LinkPredictionTask(
+        graph=tiny_graph,
+        llm=SimulatedLinkLLM(tiny_tag.vocabulary, seed=7),
+        builder=LinkPromptBuilder(),
+        query_set=query_set,
+        max_context_neighbors=4,
+        seed=2,
+    )
+
+
+class TestSampleLinkQueries:
+    def test_balanced(self, query_set):
+        assert query_set.num_queries == 80
+        assert query_set.truths.sum() == 40
+
+    def test_positives_are_real_edges(self, tiny_graph, query_set):
+        for (u, v), truth in zip(query_set.pairs, query_set.truths):
+            assert tiny_graph.has_edge(int(u), int(v)) == bool(truth)
+
+    def test_positive_pairs_not_leaked_into_known(self, query_set):
+        for (u, v), truth in zip(query_set.pairs, query_set.truths):
+            if truth:
+                assert int(v) not in query_set.known_adjacency.get(int(u), [])
+
+    def test_deterministic(self, tiny_graph):
+        a = sample_link_queries(tiny_graph, 40, seed=9)
+        b = sample_link_queries(tiny_graph, 40, seed=9)
+        assert np.array_equal(a.pairs, b.pairs)
+
+    def test_invalid_count(self, tiny_graph):
+        with pytest.raises(ValueError):
+            sample_link_queries(tiny_graph, 1)
+
+
+class TestLinkInadequacyScorer:
+    def test_scores_in_unit_interval(self, tiny_graph, query_set):
+        scorer = LinkInadequacyScorer(seed=0).fit(tiny_graph, query_set)
+        scores = scorer.score(tiny_graph, query_set.pairs)
+        assert scores.shape == (query_set.num_queries,)
+        assert ((scores >= 0) & (scores <= 1)).all()
+
+    def test_unfitted_raises(self, tiny_graph, query_set):
+        with pytest.raises(RuntimeError):
+            LinkInadequacyScorer().score(tiny_graph, query_set.pairs)
+
+
+class TestLinkPredictionTask:
+    def test_vanilla_beats_chance(self, task):
+        assert task.run_vanilla().accuracy > 0.6
+
+    def test_base_includes_context(self, task):
+        base = task.run_base()
+        assert any(r.num_context_links > 0 for r in base.records)
+        vanilla = task.run_vanilla()
+        assert all(r.num_context_links == 0 for r in vanilla.records)
+
+    def test_base_prompts_cost_more(self, task):
+        assert task.run_base().prompt_tokens > task.run_vanilla().prompt_tokens
+
+    def test_pruned_fraction(self, task):
+        pruned = task.run_pruned(tau=0.25)
+        assert sum(r.pruned for r in pruned.records) == round(0.25 * task.query_set.num_queries)
+
+    def test_boost_covers_all_queries(self, task):
+        boosted = task.run_boosted()
+        assert len(boosted.records) == task.query_set.num_queries
+        pairs = {r.pair for r in boosted.records}
+        assert len(pairs) == task.query_set.num_queries
+
+    def test_boost_rounds_monotone(self, task):
+        boosted = task.run_boosted()
+        rounds = [r.round_index for r in boosted.records]
+        assert rounds == sorted(rounds)
+
+    def test_both_prunes_and_boosts(self, task):
+        both = task.run_both(tau=0.2)
+        assert sum(r.pruned for r in both.records) == round(0.2 * task.query_set.num_queries)
+        assert len(both.records) == task.query_set.num_queries
+
+    def test_accuracy_orderings_roughly_hold(self, task):
+        """Boosting should not collapse below base; prune stays near base."""
+        base = task.run_base().accuracy
+        boost = task.run_boosted().accuracy
+        prune = task.run_pruned(tau=0.2).accuracy
+        assert boost >= base - 0.05
+        assert abs(prune - base) < 0.1

@@ -1,0 +1,56 @@
+"""Tests for the LSA encoder (the OGB dense-feature substitute)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.text.encoders import LSAEncoder
+
+TOPIC_A = "neural network learning gradient descent layers"
+TOPIC_B = "database index transaction query storage engine"
+
+
+@pytest.fixture(scope="module")
+def corpus() -> list[str]:
+    return [TOPIC_A] * 6 + [TOPIC_B] * 6 + [TOPIC_A + " " + TOPIC_B] * 2
+
+
+class TestLSAEncoder:
+    def test_shape(self, corpus):
+        x = LSAEncoder(dim=4).fit_transform(corpus)
+        assert x.shape == (len(corpus), 4)
+        assert x.dtype == np.float32
+
+    def test_topical_separation(self, corpus):
+        x = LSAEncoder(dim=4).fit_transform(corpus)
+        same = x[0] @ x[1]
+        cross = x[0] @ x[6]
+        assert same > cross
+
+    def test_transform_matches_fit_transform(self, corpus):
+        enc = LSAEncoder(dim=4)
+        fitted = enc.fit_transform(corpus)
+        projected = enc.transform(corpus)
+        # Same subspace: cosine of corresponding rows near ±1.
+        for a, b in zip(fitted, projected):
+            na, nb = np.linalg.norm(a), np.linalg.norm(b)
+            if na > 1e-6 and nb > 1e-6:
+                assert abs(a @ b / (na * nb)) > 0.99
+
+    def test_dim_larger_than_rank_padded(self):
+        x = LSAEncoder(dim=10).fit_transform(["a b", "b c", "c a", "a c"])
+        assert x.shape == (4, 10)
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LSAEncoder(dim=2).transform(["a"])
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            LSAEncoder(dim=0)
+
+    def test_deterministic(self, corpus):
+        a = LSAEncoder(dim=4).fit_transform(corpus)
+        b = LSAEncoder(dim=4).fit_transform(corpus)
+        assert np.allclose(a, b)

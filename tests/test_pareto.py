@@ -1,0 +1,46 @@
+"""Tests for the cost-accuracy Pareto extension."""
+
+from __future__ import annotations
+
+from repro.experiments.pareto import ParetoPoint, ParetoResult, format_pareto, run_pareto
+
+
+class TestFrontier:
+    def test_dominated_points_removed(self):
+        result = ParetoResult(
+            dataset="x",
+            method="m",
+            points=[
+                ParetoPoint("a", 0.0, tokens=100, accuracy=70.0),
+                ParetoPoint("b", 0.2, tokens=80, accuracy=71.0),   # dominates a
+                ParetoPoint("c", 0.4, tokens=60, accuracy=65.0),
+                ParetoPoint("d", 0.6, tokens=60, accuracy=64.0),   # dominated by c
+            ],
+        )
+        frontier = result.frontier()
+        assert [(p.strategy) for p in frontier] == ["c", "b"]
+
+    def test_frontier_sorted_by_tokens(self):
+        result = ParetoResult(
+            dataset="x",
+            method="m",
+            points=[
+                ParetoPoint("a", 0.0, tokens=300, accuracy=75.0),
+                ParetoPoint("b", 0.5, tokens=100, accuracy=70.0),
+            ],
+        )
+        frontier = result.frontier()
+        assert [p.tokens for p in frontier] == [100, 300]
+
+
+class TestRunPareto:
+    def test_small_sweep(self):
+        result = run_pareto(
+            dataset="cora", method="1-hop", taus=(0.0, 0.5), num_queries=80, scale=0.15
+        )
+        assert len(result.points) == 4  # 2 taus x 2 strategies
+        # Higher tau must not cost more tokens for the same strategy.
+        prune_points = {p.tau: p for p in result.points if p.strategy == "prune"}
+        assert prune_points[0.5].tokens <= prune_points[0.0].tokens
+        out = format_pareto(result)
+        assert "Pareto" in out and "prune+boost" in out

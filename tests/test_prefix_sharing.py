@@ -1,0 +1,86 @@
+"""Tests for shared-prefix MQO analysis."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mqo.prefix_sharing import (
+    analyze_prefix_sharing,
+    shared_prefix_tokens,
+    sort_for_prefix_sharing,
+)
+
+
+class TestSharedPrefixTokens:
+    def test_identical(self):
+        assert shared_prefix_tokens("a b c", "a b c") == 3
+
+    def test_partial(self):
+        assert shared_prefix_tokens("a b c", "a b d") == 2
+
+    def test_disjoint(self):
+        assert shared_prefix_tokens("x y", "a b") == 0
+
+    def test_prefix_containment(self):
+        assert shared_prefix_tokens("a b", "a b c d") == 2
+
+    def test_empty(self):
+        assert shared_prefix_tokens("", "a") == 0
+
+    @given(st.text(max_size=50), st.text(max_size=50))
+    @settings(max_examples=50)
+    def test_symmetric_and_bounded(self, a, b):
+        from repro.text.tokenizer import Tokenizer
+
+        s = shared_prefix_tokens(a, b)
+        assert s == shared_prefix_tokens(b, a)
+        t = Tokenizer()
+        assert s <= min(t.count(a), t.count(b))
+
+
+class TestSortForPrefixSharing:
+    def test_groups_equal_prefixes(self):
+        prompts = ["task B item 2", "task A item 1", "task B item 1", "task A item 2"]
+        order = sort_for_prefix_sharing(prompts)
+        ordered = [prompts[i] for i in order]
+        assert ordered == sorted(prompts)
+
+    def test_permutation(self):
+        prompts = ["c", "a", "b"]
+        assert sorted(sort_for_prefix_sharing(prompts)) == [0, 1, 2]
+
+
+class TestAnalyze:
+    def test_empty_batch(self):
+        report = analyze_prefix_sharing([])
+        assert report.total_tokens == 0 and report.savings_fraction == 0.0
+
+    def test_identical_prompts_share_everything_after_first(self):
+        report = analyze_prefix_sharing(["one two three"] * 4)
+        assert report.total_tokens == 12
+        assert report.shared_tokens == 9
+        assert report.paid_tokens == 3
+
+    def test_reordering_never_hurts(self):
+        prompts = [f"shared prefix words variant {i % 3} tail {i}" for i in range(12)]
+        unordered = analyze_prefix_sharing(prompts, reorder=False)
+        ordered = analyze_prefix_sharing(prompts, reorder=True)
+        assert ordered.shared_tokens >= unordered.shared_tokens
+        assert ordered.total_tokens == unordered.total_tokens
+
+    def test_savings_fraction(self):
+        report = analyze_prefix_sharing(["a b"] * 2)
+        assert report.savings_fraction == pytest.approx(0.5)
+
+    def test_realistic_prompts_share_little_prefix(self):
+        """Table III prompts lead with the target text, so prefix sharing is
+        tiny — the structural reason the paper's black-box strategies are
+        needed at all."""
+        from repro.prompts.builder import PromptBuilder
+
+        builder = PromptBuilder(["A", "B"])
+        prompts = [builder.zero_shot(f"unique title {i}", f"unique abstract {i}") for i in range(10)]
+        report = analyze_prefix_sharing(prompts)
+        assert report.savings_fraction < 0.3

@@ -1,0 +1,40 @@
+"""Tests for the token pricing model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.llm.pricing import PRICES_PER_1K_TOKENS, cost_usd
+
+
+class TestCost:
+    def test_paper_example(self):
+        """The paper's motivating number: 1,200 input tokens on GPT-3.5 ≈ $0.0006."""
+        assert cost_usd("gpt-3.5", 1200) == pytest.approx(0.0006)
+
+    def test_industrial_scale_example(self):
+        """10M queries × 1,200 tokens ≈ $6,000 on GPT-3.5 (paper Sec. I)."""
+        assert cost_usd("gpt-3.5", 1200 * 10_000_000) == pytest.approx(6000.0)
+
+    def test_gpt4_is_60x_pricier_on_input(self):
+        ratio = cost_usd("gpt-4", 1000) / cost_usd("gpt-3.5", 1000)
+        assert ratio == pytest.approx(60.0)
+
+    def test_output_tokens_priced_separately(self):
+        in_only = cost_usd("gpt-3.5", 1000, 0)
+        with_out = cost_usd("gpt-3.5", 1000, 1000)
+        assert with_out == pytest.approx(in_only + PRICES_PER_1K_TOKENS["gpt-3.5"].output_per_1k)
+
+    def test_case_insensitive(self):
+        assert cost_usd("GPT-3.5", 1000) == cost_usd("gpt-3.5", 1000)
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            cost_usd("claude-9", 10)
+
+    def test_negative_tokens(self):
+        with pytest.raises(ValueError):
+            cost_usd("gpt-3.5", -1)
+
+    def test_zero_cost_for_zero_tokens(self):
+        assert cost_usd("gpt-4", 0, 0) == 0.0

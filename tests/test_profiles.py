@@ -1,0 +1,49 @@
+"""Tests for the per-model presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.llm.profiles import MODEL_PROFILES, make_model
+from repro.text.vocabulary import ClassVocabulary
+
+
+@pytest.fixture(scope="module")
+def vocab() -> ClassVocabulary:
+    return ClassVocabulary.build(["A", "B", "C"], seed=0)
+
+
+class TestMakeModel:
+    def test_known_models(self, vocab):
+        for name in MODEL_PROFILES:
+            llm = make_model(name, vocab)
+            assert llm.name == name
+
+    def test_unknown_model(self, vocab):
+        with pytest.raises(KeyError):
+            make_model("gpt-9", vocab)
+
+    def test_case_insensitive(self, vocab):
+        assert make_model("GPT-3.5", vocab).name == "gpt-3.5"
+
+    def test_profiles_match_paper_finding(self, vocab):
+        """GPT-4o-mini underperforms GPT-3.5 on TAGs (Table VII), so its
+        preset must be noisier and more biased."""
+        gpt35 = make_model("gpt-3.5", vocab)
+        mini = make_model("gpt-4o-mini", vocab)
+        assert mini.noise_scale > gpt35.noise_scale
+        assert mini.label_weight > gpt35.label_weight  # but boosts a bit more
+
+    def test_bias_profiles_differ_between_models(self, vocab):
+        import numpy as np
+
+        a = make_model("gpt-3.5", vocab, seed=1)
+        b = make_model("gpt-4o-mini", vocab, seed=1)
+        assert not np.array_equal(a.bias.penalties, b.bias.penalties)
+
+    def test_priced_model_names(self):
+        """Preset names must exist in the pricing table so costs resolve."""
+        from repro.llm.pricing import PRICES_PER_1K_TOKENS
+
+        for name in MODEL_PROFILES:
+            assert name in PRICES_PER_1K_TOKENS

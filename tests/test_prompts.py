@@ -1,0 +1,91 @@
+"""Tests for prompt construction (Table III templates)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.prompts.builder import NeighborEntry, PromptBuilder
+from repro.prompts.link import LinkEndpoint, LinkPromptBuilder
+
+CLASSES = ["Database", "Agents"]
+
+
+@pytest.fixture()
+def builder() -> PromptBuilder:
+    return PromptBuilder(CLASSES, node_type="paper", edge_type="citation", text_field="Abstract")
+
+
+class TestZeroShot:
+    def test_contains_target_and_task(self, builder):
+        prompt = builder.zero_shot("My Title", "My abstract text")
+        assert "Target paper: Title: My Title" in prompt
+        assert "Abstract: My abstract text" in prompt
+        assert "[Database, Agents]" in prompt
+        assert "Category: ['XX']" in prompt
+
+    def test_no_neighbor_section(self, builder):
+        prompt = builder.zero_shot("T", "A")
+        assert "Neighbor" not in prompt
+
+
+class TestWithNeighbors:
+    def test_neighbor_blocks_numbered(self, builder):
+        prompt = builder.with_neighbors(
+            "T",
+            "A",
+            [NeighborEntry(title="N0"), NeighborEntry(title="N1")],
+        )
+        assert "Neighbor Paper0: {{" in prompt
+        assert "Neighbor Paper1: {{" in prompt
+
+    def test_labels_rendered_when_present(self, builder):
+        prompt = builder.with_neighbors(
+            "T", "A", [NeighborEntry(title="N0", label_name="Database"), NeighborEntry(title="N1")]
+        )
+        assert "Category: Database" in prompt
+        assert prompt.count("Category: Database") == 1
+
+    def test_abstracts_optional(self, builder):
+        with_abs = builder.with_neighbors("T", "A", [NeighborEntry(title="N", abstract="NA")])
+        without = builder.with_neighbors("T", "A", [NeighborEntry(title="N")])
+        assert "Abstract: NA" in with_abs
+        assert len(with_abs) > len(without)
+
+    def test_sns_header_suffix(self, builder):
+        ranked = builder.with_neighbors("T", "A", [NeighborEntry(title="N")], similarity_ranked=True)
+        plain = builder.with_neighbors("T", "A", [NeighborEntry(title="N")])
+        assert "from most related to least related" in ranked
+        assert "from most related to least related" not in plain
+
+    def test_empty_neighbors_degenerates_to_zero_shot(self, builder):
+        assert builder.with_neighbors("T", "A", []) == builder.zero_shot("T", "A")
+
+    def test_product_wording(self):
+        pb = PromptBuilder(CLASSES, node_type="product", edge_type="co-purchase", text_field="Description")
+        prompt = pb.with_neighbors("T", "A", [NeighborEntry(title="N")])
+        assert "Target product" in prompt
+        assert "co-purchase relationships" in prompt
+        assert "Neighbor Product0" in prompt
+        assert "Description: A" in prompt
+
+    def test_requires_classes(self):
+        with pytest.raises(ValueError):
+            PromptBuilder([])
+
+
+class TestLinkPrompts:
+    def test_contains_both_endpoints(self):
+        lb = LinkPromptBuilder()
+        prompt = lb.build(
+            LinkEndpoint("T1", "A1", neighbor_titles=("N1", "N2")),
+            LinkEndpoint("T2", "A2"),
+        )
+        assert "First paper: Title: T1" in prompt
+        assert "Second paper: Title: T2" in prompt
+        assert "Neighbor 0: Title: N1" in prompt
+        assert "Answer: ['Yes'] or Answer: ['No']" in prompt
+
+    def test_no_neighbor_lines_without_context(self):
+        lb = LinkPromptBuilder()
+        prompt = lb.build(LinkEndpoint("T1", "A1"), LinkEndpoint("T2", "A2"))
+        assert "Known citation neighbors" not in prompt

@@ -1,0 +1,105 @@
+"""Tests for the token pruning strategy (Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pruning import TokenPruningPlan, plan_token_pruning
+
+
+class TestPlanTokenPruning:
+    def test_prunes_lowest_scores(self):
+        nodes = np.array([10, 20, 30, 40])
+        scores = np.array([0.9, 0.1, 0.5, 0.3])
+        plan = plan_token_pruning(nodes, scores, tau=0.5)
+        assert plan.pruned == {20, 40}
+        assert list(plan.order) == [20, 40, 30, 10]
+
+    def test_tau_zero(self):
+        plan = plan_token_pruning(np.array([1, 2]), np.array([0.1, 0.2]), tau=0.0)
+        assert plan.pruned == frozenset()
+
+    def test_tau_one(self):
+        plan = plan_token_pruning(np.array([1, 2]), np.array([0.1, 0.2]), tau=1.0)
+        assert plan.pruned == {1, 2}
+
+    def test_kept_is_complement(self):
+        nodes = np.arange(10)
+        scores = np.linspace(0, 1, 10)
+        plan = plan_token_pruning(nodes, scores, tau=0.3)
+        assert plan.kept | plan.pruned == set(range(10))
+        assert plan.kept & plan.pruned == set()
+
+    def test_ties_broken_by_node_id(self):
+        plan = plan_token_pruning(np.array([5, 3]), np.array([0.5, 0.5]), tau=0.5)
+        assert plan.pruned == {3}
+
+    def test_invalid_tau(self):
+        with pytest.raises(ValueError):
+            plan_token_pruning(np.array([1]), np.array([0.5]), tau=1.5)
+
+    def test_misaligned(self):
+        with pytest.raises(ValueError):
+            plan_token_pruning(np.array([1, 2]), np.array([0.5]), tau=0.5)
+
+    @given(
+        st.integers(min_value=1, max_value=60),
+        st.floats(min_value=0, max_value=1),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_prune_count_matches_tau(self, n, tau, seed):
+        rng = np.random.default_rng(seed)
+        nodes = rng.permutation(n * 3)[:n]
+        scores = rng.random(n)
+        plan = plan_token_pruning(nodes, scores, tau)
+        assert len(plan.pruned) == round(tau * n)
+        # Pruned scores never exceed kept scores.
+        by_node = dict(zip(nodes.tolist(), scores.tolist()))
+        if plan.pruned and plan.kept:
+            assert max(by_node[v] for v in plan.pruned) <= min(by_node[v] for v in plan.kept) + 1e-12
+
+
+class TestStrategyExecution:
+    @pytest.fixture()
+    def strategy(self, tiny_graph, tiny_split, tiny_builder, tiny_tag):
+        from repro.core.inadequacy import TextInadequacyScorer
+        from repro.core.pruning import TokenPruningStrategy
+        from repro.llm.simulated import SimulatedLLM
+        from repro.ml.mlp import MLPClassifier
+
+        scorer = TextInadequacyScorer(
+            surrogate=MLPClassifier(hidden_sizes=(), epochs=80, learning_rate=0.05),
+            calibration_per_class=8,
+            seed=1,
+        )
+        scorer.fit(tiny_graph, tiny_split.labeled, SimulatedLLM(tiny_tag.vocabulary, seed=5), tiny_builder)
+        return TokenPruningStrategy(scorer)
+
+    def test_execute_prunes_expected_fraction(self, strategy, make_tiny_engine, tiny_split):
+        engine = make_tiny_engine()
+        result, plan = strategy.execute(engine, tiny_split.queries, tau=0.25)
+        pruned_records = [r for r in result.records if r.pruned]
+        assert len(pruned_records) == len(plan.pruned) == round(0.25 * tiny_split.num_queries)
+
+    def test_pruned_run_costs_fewer_tokens(self, strategy, make_tiny_engine, tiny_split):
+        base = make_tiny_engine().run(tiny_split.queries)
+        pruned, _ = strategy.execute(make_tiny_engine(), tiny_split.queries, tau=0.5)
+        assert pruned.total_tokens < base.total_tokens
+
+    def test_accuracy_not_collapsed(self, strategy, make_tiny_engine, tiny_split):
+        """Pruning 20% saturated queries must not crater accuracy (Q1 shape)."""
+        base = make_tiny_engine().run(tiny_split.queries)
+        pruned, _ = strategy.execute(make_tiny_engine(), tiny_split.queries, tau=0.2)
+        assert pruned.accuracy >= base.accuracy - 0.05
+
+    def test_plan_by_budget(self, strategy, tiny_split):
+        n = tiny_split.num_queries
+        plan = strategy.plan_by_budget(
+            tiny_split.queries, budget=n * 400.0, avg_tokens_full=500.0, avg_tokens_neighbor=200.0
+        )
+        assert plan.tau == pytest.approx(0.5)
+        assert len(plan.pruned) == round(0.5 * n)

@@ -1,0 +1,113 @@
+"""Tests for failure injection and retry wrappers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.llm.caching import CachingLLM
+from repro.llm.reliability import FlakyLLM, RetryingLLM, TransientLLMError
+from repro.llm.simulated import SimulatedLLM
+from repro.prompts.builder import PromptBuilder
+from repro.text.vocabulary import ClassVocabulary
+
+
+@pytest.fixture()
+def prompt_and_inner():
+    vocab = ClassVocabulary.build(["A", "B"], seed=0)
+    inner = SimulatedLLM(vocab, seed=1)
+    prompt = PromptBuilder(["A", "B"]).zero_shot("t", " ".join(vocab.class_words[0][:8]))
+    return prompt, inner
+
+
+class TestFlakyLLM:
+    def test_deterministic_failures(self, prompt_and_inner):
+        prompt, inner = prompt_and_inner
+        outcomes = []
+        flaky = FlakyLLM(inner, failure_rate=0.5, seed=3)
+        for _ in range(20):
+            try:
+                flaky.complete(prompt)
+                outcomes.append(True)
+            except TransientLLMError:
+                outcomes.append(False)
+        flaky2 = FlakyLLM(SimulatedLLM(inner.vocabulary, seed=1), failure_rate=0.5, seed=3)
+        outcomes2 = []
+        for _ in range(20):
+            try:
+                flaky2.complete(prompt)
+                outcomes2.append(True)
+            except TransientLLMError:
+                outcomes2.append(False)
+        assert outcomes == outcomes2
+        assert not all(outcomes) and any(outcomes)
+
+    def test_zero_rate_never_fails(self, prompt_and_inner):
+        prompt, inner = prompt_and_inner
+        flaky = FlakyLLM(inner, failure_rate=0.0)
+        for _ in range(5):
+            flaky.complete(prompt)
+        assert flaky.failures == 0
+
+    def test_failed_calls_cost_nothing(self, prompt_and_inner):
+        prompt, inner = prompt_and_inner
+        flaky = FlakyLLM(inner, failure_rate=0.99, seed=0)
+        with pytest.raises(TransientLLMError):
+            for _ in range(50):
+                flaky.complete(prompt)
+        assert inner.usage.total_tokens == flaky.usage.total_tokens
+
+    def test_invalid_rate(self, prompt_and_inner):
+        _, inner = prompt_and_inner
+        with pytest.raises(ValueError):
+            FlakyLLM(inner, failure_rate=1.0)
+
+
+class TestRetryingLLM:
+    def test_recovers_from_transient_failures(self, prompt_and_inner):
+        prompt, inner = prompt_and_inner
+        flaky = FlakyLLM(inner, failure_rate=0.4, seed=7)
+        retrying = RetryingLLM(flaky, max_attempts=6)
+        for _ in range(20):
+            response = retrying.complete(prompt)
+            assert response.text
+        assert retrying.retries > 0
+
+    def test_gives_up_after_max_attempts(self, prompt_and_inner):
+        prompt, inner = prompt_and_inner
+        always_down = FlakyLLM(inner, failure_rate=0.999, seed=1)
+        retrying = RetryingLLM(always_down, max_attempts=3)
+        with pytest.raises(TransientLLMError, match="gave up after 3 attempts"):
+            retrying.complete(prompt)
+
+    def test_backoff_schedule_capped(self, prompt_and_inner):
+        prompt, inner = prompt_and_inner
+        always_down = FlakyLLM(inner, failure_rate=0.999, seed=1)
+        retrying = RetryingLLM(always_down, max_attempts=5, base_delay=1.0, max_delay=3.0)
+        with pytest.raises(TransientLLMError):
+            retrying.complete(prompt)
+        # Waits: 1, 2, 3(cap), 3(cap) = 9 simulated seconds.
+        assert retrying.simulated_wait_seconds == pytest.approx(9.0)
+
+    def test_usage_tracks_only_successes(self, prompt_and_inner):
+        prompt, inner = prompt_and_inner
+        flaky = FlakyLLM(inner, failure_rate=0.4, seed=7)
+        retrying = RetryingLLM(flaky, max_attempts=6)
+        for _ in range(10):
+            retrying.complete(prompt)
+        assert retrying.usage.num_queries == 10
+
+    def test_composes_with_cache(self, prompt_and_inner):
+        """Realistic production stack: retry(flaky) under a cache."""
+        prompt, inner = prompt_and_inner
+        stack = CachingLLM(RetryingLLM(FlakyLLM(inner, failure_rate=0.3, seed=2), max_attempts=8))
+        first = stack.complete(prompt)
+        second = stack.complete(prompt)
+        assert first.text == second.text
+        assert stack.hits == 1
+
+    def test_invalid_params(self, prompt_and_inner):
+        _, inner = prompt_and_inner
+        with pytest.raises(ValueError):
+            RetryingLLM(inner, max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryingLLM(inner, base_delay=5.0, max_delay=1.0)

@@ -1,0 +1,55 @@
+"""Tests for ASCII table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import format_value, percent_change, render_table
+
+
+class TestFormatValue:
+    def test_floats_rounded(self):
+        assert format_value(1.23456) == "1.2"
+        assert format_value(1.23456, precision=3) == "1.235"
+
+    def test_ints_grouped(self):
+        assert format_value(1234567) == "1,234,567"
+
+    def test_strings_passthrough(self):
+        assert format_value("abc") == "abc"
+
+    def test_bools_not_grouped(self):
+        assert format_value(True) == "True"
+
+
+class TestRenderTable:
+    def test_aligned_output(self):
+        out = render_table(["A", "BBB"], [[1, 2], [33, 4]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows equal width
+
+    def test_contains_cells(self):
+        out = render_table(["x"], [["hello"]])
+        assert "hello" in out and "| x" in out
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_headers(self):
+        with pytest.raises(ValueError):
+            render_table([], [])
+
+
+class TestPercentChange:
+    def test_positive(self):
+        assert percent_change(110, 100) == pytest.approx(10.0)
+
+    def test_negative(self):
+        assert percent_change(95, 100) == pytest.approx(-5.0)
+
+    def test_zero_base(self):
+        with pytest.raises(ValueError):
+            percent_change(1, 0)

@@ -1,0 +1,50 @@
+"""Tests for response formatting and parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.llm.responses import format_category_response, parse_category_response
+
+CLASSES = ["Case_Based", "Neural_Networks", "Theory"]
+
+
+class TestFormat:
+    def test_canonical_form(self):
+        assert format_category_response("Theory") == "Category: ['Theory']"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_category_response("")
+
+
+class TestParse:
+    def test_roundtrip(self):
+        for i, name in enumerate(CLASSES):
+            assert parse_category_response(format_category_response(name), CLASSES) == i
+
+    def test_double_quotes(self):
+        assert parse_category_response('Category: ["Theory"]', CLASSES) == 2
+
+    def test_case_insensitive(self):
+        assert parse_category_response("category: ['theory']", CLASSES) == 2
+
+    def test_bare_class_name(self):
+        assert parse_category_response("Neural_Networks", CLASSES) == 1
+
+    def test_name_with_different_separators(self):
+        assert parse_category_response("Category: ['neural networks']", CLASSES) == 1
+
+    def test_embedded_in_prose(self):
+        text = "The paper is most likely about Theory given its content."
+        assert parse_category_response(text, CLASSES) == 2
+
+    def test_unknown_returns_none(self):
+        assert parse_category_response("no idea", CLASSES) is None
+
+    def test_requires_classes(self):
+        with pytest.raises(ValueError):
+            parse_category_response("x", [])
+
+    def test_whitespace_tolerance(self):
+        assert parse_category_response("Category:   [ 'Theory' ]", CLASSES) == 2

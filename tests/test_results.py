@@ -1,0 +1,77 @@
+"""Tests for run records and aggregates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.results import QueryRecord, RunResult
+
+
+def record(node=0, true=1, pred=1, pt=100, ct=5, nbrs=2, labels=1, pseudo=0, pruned=False, rnd=None):
+    return QueryRecord(
+        node=node,
+        true_label=true,
+        predicted_label=pred,
+        prompt_tokens=pt,
+        completion_tokens=ct,
+        num_neighbors=nbrs,
+        num_neighbor_labels=labels,
+        num_pseudo_labels=pseudo,
+        pruned=pruned,
+        round_index=rnd,
+    )
+
+
+class TestQueryRecord:
+    def test_correct(self):
+        assert record(pred=1, true=1).correct
+        assert not record(pred=0, true=1).correct
+
+    def test_unparseable_is_incorrect(self):
+        assert not record(pred=None).correct
+
+    def test_total_tokens(self):
+        assert record(pt=10, ct=3).total_tokens == 13
+
+
+class TestRunResult:
+    def test_accuracy(self):
+        result = RunResult([record(pred=1), record(pred=0), record(pred=1)])
+        assert result.accuracy == pytest.approx(2 / 3)
+
+    def test_empty_accuracy_raises(self):
+        with pytest.raises(ValueError):
+            RunResult().accuracy
+
+    def test_token_sums(self):
+        result = RunResult([record(pt=10, ct=1), record(pt=20, ct=2)])
+        assert result.prompt_tokens == 30
+        assert result.completion_tokens == 3
+        assert result.total_tokens == 33
+
+    def test_queries_with_neighbors(self):
+        result = RunResult([record(nbrs=0), record(nbrs=3)])
+        assert result.queries_with_neighbors == 1
+
+    def test_pseudo_label_uses(self):
+        result = RunResult([record(pseudo=2), record(pseudo=1)])
+        assert result.pseudo_label_uses == 3
+
+    def test_num_rounds(self):
+        result = RunResult([record(rnd=0), record(rnd=0), record(rnd=2)])
+        assert result.num_rounds == 2
+
+    def test_cost_usd(self):
+        result = RunResult([record(pt=1000, ct=0)])
+        assert result.cost_usd("gpt-3.5") == pytest.approx(0.0005)
+
+    def test_cost_usd_or_none_for_unpriced(self):
+        result = RunResult([record()])
+        assert result.cost_usd_or_none("instructglm-1hop-raw-nopath") is None
+        assert result.cost_usd_or_none("gpt-3.5") is not None
+
+    def test_add_and_extend(self):
+        result = RunResult()
+        result.add(record())
+        result.extend([record(), record()])
+        assert result.num_queries == 3

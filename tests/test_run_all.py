@@ -1,0 +1,52 @@
+"""Tests for the run-everything orchestrator."""
+
+from __future__ import annotations
+
+from repro.experiments.run_all import ExperimentOutcome, run_all, write_report
+
+
+class TestRegistry:
+    def test_covers_every_paper_artifact(self):
+        from repro.experiments.run_all import _registry
+
+        names = [name for name, _, _ in _registry(num_queries=10)]
+        assert names == [
+            "fig3", "table4", "fig7", "table5", "table6",
+            "fig8", "table7", "table8", "table9", "table10",
+        ]
+
+
+class TestWriteReport:
+    def test_report_contains_sections_and_failures(self, tmp_path):
+        outcomes = [
+            ExperimentOutcome(name="ok", title="OK experiment", text="| table |", seconds=1.0),
+            ExperimentOutcome(name="bad", title="Broken one", text="", seconds=0.1, error="Boom: x"),
+        ]
+        path = write_report(outcomes, tmp_path / "report.md")
+        content = path.read_text()
+        assert "## OK experiment" in content
+        assert "| table |" in content
+        assert "**FAILED**: Boom: x" in content
+
+    def test_outcome_ok_property(self):
+        assert ExperimentOutcome("a", "t", "x", 0.1).ok
+        assert not ExperimentOutcome("a", "t", "", 0.1, error="e").ok
+
+
+class TestRunAllSmoke:
+    def test_single_experiment_path_works(self, monkeypatch, tmp_path):
+        """Exercise run_all's error isolation with a stubbed registry."""
+        import repro.experiments.run_all as run_all_module
+
+        def fake_registry(num_queries):
+            return [
+                ("good", "Good", lambda: "fine"),
+                ("bad", "Bad", lambda: (_ for _ in ()).throw(RuntimeError("nope"))),
+            ]
+
+        monkeypatch.setattr(run_all_module, "_registry", fake_registry)
+        outcomes = run_all_module.run_all(num_queries=5)
+        assert outcomes[0].ok and outcomes[0].text == "fine"
+        assert not outcomes[1].ok and "nope" in outcomes[1].error
+        report = write_report(outcomes, tmp_path / "r.md")
+        assert "fine" in report.read_text()

@@ -1,0 +1,80 @@
+"""Tests for k-hop BFS sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.sampling import bfs_hops, k_hop_neighbors
+from repro.graph.tag import TextAttributedGraph
+from repro.text.corpus import NodeText
+
+
+@pytest.fixture(scope="module")
+def path_graph() -> TextAttributedGraph:
+    # 0 - 1 - 2 - 3 - 4 plus a branch 1 - 5
+    edges = np.array([(0, 1), (1, 2), (2, 3), (3, 4), (1, 5)])
+    n = 6
+    return TextAttributedGraph.from_edges(
+        num_nodes=n,
+        edges=edges,
+        labels=np.zeros(n, dtype=np.int64),
+        texts=[NodeText(f"t{i}", f"a{i}") for i in range(n)],
+        features=np.zeros((n, 2), dtype=np.float32),
+        class_names=["only"],
+    )
+
+
+class TestBfsHops:
+    def test_layers(self, path_graph):
+        layers = bfs_hops(path_graph, 0, 3)
+        assert list(layers[1]) == [1]
+        assert list(layers[2]) == [2, 5]
+        assert list(layers[3]) == [3]
+
+    def test_zero_hops(self, path_graph):
+        assert bfs_hops(path_graph, 0, 0) == {}
+
+    def test_stops_when_exhausted(self, path_graph):
+        layers = bfs_hops(path_graph, 0, 100)
+        assert max(layers) == 4  # graph diameter from node 0
+
+    def test_node_never_in_layers(self, path_graph):
+        layers = bfs_hops(path_graph, 2, 5)
+        for layer in layers.values():
+            assert 2 not in layer
+
+    def test_invalid_node(self, path_graph):
+        with pytest.raises(ValueError):
+            bfs_hops(path_graph, 99, 1)
+
+    def test_negative_hops(self, path_graph):
+        with pytest.raises(ValueError):
+            bfs_hops(path_graph, 0, -1)
+
+
+class TestKHop:
+    def test_one_hop(self, path_graph):
+        assert list(k_hop_neighbors(path_graph, 1, 1)) == [0, 2, 5]
+
+    def test_two_hop_unions_layers(self, path_graph):
+        assert list(k_hop_neighbors(path_graph, 0, 2)) == [1, 2, 5]
+
+    def test_isolated_node(self):
+        g = TextAttributedGraph.from_edges(
+            num_nodes=2,
+            edges=np.empty((0, 2), dtype=np.int64),
+            labels=np.zeros(2, dtype=np.int64),
+            texts=[NodeText("t", "a")] * 2,
+            features=np.zeros((2, 1), dtype=np.float32),
+            class_names=["only"],
+        )
+        assert k_hop_neighbors(g, 0, 3).size == 0
+
+    def test_monotone_in_k(self, path_graph):
+        for node in range(path_graph.num_nodes):
+            prev: set[int] = set()
+            for k in range(1, 5):
+                current = set(k_hop_neighbors(path_graph, node, k).tolist())
+                assert prev <= current
+                prev = current

@@ -1,0 +1,73 @@
+"""Tests for the pseudo-label utilization simulation (Fig. 8 machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.scheduling import pseudo_label_utilization
+from repro.selection.random_khop import KHopRandomSelector
+
+
+class TestUtilization:
+    def test_reports_have_expected_shape(self, tiny_graph, tiny_split):
+        report = pseudo_label_utilization(
+            tiny_graph,
+            tiny_split.queries,
+            tiny_split.labeled,
+            KHopRandomSelector(k=1),
+            max_neighbors=4,
+            num_rounds=10,
+            scheduled=True,
+        )
+        assert report.queries == tiny_split.num_queries
+        assert 1 <= report.rounds <= 10
+        assert report.utilization >= 0
+
+    def test_scheduling_does_not_reduce_utilization(self, tiny_graph, tiny_split):
+        """The algorithm's purpose: scheduled >= random (Fig. 8's shape)."""
+        common = dict(
+            graph=tiny_graph,
+            queries=tiny_split.queries,
+            labeled=tiny_split.labeled,
+            selector=KHopRandomSelector(k=2),
+            max_neighbors=4,
+            num_rounds=10,
+            seed=3,
+        )
+        scheduled = pseudo_label_utilization(scheduled=True, **common)
+        random_ = pseudo_label_utilization(scheduled=False, **common)
+        assert scheduled.utilization >= random_.utilization
+
+    def test_larger_config_more_utilization(self, tiny_graph, tiny_split):
+        """2-hop M=10 must beat 1-hop M=4 (richer query associations)."""
+        small = pseudo_label_utilization(
+            tiny_graph, tiny_split.queries, tiny_split.labeled,
+            KHopRandomSelector(k=1), max_neighbors=4, num_rounds=10, scheduled=True,
+        )
+        large = pseudo_label_utilization(
+            tiny_graph, tiny_split.queries, tiny_split.labeled,
+            KHopRandomSelector(k=2), max_neighbors=10, num_rounds=10, scheduled=True,
+        )
+        assert large.utilization >= small.utilization
+
+    def test_single_round_has_zero_utilization(self, tiny_graph, tiny_split):
+        """All queries in one round -> no earlier pseudo-labels to use."""
+        report = pseudo_label_utilization(
+            tiny_graph, tiny_split.queries, tiny_split.labeled,
+            KHopRandomSelector(k=2), max_neighbors=10, num_rounds=1, scheduled=True,
+        )
+        assert report.utilization == 0
+
+    def test_deterministic(self, tiny_graph, tiny_split):
+        args = (tiny_graph, tiny_split.queries, tiny_split.labeled, KHopRandomSelector(k=1), 4)
+        a = pseudo_label_utilization(*args, num_rounds=5, scheduled=False, seed=7)
+        b = pseudo_label_utilization(*args, num_rounds=5, scheduled=False, seed=7)
+        assert a == b
+
+    def test_empty_queries_rejected(self, tiny_graph, tiny_split):
+        with pytest.raises(ValueError):
+            pseudo_label_utilization(
+                tiny_graph, np.array([], dtype=np.int64), tiny_split.labeled,
+                KHopRandomSelector(k=1), 4,
+            )

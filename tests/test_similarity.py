@@ -1,0 +1,85 @@
+"""Tests for cosine-similarity ranking utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.text.similarity import cosine_similarity, pairwise_cosine, top_k_similar
+
+
+class TestCosine:
+    def test_identical_vectors(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert cosine_similarity(v, v) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert cosine_similarity(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(0.0)
+
+    def test_opposite(self):
+        assert cosine_similarity(np.array([1.0]), np.array([-1.0])) == pytest.approx(-1.0)
+
+    def test_zero_vector(self):
+        assert cosine_similarity(np.zeros(3), np.ones(3)) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            cosine_similarity(np.ones(2), np.ones(3))
+
+    @given(
+        arrays(np.float64, 4, elements=st.floats(-5, 5)),
+        arrays(np.float64, 4, elements=st.floats(-5, 5)),
+    )
+    def test_bounded(self, a, b):
+        assert -1.0 - 1e-9 <= cosine_similarity(a, b) <= 1.0 + 1e-9
+
+
+class TestPairwise:
+    def test_matches_scalar_cosine(self):
+        q = np.array([1.0, 2.0, 0.0])
+        cands = np.array([[1.0, 2.0, 0.0], [0.0, 0.0, 1.0], [2.0, 4.0, 0.0]])
+        sims = pairwise_cosine(q, cands)
+        for i in range(3):
+            assert sims[i] == pytest.approx(cosine_similarity(q, cands[i]))
+
+    def test_zero_rows_get_zero(self):
+        sims = pairwise_cosine(np.ones(2), np.zeros((3, 2)))
+        assert (sims == 0).all()
+
+    def test_zero_query(self):
+        sims = pairwise_cosine(np.zeros(2), np.ones((3, 2)))
+        assert (sims == 0).all()
+
+    def test_bad_shapes(self):
+        with pytest.raises(ValueError):
+            pairwise_cosine(np.ones(2), np.ones((3, 4)))
+
+
+class TestTopK:
+    def test_orders_by_similarity(self):
+        q = np.array([1.0, 0.0])
+        cands = np.array([[0.0, 1.0], [1.0, 0.1], [1.0, 0.0]])
+        order = top_k_similar(q, cands, k=3)
+        assert list(order) == [2, 1, 0]
+
+    def test_k_truncates(self):
+        q = np.ones(2)
+        cands = np.eye(2)
+        assert top_k_similar(q, cands, k=1).shape == (1,)
+
+    def test_k_larger_than_candidates(self):
+        q = np.ones(2)
+        cands = np.eye(2)
+        assert top_k_similar(q, cands, k=10).shape == (2,)
+
+    def test_ties_broken_by_index(self):
+        q = np.array([1.0, 0.0])
+        cands = np.array([[2.0, 0.0], [1.0, 0.0]])
+        assert list(top_k_similar(q, cands, k=2)) == [0, 1]
+
+    def test_negative_k(self):
+        with pytest.raises(ValueError):
+            top_k_similar(np.ones(2), np.eye(2), k=-1)

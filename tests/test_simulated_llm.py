@@ -1,0 +1,141 @@
+"""Tests for the simulated black-box LLM."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.llm.responses import parse_category_response
+from repro.llm.simulated import SimulatedLLM, parse_prompt
+from repro.prompts.builder import NeighborEntry, PromptBuilder
+from repro.text.vocabulary import ClassVocabulary
+
+
+@pytest.fixture(scope="module")
+def vocab() -> ClassVocabulary:
+    return ClassVocabulary.build(["Apple", "Banana", "Cherry"], seed=9, words_per_class=40)
+
+
+@pytest.fixture(scope="module")
+def builder() -> PromptBuilder:
+    return PromptBuilder(["Apple", "Banana", "Cherry"])
+
+
+def class_text(vocab: ClassVocabulary, k: int, n: int = 20) -> str:
+    return " ".join(vocab.class_words[k][:n])
+
+
+class TestParsePrompt:
+    def test_roundtrip_with_builder(self, vocab, builder):
+        prompt = builder.with_neighbors(
+            "my title",
+            "my abstract",
+            [
+                NeighborEntry(title="n0 title", label_name="Apple"),
+                NeighborEntry(title="n1 title"),
+            ],
+        )
+        parsed = parse_prompt(prompt)
+        assert parsed.target_title == "my title"
+        assert parsed.target_abstract == "my abstract"
+        assert parsed.neighbor_texts == ("n0 title", "n1 title")
+        assert parsed.neighbor_labels == ("Apple", None)
+        assert parsed.category_names == ("Apple", "Banana", "Cherry")
+
+    def test_neighbor_abstract_included_in_text(self, vocab, builder):
+        prompt = builder.with_neighbors(
+            "t", "a", [NeighborEntry(title="nt", abstract="nabs")]
+        )
+        parsed = parse_prompt(prompt)
+        assert parsed.neighbor_texts == ("nt nabs",)
+
+    def test_missing_target_rejected(self):
+        with pytest.raises(ValueError, match="Target"):
+            parse_prompt("Categories:\n[A]\n")
+
+    def test_missing_categories_rejected(self):
+        with pytest.raises(ValueError, match="Categories"):
+            parse_prompt("Target paper: Title: t\nAbstract: a\n")
+
+
+class TestClassification:
+    def test_clear_text_classified_correctly(self, vocab, builder):
+        llm = SimulatedLLM(vocab, noise_scale=0.01, seed=0)
+        for k, name in enumerate(vocab.class_names):
+            prompt = builder.zero_shot(f"about {name}", class_text(vocab, k))
+            response = llm.complete(prompt)
+            assert parse_category_response(response.text, list(vocab.class_names)) == k
+
+    def test_neighbor_labels_shift_prediction(self, vocab, builder):
+        """Ambiguous text + strong label votes should follow the labels."""
+        llm = SimulatedLLM(vocab, label_weight=2.0, noise_scale=0.01, seed=0)
+        mixed = class_text(vocab, 0, 10) + " " + class_text(vocab, 1, 10)
+        neighbors = [NeighborEntry(title="n", label_name="Banana") for _ in range(3)]
+        prompt = builder.with_neighbors("ambiguous", mixed, neighbors)
+        response = llm.complete(prompt)
+        assert parse_category_response(response.text, list(vocab.class_names)) == 1
+
+    def test_deterministic_per_node(self, vocab, builder):
+        llm = SimulatedLLM(vocab, seed=0)
+        prompt = builder.zero_shot("some title", class_text(vocab, 2, 5))
+        assert llm.complete(prompt).text == llm.complete(prompt).text
+
+    def test_noise_stable_across_prompt_variants(self, vocab, builder):
+        """Same node, different neighbors -> same node noise (paired design)."""
+        llm = SimulatedLLM(vocab, seed=0)
+        a = llm._node_noise("title x")
+        b = llm._node_noise("title x")
+        assert np.array_equal(a, b)
+
+    def test_different_models_read_differently(self, vocab, builder):
+        a = SimulatedLLM(vocab, name="m1", seed=0)._node_noise("t")
+        b = SimulatedLLM(vocab, name="m2", seed=0)._node_noise("t")
+        assert not np.array_equal(a, b)
+
+    def test_usage_tracked(self, vocab, builder):
+        llm = SimulatedLLM(vocab, seed=0)
+        prompt = builder.zero_shot("t", class_text(vocab, 0, 5))
+        response = llm.complete(prompt)
+        assert llm.usage.num_queries == 1
+        assert llm.usage.prompt_tokens == response.prompt_tokens > 0
+        assert llm.usage.completion_tokens == response.completion_tokens > 0
+
+    def test_empty_prompt_rejected(self, vocab):
+        with pytest.raises(ValueError):
+            SimulatedLLM(vocab).complete("")
+
+    def test_unknown_categories_answer_first(self, vocab):
+        llm = SimulatedLLM(vocab, seed=0)
+        prompt = (
+            "Target paper: Title: t\nAbstract: a\n"
+            "Task:\nCategories:\n[Zed, Yed]\nWhich category does the target paper belong to?\n"
+            "Please output the most likely category as a Python list: Category: ['XX']."
+        )
+        assert llm.complete(prompt).text == "Category: ['Zed']"
+
+
+class TestDilution:
+    def test_more_neighbors_weaken_text_evidence(self, vocab, builder):
+        llm = SimulatedLLM(vocab, dilution_rate=0.2, neighbor_weight=0.0, noise_scale=0.0, seed=0)
+        clear = builder.zero_shot("t", class_text(vocab, 0))
+        diluted = builder.with_neighbors(
+            "t", class_text(vocab, 0), [NeighborEntry(title="x") for _ in range(4)]
+        )
+        score_clear = llm.score_classes(parse_prompt(clear))
+        score_diluted = llm.score_classes(parse_prompt(diluted))
+        # Dilution shrinks the top-class score (noise/labels are zero here;
+        # keyword-free neighbor titles vote uniformly which we subtract).
+        uniform = 0.0  # neighbor_weight=0 -> no vote at all
+        assert score_diluted[0] + uniform < score_clear[0]
+
+
+class TestValidation:
+    def test_negative_weight_rejected(self, vocab):
+        with pytest.raises(ValueError):
+            SimulatedLLM(vocab, label_weight=-0.1)
+
+    def test_bias_size_mismatch(self, vocab):
+        from repro.llm.bias import BiasProfile
+
+        with pytest.raises(ValueError, match="bias"):
+            SimulatedLLM(vocab, bias=BiasProfile(penalties=np.zeros(5)))

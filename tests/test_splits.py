@@ -1,0 +1,66 @@
+"""Tests for labeled/query splits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.splits import LabeledSplit, make_split
+
+
+class TestMakeSplit:
+    def test_per_class_counts(self, tiny_graph):
+        split = make_split(tiny_graph, num_queries=50, labeled_per_class=10, seed=0)
+        for c in range(tiny_graph.num_classes):
+            members = (tiny_graph.labels[split.labeled] == c).sum()
+            assert members == min(10, int((tiny_graph.labels == c).sum()))
+
+    def test_disjoint(self, tiny_graph):
+        split = make_split(tiny_graph, num_queries=50, labeled_per_class=10, seed=0)
+        assert np.intersect1d(split.labeled, split.queries).size == 0
+
+    def test_query_count(self, tiny_graph):
+        split = make_split(tiny_graph, num_queries=37, labeled_per_class=5, seed=0)
+        assert split.num_queries == 37
+
+    def test_fraction_mode(self, tiny_graph):
+        split = make_split(tiny_graph, num_queries=20, labeled_fraction=0.25, seed=0)
+        assert split.num_labeled == round(tiny_graph.num_nodes * 0.25)
+
+    def test_deterministic(self, tiny_graph):
+        a = make_split(tiny_graph, num_queries=50, labeled_per_class=10, seed=4)
+        b = make_split(tiny_graph, num_queries=50, labeled_per_class=10, seed=4)
+        assert np.array_equal(a.labeled, b.labeled)
+        assert np.array_equal(a.queries, b.queries)
+
+    def test_both_modes_rejected(self, tiny_graph):
+        with pytest.raises(ValueError, match="exactly one"):
+            make_split(tiny_graph, num_queries=10, labeled_per_class=5, labeled_fraction=0.1)
+
+    def test_neither_mode_rejected(self, tiny_graph):
+        with pytest.raises(ValueError, match="exactly one"):
+            make_split(tiny_graph, num_queries=10)
+
+    def test_too_many_queries(self, tiny_graph):
+        with pytest.raises(ValueError, match="cannot sample"):
+            make_split(tiny_graph, num_queries=10**6, labeled_per_class=1)
+
+    def test_invalid_fraction(self, tiny_graph):
+        with pytest.raises(ValueError):
+            make_split(tiny_graph, num_queries=10, labeled_fraction=1.0)
+
+    @given(st.integers(min_value=1, max_value=15), st.integers(min_value=1, max_value=40))
+    @settings(max_examples=25, deadline=None)
+    def test_properties_hold_for_any_sizes(self, tiny_graph, per_class, num_queries):
+        split = make_split(tiny_graph, num_queries=num_queries, labeled_per_class=per_class, seed=1)
+        assert np.intersect1d(split.labeled, split.queries).size == 0
+        assert split.num_queries == num_queries
+        assert np.array_equal(split.labeled, np.unique(split.labeled))
+
+
+class TestLabeledSplit:
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            LabeledSplit(labeled=np.array([1, 2]), queries=np.array([2, 3]))

@@ -1,0 +1,67 @@
+"""Tests for the deterministic tokenizer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.tokenizer import Tokenizer, count_tokens
+
+
+class TestTokenize:
+    def test_simple_words(self):
+        assert Tokenizer().tokenize("graph mining") == ["graph", "mining"]
+
+    def test_punctuation_is_tokenized(self):
+        tokens = Tokenizer().tokenize("hello, world.")
+        assert tokens == ["hello", ",", "world", "."]
+
+    def test_long_words_are_split(self):
+        tokens = Tokenizer(max_piece_len=4).tokenize("abcdefghij")
+        assert tokens == ["abcd", "efgh", "ij"]
+
+    def test_lowercasing(self):
+        assert Tokenizer().tokenize("Graph") == ["graph"]
+        assert Tokenizer(lowercase=False).tokenize("Graph") == ["Graph"]
+
+    def test_empty_text(self):
+        assert Tokenizer().tokenize("") == []
+
+    def test_invalid_piece_len(self):
+        with pytest.raises(ValueError):
+            Tokenizer(max_piece_len=0)
+
+
+class TestWords:
+    def test_words_keep_whole_tokens(self):
+        words = Tokenizer(max_piece_len=4).words("abcdefghij again")
+        assert words == ["abcdefghij", "again"]
+
+    def test_words_skip_punctuation(self):
+        assert Tokenizer().words("a, b!") == ["a", "b"]
+
+
+class TestCount:
+    def test_count_matches_tokenize(self):
+        t = Tokenizer()
+        text = "multi-query optimization for LLMs, 2025."
+        assert t.count(text) == len(t.tokenize(text))
+
+    def test_module_level_count(self):
+        assert count_tokens("two words") == 2
+
+    @given(st.text(max_size=300))
+    def test_deterministic(self, text):
+        assert Tokenizer().count(text) == Tokenizer().count(text)
+
+    @given(st.text(max_size=200), st.text(max_size=200))
+    def test_concatenation_superadditive_with_space(self, a, b):
+        """Tokens of 'a b' >= max(tokens(a), tokens(b)) — joining never loses tokens."""
+        t = Tokenizer()
+        combined = t.count(f"{a} {b}")
+        assert combined >= max(t.count(a), t.count(b))
+
+    @given(st.text(alphabet=st.characters(categories=("Ll", "Nd")), min_size=1, max_size=60))
+    def test_alnum_text_tokens_bounded_by_length(self, text):
+        assert 1 <= Tokenizer().count(text) <= len(text)

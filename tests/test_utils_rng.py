@@ -1,0 +1,49 @@
+"""Tests for deterministic RNG derivation."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.rng import derive_seed, spawn_rng, stable_hash
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("a", 1, 2.5) == stable_hash("a", 1, 2.5)
+
+    def test_distinct_parts_distinct_hash(self):
+        assert stable_hash("ab", "c") != stable_hash("a", "bc")
+
+    def test_order_matters(self):
+        assert stable_hash("a", "b") != stable_hash("b", "a")
+
+    def test_within_63_bits(self):
+        assert 0 <= stable_hash("anything") < (1 << 63)
+
+    @given(st.lists(st.text(max_size=20), min_size=1, max_size=5))
+    def test_always_in_range(self, parts):
+        assert 0 <= stable_hash(*parts) < (1 << 63)
+
+
+class TestDeriveSeed:
+    def test_same_scope_same_seed(self):
+        assert derive_seed(7, "x", 1) == derive_seed(7, "x", 1)
+
+    def test_different_base_different_seed(self):
+        assert derive_seed(7, "x") != derive_seed(8, "x")
+
+    def test_different_scope_different_seed(self):
+        assert derive_seed(7, "x") != derive_seed(7, "y")
+
+
+class TestSpawnRng:
+    def test_reproducible_streams(self):
+        a = spawn_rng(3, "stream").random(5)
+        b = spawn_rng(3, "stream").random(5)
+        assert (a == b).all()
+
+    def test_independent_streams(self):
+        a = spawn_rng(3, "one").random(5)
+        b = spawn_rng(3, "two").random(5)
+        assert (a != b).any()

@@ -1,0 +1,71 @@
+"""Tests for word synthesis and class vocabularies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.text.vocabulary import ClassVocabulary, WordFactory
+
+
+class TestWordFactory:
+    def test_words_are_unique(self):
+        words = WordFactory(seed=1).make_words(500)
+        assert len(set(words)) == 500
+
+    def test_deterministic(self):
+        assert WordFactory(seed=2).make_words(50) == WordFactory(seed=2).make_words(50)
+
+    def test_different_seeds_differ(self):
+        assert WordFactory(seed=1).make_words(50) != WordFactory(seed=2).make_words(50)
+
+    def test_words_are_lowercase_alpha(self):
+        for word in WordFactory(seed=3).make_words(100):
+            assert word.isalpha() and word == word.lower()
+
+    def test_invalid_syllable_range(self):
+        with pytest.raises(ValueError):
+            WordFactory(seed=0, min_syllables=3, max_syllables=2)
+
+
+class TestClassVocabulary:
+    def test_build_shapes(self):
+        vocab = ClassVocabulary.build(["A", "B", "C"], seed=0, words_per_class=10, background_size=20)
+        assert vocab.num_classes == 3
+        assert all(len(w) == 10 for w in vocab.class_words)
+        assert len(vocab.background_words) == 20
+
+    def test_class_of_word(self):
+        vocab = ClassVocabulary.build(["A", "B"], seed=0, words_per_class=5, background_size=5)
+        for k, words in enumerate(vocab.class_words):
+            for w in words:
+                assert vocab.class_of_word(w) == k
+        for w in vocab.background_words:
+            assert vocab.class_of_word(w) is None
+        assert vocab.class_of_word("notaword") is None
+
+    def test_evidence_counts(self):
+        vocab = ClassVocabulary.build(["A", "B"], seed=0, words_per_class=5, background_size=5)
+        words = [vocab.class_words[0][0]] * 3 + [vocab.class_words[1][0]] + vocab.background_words[:2]
+        ev = vocab.evidence(words)
+        assert np.array_equal(ev, [3.0, 1.0])
+
+    def test_evidence_empty(self):
+        vocab = ClassVocabulary.build(["A", "B"], seed=0)
+        assert vocab.evidence([]).sum() == 0
+
+    def test_duplicate_keyword_rejected(self):
+        with pytest.raises(ValueError, match="two classes"):
+            ClassVocabulary(["A", "B"], [["dup"], ["dup"]], ["bg"])
+
+    def test_background_overlap_rejected(self):
+        with pytest.raises(ValueError, match="background"):
+            ClassVocabulary(["A"], [["dup"]], ["dup"])
+
+    def test_misaligned_names_rejected(self):
+        with pytest.raises(ValueError, match="align"):
+            ClassVocabulary(["A", "B"], [["w"]], ["bg"])
+
+    def test_requires_classes(self):
+        with pytest.raises(ValueError):
+            ClassVocabulary.build([], seed=0)
