@@ -1,0 +1,142 @@
+"""Extension — fault-tolerant execution under injected transient failures.
+
+The paper's cost model (Sec. V) assumes every API call succeeds; production
+rate limits and 5xx errors break that.  These benchmarks drive the full
+fault-tolerance stack — jittered retries with a deadline, a circuit breaker,
+the engine's degradation ladder and boosting's failure deferral — and check
+the acceptance shape: a 30% transient-failure rate is absorbed end-to-end
+with per-tier outcome accounting, waste grows with the failure rate, and a
+checkpointed run interrupted mid-way resumes without re-issuing a single
+completed LLM call while matching the uninterrupted run's predictions
+exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.boosting import QueryBoostingStrategy
+from repro.core.joint import JointStrategy
+from repro.core.pruning import TokenPruningStrategy
+from repro.experiments.common import load_setup
+from repro.experiments.resilience import format_resilience, run_resilience
+from repro.experiments.table4 import fit_scorer
+from repro.io.runs import RunCheckpointer
+from repro.llm.interface import LLMClient, LLMResponse
+from repro.llm.reliability import FlakyLLM, resilient
+from repro.runtime.fallback import DegradationLadder
+
+FAILURE_RATE = 0.3
+
+
+def test_extension_resilience_sweep(run_once):
+    result = run_once(
+        lambda: run_resilience(num_queries=120, failure_rates=(0.0, FAILURE_RATE, 0.8))
+    )
+    print()
+    print(format_resilience(result))
+
+    clean, moderate, hostile = result.cells
+    n = clean.num_queries
+
+    # Failure-free baseline: nothing retried, nothing wasted.
+    assert clean.outcome_counts["ok"] == n
+    assert clean.retries == 0
+    assert clean.wasted_prompt_tokens == 0
+
+    # 30% transient failures: the run completes end-to-end, every query is
+    # accounted for in exactly one outcome tier, and retries absorb the
+    # failures without collapsing accuracy.
+    assert moderate.num_queries == n
+    assert moderate.retries > 0
+    assert moderate.outcome_counts["retried"] > 0
+    assert moderate.accuracy >= clean.accuracy - 5.0
+
+    # Waste and retry effort grow with the failure rate.
+    assert 0 < moderate.wasted_prompt_tokens < hostile.wasted_prompt_tokens
+    assert moderate.retries < hostile.retries
+
+    # At a hostile 80% rate the degradation ladder engages, yet every query
+    # still lands in a tier (no unhandled failure escapes the run).
+    assert hostile.num_queries == n
+    degraded = (
+        hostile.outcome_counts["degraded_pruned"]
+        + hostile.outcome_counts["degraded_surrogate"]
+        + hostile.outcome_counts["abstained"]
+    )
+    assert degraded > 0
+
+
+class Interrupted(RuntimeError):
+    """Deliberate mid-run crash; not transient, so nothing absorbs it."""
+
+
+class ProbeLLM(LLMClient):
+    """Outermost probe: records successful completions, optionally crashing
+    the run (like an operator Ctrl-C) once ``stop_after`` queries answered."""
+
+    def __init__(self, inner: LLMClient, stop_after: int | None = None):
+        super().__init__(name=f"probe({inner.name})", tokenizer=inner.tokenizer)
+        self.inner = inner
+        self.stop_after = stop_after
+        self.prompts: list[str] = []
+
+    def _complete(self, prompt: str) -> str:
+        raise AssertionError("unreachable: complete() is overridden")
+
+    def complete(self, prompt: str) -> LLMResponse:
+        if self.stop_after is not None and len(self.prompts) >= self.stop_after:
+            raise Interrupted(f"simulated crash after {self.stop_after} queries")
+        response = self.inner.complete(prompt)
+        self.prompts.append(prompt)
+        self.usage.record(response)
+        return response
+
+
+def test_extension_checkpoint_resume_under_failures(run_once, tmp_path):
+    """Interrupt a flaky joint run mid-way; the resumed run must re-issue
+    zero duplicate LLM calls and reproduce the uninterrupted predictions."""
+    setup = load_setup("cora", num_queries=80)
+    scorer = fit_scorer(setup)
+
+    def make(stop_after=None):
+        flaky = FlakyLLM(
+            setup.make_llm(), failure_rate=FAILURE_RATE, seed=13, key="prompt"
+        )
+        probe = ProbeLLM(resilient(flaky, seed=17), stop_after=stop_after)
+        engine = setup.make_engine(
+            "1-hop", llm=probe, ladder=DegradationLadder(surrogate=scorer)
+        )
+        joint = JointStrategy(TokenPruningStrategy(scorer), QueryBoostingStrategy())
+        return probe, engine, joint
+
+    def uninterrupted():
+        probe, engine, joint = make()
+        return probe, joint.execute(engine, setup.queries, tau=0.2).run
+
+    probe_full, run_full = run_once(uninterrupted)
+
+    path = tmp_path / "checkpoint.json"
+    probe_a, engine_a, joint_a = make(stop_after=25)
+    with pytest.raises(Interrupted):
+        joint_a.execute(engine_a, setup.queries, tau=0.2, checkpointer=RunCheckpointer(path))
+
+    resumed = RunCheckpointer(path)
+    assert 0 < resumed.resumed_records < len(setup.queries)
+    probe_b, engine_b, joint_b = make()
+    run_resumed = joint_b.execute(
+        engine_b, setup.queries, tau=0.2, checkpointer=resumed
+    ).run
+
+    # Zero duplicate LLM calls: no prompt answered before the crash is ever
+    # re-issued after resume, and total successful calls across the two
+    # phases equal the uninterrupted run's.
+    assert set(probe_a.prompts).isdisjoint(probe_b.prompts)
+    assert len(probe_a.prompts) + len(probe_b.prompts) == len(probe_full.prompts)
+
+    # The resumed run is indistinguishable from the uninterrupted one.
+    full = {r.node: (r.predicted_label, r.outcome) for r in run_full.records}
+    stitched = {r.node: (r.predicted_label, r.outcome) for r in run_resumed.records}
+    assert stitched == full
+    assert run_resumed.accuracy == run_full.accuracy
+    assert run_resumed.total_tokens == run_full.total_tokens

@@ -31,6 +31,7 @@ EXPERIMENT_NAMES = (
     "table10",
     "pareto",
     "distillation",
+    "resilience",
 )
 
 
@@ -83,27 +84,56 @@ def _cmd_info(args: argparse.Namespace) -> int:
 def _cmd_classify(args: argparse.Namespace) -> int:
     from repro.analysis.costs import cost_summary
     from repro.core.boosting import QueryBoostingStrategy
-    from repro.core.inadequacy import TextInadequacyScorer
     from repro.core.joint import JointStrategy
     from repro.core.pruning import TokenPruningStrategy
     from repro.experiments.common import load_setup
     from repro.experiments.table4 import fit_scorer
-    from repro.io.runs import save_run, write_csv
+    from repro.io.runs import RunCheckpointer, save_run, write_csv
+    from repro.llm.reliability import FlakyLLM, resilient
+    from repro.runtime.fallback import DegradationLadder
 
     setup = load_setup(args.dataset, num_queries=args.queries, scale=args.scale)
-    engine = setup.make_engine(args.method, model=args.model)
+
+    scorer = None
+    if args.strategy in ("prune", "joint") or args.failure_rate > 0:
+        scorer = fit_scorer(setup, model=args.model)
+
+    llm = None
+    ladder = None
+    flaky = None
+    if args.failure_rate > 0:
+        # Full fault-tolerance stack: injected failures → jittered retries
+        # with a deadline → circuit breaker → engine degradation ladder.
+        flaky = FlakyLLM(
+            setup.make_llm(args.model),
+            failure_rate=args.failure_rate,
+            seed=13,
+            charge_failed_prompts=True,
+            key="prompt",
+        )
+        llm = resilient(flaky, max_attempts=args.max_attempts, seed=17)
+        ladder = DegradationLadder(surrogate=scorer)
+    engine = setup.make_engine(args.method, model=args.model, llm=llm, ladder=ladder)
+
+    checkpointer = RunCheckpointer(args.checkpoint) if args.checkpoint else None
+    if checkpointer is not None and checkpointer.resumed_records:
+        print(f"resuming from {args.checkpoint}: {checkpointer.resumed_records} records replay")
 
     if args.strategy == "none":
-        result = engine.run(setup.queries)
+        result = engine.run(setup.queries, checkpointer=checkpointer)
     elif args.strategy == "prune":
-        scorer = fit_scorer(setup, model=args.model)
-        result, _ = TokenPruningStrategy(scorer).execute(engine, setup.queries, tau=args.tau)
+        result, _ = TokenPruningStrategy(scorer).execute(
+            engine, setup.queries, tau=args.tau, checkpointer=checkpointer
+        )
     elif args.strategy == "boost":
-        result = QueryBoostingStrategy().execute(engine, setup.queries).run
+        result = QueryBoostingStrategy().execute(
+            engine, setup.queries, checkpointer=checkpointer
+        ).run
     else:  # joint
-        scorer = fit_scorer(setup, model=args.model)
         joint = JointStrategy(TokenPruningStrategy(scorer), QueryBoostingStrategy())
-        result = joint.execute(engine, setup.queries, tau=args.tau).run
+        result = joint.execute(
+            engine, setup.queries, tau=args.tau, checkpointer=checkpointer
+        ).run
 
     summary = cost_summary(result, args.model)
     print(f"dataset={args.dataset} method={args.method} strategy={args.strategy} model={args.model}")
@@ -112,6 +142,10 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     print(f"  tokens    : {result.total_tokens:,} ({summary.tokens_per_query:.0f}/query)")
     print(f"  cost      : ${summary.total_usd:.4f} (${summary.usd_per_query * 1000:.4f}/1k queries)")
     print(f"  w/ N_i    : {result.queries_with_neighbors}/{result.num_queries} queries")
+    if args.failure_rate > 0:
+        tiers = ", ".join(f"{k}={v}" for k, v in result.outcome_counts.items() if v)
+        print(f"  outcomes  : {tiers}")
+        print(f"  wasted    : {flaky.wasted_prompt_tokens:,} prompt tokens on failed calls")
     if args.save_run:
         print(f"  saved run : {save_run(result, args.save_run)}")
     if args.csv:
@@ -170,6 +204,22 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--scale", type=float, default=None)
     sub.add_argument("--save-run", default=None, help="write the run as JSON")
     sub.add_argument("--csv", default=None, help="write per-query records as CSV")
+    sub.add_argument(
+        "--failure-rate",
+        type=float,
+        default=0.0,
+        help="inject transient LLM failures at this rate, with retries, a "
+        "circuit breaker and graceful degradation absorbing them",
+    )
+    sub.add_argument(
+        "--max-attempts", type=int, default=4, help="LLM attempts per query under --failure-rate"
+    )
+    sub.add_argument(
+        "--checkpoint",
+        default=None,
+        help="checkpoint file: the run persists progress there and, if the "
+        "file exists, resumes without re-issuing completed LLM calls",
+    )
     sub.set_defaults(func=_cmd_classify)
 
     sub = subparsers.add_parser("experiment", help="reproduce one paper table/figure")

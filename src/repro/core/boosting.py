@@ -20,9 +20,11 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.llm.reliability import TransientLLMError
 from repro.runtime.results import RunResult
 
 if TYPE_CHECKING:  # engines are passed in at run time
+    from repro.io.runs import RunCheckpointer
     from repro.runtime.engine import MultiQueryEngine
 
 
@@ -56,6 +58,13 @@ class QueryBoostingStrategy:
         response confidence falls below this threshold are *not* published
         to later queries, containing error propagation.  ``None`` (the
         paper's behaviour) publishes every pseudo-label.
+    max_deferrals:
+        Fault tolerance: a candidate whose LLM call fails (after the
+        client's own retries) is re-enqueued into a later round up to this
+        many times before the engine's degradation ladder answers it.
+        Deferral is the boosting-native recovery — a later round is exactly
+        as good a time to execute the query, and often better, since more
+        pseudo-labels are available by then.
     """
 
     def __init__(
@@ -64,6 +73,7 @@ class QueryBoostingStrategy:
         gamma2: int = 2,
         use_conflict_threshold: bool = True,
         min_pseudo_confidence: float | None = None,
+        max_deferrals: int = 2,
     ):
         if gamma1 < 0:
             raise ValueError(f"gamma1 must be >= 0, got {gamma1}")
@@ -71,10 +81,13 @@ class QueryBoostingStrategy:
             raise ValueError(f"gamma2 must be >= 0, got {gamma2}")
         if min_pseudo_confidence is not None and not 0.0 <= min_pseudo_confidence <= 1.0:
             raise ValueError("min_pseudo_confidence must be in [0, 1] or None")
+        if max_deferrals < 0:
+            raise ValueError(f"max_deferrals must be >= 0, got {max_deferrals}")
         self.gamma1 = gamma1
         self.gamma2 = gamma2
         self.use_conflict_threshold = use_conflict_threshold
         self.min_pseudo_confidence = min_pseudo_confidence
+        self.max_deferrals = max_deferrals
 
     def _neighbor_label_stats(
         self, engine: "MultiQueryEngine", node: int
@@ -99,25 +112,64 @@ class QueryBoostingStrategy:
                 out.append((node, count))
         return out
 
+    def _publishable(self, record) -> bool:
+        """Whether a record's prediction may enter the pseudo-label map.
+
+        Surrogate answers and abstentions never propagate: publishing them
+        would poison the neighbor cues of every later query with labels no
+        LLM produced.  (``degraded_pruned`` is a genuine LLM answer — pruned
+        queries publish in the joint strategy anyway — so it propagates.)
+        """
+        if record.outcome in ("degraded_surrogate", "abstained"):
+            return False
+        if record.predicted_label is None:
+            return False
+        if (
+            self.min_pseudo_confidence is not None
+            and record.confidence is not None
+            and record.confidence < self.min_pseudo_confidence
+        ):
+            return False  # too uncertain to propagate (extension)
+        return True
+
     def execute(
         self,
         engine: "MultiQueryEngine",
         queries: np.ndarray,
         pruned: frozenset[int] | set[int] = frozenset(),
+        checkpointer: "RunCheckpointer | None" = None,
     ) -> BoostingResult:
         """Run Algorithm 2 over ``queries`` on ``engine``.
 
         ``pruned`` queries still participate in scheduling and pseudo-label
         propagation but are executed zero-shot (the joint strategy of
         Sec. VI-H wires token pruning in this way).
+
+        With a ``checkpointer``, executed records and published pseudo-labels
+        persist incrementally.  Resume works by *replay*: scheduling is
+        deterministic given the label state, so re-running with the persisted
+        records reproduces the identical execution order (hence identical
+        prompts and predictions) while every cached node costs zero LLM
+        calls.  Rounds that existed only because of a pre-crash deferral
+        compact during replay, so ``round_index`` on post-resume records may
+        sit lower than in an uninterrupted run; cached records keep their
+        original stamps.
+
+        A candidate whose LLM call fails (`TransientLLMError` after the
+        client's own retries) is deferred — re-enqueued into a later round —
+        up to ``max_deferrals`` times; after that the engine's degradation
+        ladder (when configured) answers it.  Deferred-then-failed queries
+        never poison the pseudo-label map.
         """
         unexecuted = [int(v) for v in np.asarray(queries, dtype=np.int64)]
         if len(set(unexecuted)) != len(unexecuted):
             raise ValueError("queries contain duplicates")
+        cached = checkpointer.executed if checkpointer is not None else {}
         gamma1, gamma2 = self.gamma1, self.gamma2
         num_classes = engine.graph.num_classes
         result = RunResult()
         rounds: list[list[int]] = []
+        deferrals: dict[int, int] = {}
 
         while unexecuted:
             # Step 1: candidate selection, relaxing thresholds when empty.
@@ -136,30 +188,44 @@ class QueryBoostingStrategy:
             # Step 2: execute the candidate set (issued together, as one
             # LLM batch — richest-labeled first for readability of traces).
             candidates.sort(key=lambda pair: (-pair[1], pair[0]))
-            round_nodes = [node for node, _ in candidates]
             round_records = []
-            for node in round_nodes:
-                record = engine.execute_query(
-                    node,
-                    include_neighbors=node not in pruned,
-                    round_index=len(rounds),
-                )
+            for node, _ in candidates:
+                cached_record = cached.get(node)
+                if cached_record is not None:
+                    round_records.append(cached_record)
+                    result.add(cached_record)
+                    continue
+                can_defer = deferrals.get(node, 0) < self.max_deferrals
+                try:
+                    record = engine.execute_query(
+                        node,
+                        include_neighbors=node not in pruned,
+                        round_index=len(rounds),
+                        on_failure="raise" if can_defer else None,
+                    )
+                except TransientLLMError:
+                    if not can_defer:
+                        raise  # deferrals exhausted, no ladder to absorb this
+                    deferrals[node] = deferrals.get(node, 0) + 1
+                    continue  # re-enqueued: still in unexecuted for later rounds
                 round_records.append(record)
                 result.add(record)
+                if checkpointer is not None:
+                    checkpointer.append(record)
             # Step 3: pseudo-labels publish after the whole round, exactly
             # as Algorithm 2 separates its query and label-update steps.
             for record in round_records:
-                if record.predicted_label is None:
+                if not self._publishable(record):
                     continue
-                if (
-                    self.min_pseudo_confidence is not None
-                    and record.confidence is not None
-                    and record.confidence < self.min_pseudo_confidence
-                ):
-                    continue  # too uncertain to propagate (extension)
-                engine.add_pseudo_label(record.node, record.predicted_label)
-            executed = set(round_nodes)
+                if record.node not in engine.pseudo_labeled:
+                    engine.add_pseudo_label(record.node, record.predicted_label)
+                    if checkpointer is not None:
+                        checkpointer.record_pseudo(record.node, record.predicted_label)
+            executed = {r.node for r in round_records}
             unexecuted = [v for v in unexecuted if v not in executed]
-            rounds.append(round_nodes)
+            if round_records:
+                rounds.append([r.node for r in round_records])
 
+        if checkpointer is not None:
+            checkpointer.mark_complete()
         return BoostingResult(run=result, rounds=rounds)

@@ -14,6 +14,7 @@ budgets below the all-pruned cost are infeasible and raise.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.utils.validation import check_positive
@@ -44,12 +45,16 @@ def tau_for_budget(
     if budget >= full_cost:
         return 0.0
     min_cost = num_queries * (avg_tokens_full - avg_tokens_neighbor)
-    if budget < min_cost:
+    # Compare with a relative tolerance: ``budget_for_tau(..., tau=1.0)`` can
+    # land one ULP below ``min_cost`` (the two sides associate the float
+    # products differently), and a budget equal-to-rounding-error must not be
+    # declared infeasible.
+    if budget < min_cost and not math.isclose(budget, min_cost, rel_tol=1e-9, abs_tol=1e-9):
         raise ValueError(
             f"budget {budget} is below the fully-pruned cost {min_cost}; "
             "no pruning fraction can satisfy it"
         )
-    return (full_cost - budget) / (num_queries * avg_tokens_neighbor)
+    return min((full_cost - budget) / (num_queries * avg_tokens_neighbor), 1.0)
 
 
 def _check_costs(num_queries: int, avg_tokens_full: float, avg_tokens_neighbor: float) -> None:

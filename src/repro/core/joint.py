@@ -18,6 +18,7 @@ from repro.core.boosting import BoostingResult, QueryBoostingStrategy
 from repro.core.pruning import TokenPruningPlan, TokenPruningStrategy
 
 if TYPE_CHECKING:
+    from repro.io.runs import RunCheckpointer
     from repro.runtime.engine import MultiQueryEngine
 
 
@@ -41,10 +42,20 @@ class JointStrategy:
         self.boosting = boosting
 
     def execute(
-        self, engine: "MultiQueryEngine", queries: np.ndarray, tau: float = 0.2
+        self,
+        engine: "MultiQueryEngine",
+        queries: np.ndarray,
+        tau: float = 0.2,
+        checkpointer: "RunCheckpointer | None" = None,
     ) -> JointOutcome:
-        """Prune the top ``tau`` fraction, then boost the whole query set."""
+        """Prune the top ``tau`` fraction, then boost the whole query set.
+
+        The pruning plan is deterministic, so resume re-derives it and only
+        the boosted execution consults the ``checkpointer``.
+        """
         queries = np.asarray(queries, dtype=np.int64)
         plan = self.pruning.plan_by_tau(queries, tau)
-        boosted = self.boosting.execute(engine, queries, pruned=plan.pruned)
+        boosted = self.boosting.execute(
+            engine, queries, pruned=plan.pruned, checkpointer=checkpointer
+        )
         return JointOutcome(boosting=boosted, plan=plan)

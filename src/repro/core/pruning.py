@@ -19,6 +19,7 @@ from repro.core.inadequacy import TextInadequacyScorer
 from repro.runtime.results import RunResult
 
 if TYPE_CHECKING:  # avoid a circular import; engines are passed in at run time
+    from repro.io.runs import RunCheckpointer
     from repro.runtime.engine import MultiQueryEngine
 
 
@@ -78,14 +79,20 @@ class TokenPruningStrategy:
         return self.plan_by_tau(queries, tau)
 
     def execute(
-        self, engine: "MultiQueryEngine", queries: np.ndarray, tau: float
+        self,
+        engine: "MultiQueryEngine",
+        queries: np.ndarray,
+        tau: float,
+        checkpointer: "RunCheckpointer | None" = None,
     ) -> tuple[RunResult, TokenPruningPlan]:
         """Algorithm 1: plan, then run pruned queries zero-shot.
 
         Queries run in ranked order (saturated first), matching the
         algorithm's two loops; the pairing of node → prompt content is what
-        matters, not the order, since plain runs share no state.
+        matters, not the order, since plain runs share no state.  A
+        ``checkpointer`` makes the run resumable (the plan itself is
+        deterministic, so it is re-derived rather than persisted).
         """
         plan = self.plan_by_tau(queries, tau)
-        result = engine.run(plan.order, pruned=plan.pruned)
+        result = engine.run(plan.order, pruned=plan.pruned, checkpointer=checkpointer)
         return result, plan

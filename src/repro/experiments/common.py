@@ -20,6 +20,7 @@ from repro.llm.interface import LLMClient
 from repro.llm.profiles import make_model
 from repro.prompts.builder import PromptBuilder
 from repro.runtime.engine import MultiQueryEngine
+from repro.runtime.fallback import DegradationLadder
 from repro.selection.registry import make_selector
 
 #: Default query-set size, matching the paper's protocol.
@@ -65,6 +66,7 @@ class ExperimentSetup:
         max_neighbors: int | None = None,
         include_neighbor_abstracts: bool = False,
         seed: int = ENGINE_SEED,
+        ladder: DegradationLadder | None = None,
     ) -> MultiQueryEngine:
         """Fresh engine for one (method, model) cell of a results table."""
         return MultiQueryEngine(
@@ -76,6 +78,7 @@ class ExperimentSetup:
             max_neighbors=self.max_neighbors if max_neighbors is None else max_neighbors,
             include_neighbor_abstracts=include_neighbor_abstracts,
             seed=seed,
+            ladder=ladder,
         )
 
 

@@ -1,7 +1,16 @@
 """Persistence: save/load graphs and run results, export reports."""
 
 from repro.io.graphs import load_graph, save_graph
-from repro.io.runs import load_run, run_to_rows, save_run, write_csv
+from repro.io.runs import (
+    CheckpointState,
+    RunCheckpointer,
+    load_checkpoint,
+    load_run,
+    run_to_rows,
+    save_checkpoint,
+    save_run,
+    write_csv,
+)
 
 __all__ = [
     "save_graph",
@@ -10,4 +19,8 @@ __all__ = [
     "load_run",
     "run_to_rows",
     "write_csv",
+    "CheckpointState",
+    "RunCheckpointer",
+    "save_checkpoint",
+    "load_checkpoint",
 ]

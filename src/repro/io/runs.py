@@ -1,20 +1,29 @@
-"""Serialization of run results (JSON) and tabular export (CSV).
+"""Serialization of run results (JSON), tabular export (CSV), checkpoints.
 
 Runs are the unit of comparison in every experiment; persisting them lets a
 costly 1,000-query execution be analyzed repeatedly (breakdowns, paired
 comparisons, cost extrapolation) without re-spending tokens.
+
+Checkpoints extend the same idea to *interrupted* runs: the executed records
+plus the published pseudo-label state persist incrementally (atomic
+write-then-rename, so a crash mid-flush never corrupts the file), and a
+resumed run replays them without re-issuing a single LLM call.
 """
 
 from __future__ import annotations
 
 import csv
 import json
-from dataclasses import asdict, fields
+import os
+from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 
 from repro.runtime.results import QueryRecord, RunResult
 
-_FORMAT_VERSION = 1
+# Version 2 added ``QueryRecord.outcome``; version-1 files load with the
+# default tier ("ok"), which is exactly what pre-outcome records were.
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 def save_run(result: RunResult, path: str | Path) -> Path:
@@ -34,7 +43,7 @@ def load_run(path: str | Path) -> RunResult:
     path = Path(path)
     payload = json.loads(path.read_text())
     version = payload.get("format_version")
-    if version != _FORMAT_VERSION:
+    if version not in _SUPPORTED_VERSIONS:
         raise ValueError(f"unsupported run format version {version!r}")
     return RunResult([QueryRecord(**record) for record in payload["records"]])
 
@@ -61,3 +70,118 @@ def write_csv(result: RunResult, path: str | Path) -> Path:
         for row in run_to_rows(result):
             writer.writerow(row)
     return path
+
+
+# --------------------------------------------------------------- checkpoints
+
+
+@dataclass
+class CheckpointState:
+    """Persisted progress of one (possibly interrupted) run.
+
+    ``records`` keeps execution order; ``pseudo_labels`` is the label state
+    query boosting had published when the checkpoint was written.  The two
+    together are enough to resume any strategy: plain runs skip executed
+    nodes, boosting replays cached records through its (deterministic)
+    scheduler so the round structure — and therefore every later prompt —
+    matches the uninterrupted run exactly.
+    """
+
+    records: list[QueryRecord] = field(default_factory=list)
+    pseudo_labels: dict[int, int] = field(default_factory=dict)
+    completed: bool = False
+
+    @property
+    def executed(self) -> dict[int, QueryRecord]:
+        return {r.node: r for r in self.records}
+
+
+def save_checkpoint(state: CheckpointState, path: str | Path) -> Path:
+    """Atomically write ``state`` as JSON at ``path`` (tmp + rename)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "kind": "checkpoint",
+        "completed": state.completed,
+        "pseudo_labels": {str(node): int(label) for node, label in state.pseudo_labels.items()},
+        "records": [asdict(r) for r in state.records],
+    }
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload))
+    os.replace(tmp, path)
+    return path
+
+
+def load_checkpoint(path: str | Path) -> CheckpointState:
+    """Load a checkpoint previously written by :func:`save_checkpoint`."""
+    path = Path(path)
+    payload = json.loads(path.read_text())
+    version = payload.get("format_version")
+    if version not in _SUPPORTED_VERSIONS:
+        raise ValueError(f"unsupported checkpoint format version {version!r}")
+    if payload.get("kind") != "checkpoint":
+        raise ValueError(f"{path} is not a checkpoint file")
+    return CheckpointState(
+        records=[QueryRecord(**record) for record in payload["records"]],
+        pseudo_labels={int(node): int(label) for node, label in payload["pseudo_labels"].items()},
+        completed=bool(payload["completed"]),
+    )
+
+
+class RunCheckpointer:
+    """Incremental checkpoint writer/reader bound to one path.
+
+    Construct it on the path a run should persist to; if a (partial)
+    checkpoint already exists there it is loaded, and the engine/strategies
+    consult :attr:`executed` to skip every already-issued LLM call.
+
+    Parameters
+    ----------
+    path:
+        Checkpoint file location.
+    flush_every:
+        Persist after every N appended records.  ``1`` (the default) never
+        loses an executed query to a crash; larger values trade crash
+        re-query cost for fewer writes on large runs.
+    """
+
+    def __init__(self, path: str | Path, flush_every: int = 1):
+        if flush_every < 1:
+            raise ValueError("flush_every must be >= 1")
+        self.path = Path(path)
+        self.flush_every = flush_every
+        self._pending = 0
+        self.state = load_checkpoint(self.path) if self.path.exists() else CheckpointState()
+        self.resumed_records = len(self.state.records)
+
+    @property
+    def executed(self) -> dict[int, QueryRecord]:
+        """Persisted records by node id (replayed instead of re-queried)."""
+        return self.state.executed
+
+    @property
+    def pseudo_labels(self) -> dict[int, int]:
+        return dict(self.state.pseudo_labels)
+
+    def append(self, record: QueryRecord) -> None:
+        """Persist one freshly executed record (subject to ``flush_every``)."""
+        if record.node in self.state.executed:
+            raise ValueError(f"node {record.node} is already checkpointed")
+        self.state.records.append(record)
+        self._pending += 1
+        if self._pending >= self.flush_every:
+            self.flush()
+
+    def record_pseudo(self, node: int, label: int) -> None:
+        """Persist one published pseudo-label (flushed with the next record)."""
+        self.state.pseudo_labels[int(node)] = int(label)
+
+    def mark_complete(self) -> None:
+        """Stamp the run finished and flush; resume becomes a pure replay."""
+        self.state.completed = True
+        self.flush()
+
+    def flush(self) -> None:
+        save_checkpoint(self.state, self.path)
+        self._pending = 0

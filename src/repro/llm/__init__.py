@@ -12,13 +12,22 @@ emerge from this scoring rather than being hard-coded per experiment.
 
 from repro.llm.interface import LLMClient, LLMResponse, UsageTracker
 from repro.llm.pricing import PRICES_PER_1K_TOKENS, cost_usd
-from repro.llm.responses import format_category_response, parse_category_response
+from repro.llm.responses import ABSTAIN, format_category_response, parse_category_response
 from repro.llm.bias import BiasProfile
 from repro.llm.simulated import SimulatedLLM
 from repro.llm.instruction_tuned import BACKBONE_CONFIGS, BackboneConfig, InstructionTunedLLM
 from repro.llm.profiles import MODEL_PROFILES, ModelProfile, make_model
 from repro.llm.caching import CachingLLM
-from repro.llm.reliability import FlakyLLM, RetryingLLM, TransientLLMError
+from repro.llm.reliability import (
+    CircuitBreaker,
+    CircuitBreakerLLM,
+    CircuitOpenError,
+    FlakyLLM,
+    RetryingLLM,
+    SimulatedClock,
+    TransientLLMError,
+    resilient,
+)
 from repro.llm.link_model import SimulatedLinkLLM
 
 __all__ = [
@@ -27,6 +36,7 @@ __all__ = [
     "UsageTracker",
     "PRICES_PER_1K_TOKENS",
     "cost_usd",
+    "ABSTAIN",
     "format_category_response",
     "parse_category_response",
     "BiasProfile",
@@ -38,8 +48,13 @@ __all__ = [
     "ModelProfile",
     "MODEL_PROFILES",
     "CachingLLM",
+    "CircuitBreaker",
+    "CircuitBreakerLLM",
+    "CircuitOpenError",
     "FlakyLLM",
     "RetryingLLM",
+    "SimulatedClock",
     "TransientLLMError",
+    "resilient",
     "SimulatedLinkLLM",
 ]

@@ -13,6 +13,11 @@ import re
 
 _CATEGORY_RE = re.compile(r"category\s*:\s*\[\s*['\"]([^'\"]+)['\"]\s*\]", re.IGNORECASE)
 
+#: Explicit abstain sentinel: a completion that names no known class parses
+#: to this instead of raising, so the engine's degradation ladder (and plain
+#: accuracy accounting, which scores it incorrect) can handle it uniformly.
+ABSTAIN = None
+
 
 def format_category_response(class_name: str) -> str:
     """Render the canonical response line for ``class_name``."""
@@ -30,11 +35,16 @@ def parse_category_response(text: str, class_names: list[str]) -> int | None:
 
     Tries, in order: the canonical ``Category: ['XX']`` pattern, then a
     normalized whole-response match, then the first class name appearing as a
-    normalized substring.  Returns ``None`` when nothing matches (callers
-    count this as an incorrect prediction, as the paper's protocol implies).
+    normalized substring.  Malformed input — a non-string, an empty or
+    whitespace-only completion, or garbage naming no known class — returns
+    the :data:`ABSTAIN` sentinel instead of raising, so real-API noise never
+    aborts a run (callers count an abstain as an incorrect prediction, as
+    the paper's protocol implies).
     """
     if not class_names:
         raise ValueError("class_names must be non-empty")
+    if not isinstance(text, str) or not text.strip():
+        return ABSTAIN
     normalized = {_normalize(name): i for i, name in enumerate(class_names)}
 
     match = _CATEGORY_RE.search(text)
@@ -50,4 +60,4 @@ def parse_category_response(text: str, class_names: list[str]) -> int | None:
     for key, idx in normalized.items():
         if key and key in blob:
             return idx
-    return None
+    return ABSTAIN

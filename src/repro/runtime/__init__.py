@@ -1,6 +1,7 @@
-"""Multi-query execution runtime: engine, results, baseline strategies."""
+"""Multi-query execution runtime: engine, results, fallback, baselines."""
 
-from repro.runtime.results import QueryRecord, RunResult
+from repro.runtime.results import OUTCOME_TIERS, QueryRecord, RunResult
+from repro.runtime.fallback import DegradationLadder, FeatureSurrogate, SurrogatePredictor
 from repro.runtime.engine import MultiQueryEngine
 from repro.runtime.baselines import (
     random_prune_set,
@@ -9,8 +10,12 @@ from repro.runtime.baselines import (
 )
 
 __all__ = [
+    "OUTCOME_TIERS",
     "QueryRecord",
     "RunResult",
+    "DegradationLadder",
+    "FeatureSurrogate",
+    "SurrogatePredictor",
     "MultiQueryEngine",
     "random_prune_set",
     "random_round_schedule",

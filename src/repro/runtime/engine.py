@@ -14,16 +14,25 @@ tables rely on.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.core.budget import BudgetLedger
 from repro.graph.tag import TextAttributedGraph
-from repro.llm.interface import LLMClient
+from repro.llm.interface import LLMClient, LLMResponse
+from repro.llm.reliability import TransientLLMError, stack_retries
 from repro.llm.responses import parse_category_response
 from repro.prompts.builder import NeighborEntry, PromptBuilder
+from repro.runtime.fallback import DegradationLadder
 from repro.runtime.results import QueryRecord, RunResult
 from repro.selection.base import NeighborSelector, SelectedNeighbor
 from repro.utils.rng import spawn_rng
+
+if TYPE_CHECKING:
+    from collections.abc import Mapping
+
+    from repro.io.runs import RunCheckpointer
 
 
 class MultiQueryEngine:
@@ -44,6 +53,11 @@ class MultiQueryEngine:
         Optional token ledger charged for every executed query.
     seed:
         Base seed for per-node neighbor sampling.
+    ladder:
+        Optional :class:`~repro.runtime.fallback.DegradationLadder`.  When
+        set, a query whose LLM call ultimately fails (retries exhausted,
+        circuit open) degrades through cheaper answer sources instead of
+        raising; the chosen tier lands in ``QueryRecord.outcome``.
     """
 
     def __init__(
@@ -57,6 +71,7 @@ class MultiQueryEngine:
         include_neighbor_abstracts: bool = False,
         ledger: BudgetLedger | None = None,
         seed: int = 0,
+        ladder: DegradationLadder | None = None,
     ):
         if max_neighbors < 0:
             raise ValueError("max_neighbors must be >= 0")
@@ -68,6 +83,7 @@ class MultiQueryEngine:
         self.include_neighbor_abstracts = include_neighbor_abstracts
         self.ledger = ledger
         self.seed = seed
+        self.ladder = ladder
         self._labels: dict[int, int] = {
             int(v): int(graph.labels[int(v)]) for v in np.asarray(labeled, dtype=np.int64)
         }
@@ -97,6 +113,24 @@ class MultiQueryEngine:
             raise ValueError(f"label {label} out of range")
         self._labels[node] = int(label)
         self._pseudo.add(node)
+
+    def restore_pseudo_labels(self, labels: "Mapping[int, int]") -> None:
+        """Re-publish pseudo-labels persisted by a checkpoint (resume path).
+
+        Labels already present and identical are skipped (replay is
+        idempotent); a conflicting label means the checkpoint belongs to a
+        different run and raises.
+        """
+        for node, label in labels.items():
+            node, label = int(node), int(label)
+            existing = self._labels.get(node)
+            if existing is None:
+                self.add_pseudo_label(node, label)
+            elif existing != label:
+                raise ValueError(
+                    f"checkpoint pseudo-label {label} for node {node} conflicts "
+                    f"with existing label {existing}"
+                )
 
     # -------------------------------------------------------------- selection
 
@@ -136,19 +170,16 @@ class MultiQueryEngine:
 
     # -------------------------------------------------------------- execution
 
-    def execute_query(
+    def _record_from_response(
         self,
         node: int,
-        include_neighbors: bool = True,
-        round_index: int | None = None,
+        response: LLMResponse,
+        selected: list[SelectedNeighbor],
+        pruned: bool,
+        round_index: int | None,
+        outcome: str,
     ) -> QueryRecord:
-        """Execute one LLM query and return its record.
-
-        ``include_neighbors=False`` is the token-pruned (zero-shot) form.
-        """
-        node = int(node)
-        prompt, selected = self.build_prompt(node, include_neighbors)
-        response = self.llm.complete(prompt)
+        """Charge the ledger and parse one completion into a record."""
         if self.ledger is not None:
             self.ledger.charge(response.total_tokens)
         predicted = parse_category_response(response.text, self.graph.class_names)
@@ -162,20 +193,124 @@ class MultiQueryEngine:
             num_neighbors=len(selected),
             num_neighbor_labels=len(labeled_neighbors),
             num_pseudo_labels=sum(sn.node in self._pseudo for sn in labeled_neighbors),
-            pruned=not include_neighbors,
+            pruned=pruned,
             round_index=round_index,
             confidence=response.confidence,
+            outcome=outcome,
         )
 
-    def run(self, queries: np.ndarray, pruned: frozenset[int] | set[int] = frozenset()) -> RunResult:
+    def _degraded_record(
+        self, node: int, include_neighbors: bool, round_index: int | None
+    ) -> QueryRecord:
+        """Walk the degradation ladder after the primary LLM call failed."""
+        assert self.ladder is not None
+        if self.ladder.to_pruned and include_neighbors:
+            # Tier 1: the cheap zero-shot prompt — still a real LLM answer.
+            prompt, _ = self.build_prompt(node, include_neighbors=False)
+            try:
+                response = self.llm.complete(prompt)
+            except TransientLLMError:
+                pass
+            else:
+                return self._record_from_response(
+                    node, response, [], True, round_index, "degraded_pruned"
+                )
+        if self.ladder.surrogate is not None:
+            # Tier 2: the surrogate MLP behind D(t_i), at zero token cost.
+            label, confidence = self.ladder.surrogate_prediction(node)
+            return QueryRecord(
+                node=node,
+                true_label=int(self.graph.labels[node]),
+                predicted_label=label,
+                prompt_tokens=0,
+                completion_tokens=0,
+                num_neighbors=0,
+                num_neighbor_labels=0,
+                num_pseudo_labels=0,
+                pruned=True,
+                round_index=round_index,
+                confidence=confidence,
+                outcome="degraded_surrogate",
+            )
+        # Tier 3: an explicit abstention beats an aborted run.
+        return QueryRecord(
+            node=node,
+            true_label=int(self.graph.labels[node]),
+            predicted_label=None,
+            prompt_tokens=0,
+            completion_tokens=0,
+            num_neighbors=0,
+            num_neighbor_labels=0,
+            num_pseudo_labels=0,
+            pruned=True,
+            round_index=round_index,
+            confidence=None,
+            outcome="abstained",
+        )
+
+    def execute_query(
+        self,
+        node: int,
+        include_neighbors: bool = True,
+        round_index: int | None = None,
+        on_failure: str | None = None,
+    ) -> QueryRecord:
+        """Execute one LLM query and return its record.
+
+        ``include_neighbors=False`` is the token-pruned (zero-shot) form.
+
+        ``on_failure`` controls what an ultimately-failed LLM call does:
+        ``"degrade"`` walks the engine's :class:`DegradationLadder`,
+        ``"raise"`` propagates the :class:`TransientLLMError` (so a caller —
+        e.g. query boosting — can defer the node to a later round instead).
+        ``None`` degrades when the engine has a ladder and raises otherwise.
+        """
+        node = int(node)
+        if on_failure not in (None, "degrade", "raise"):
+            raise ValueError(f"on_failure must be 'degrade', 'raise' or None, got {on_failure!r}")
+        mode = on_failure or ("degrade" if self.ladder is not None else "raise")
+        if mode == "degrade" and self.ladder is None:
+            raise ValueError("on_failure='degrade' requires an engine degradation ladder")
+        retries_before = stack_retries(self.llm)
+        prompt, selected = self.build_prompt(node, include_neighbors)
+        try:
+            response = self.llm.complete(prompt)
+        except TransientLLMError:
+            if mode == "raise":
+                raise
+            return self._degraded_record(node, include_neighbors, round_index)
+        outcome = "retried" if stack_retries(self.llm) > retries_before else "ok"
+        return self._record_from_response(
+            node, response, selected, not include_neighbors, round_index, outcome
+        )
+
+    def run(
+        self,
+        queries: np.ndarray,
+        pruned: frozenset[int] | set[int] = frozenset(),
+        checkpointer: "RunCheckpointer | None" = None,
+    ) -> RunResult:
         """Execute ``queries`` in order; nodes in ``pruned`` go zero-shot.
 
         This is the plain (non-boosted) execution mode used by the original
-        benchmark methods and by Algorithm 1.
+        benchmark methods and by Algorithm 1.  With a ``checkpointer``,
+        every executed record persists incrementally and a resumed run
+        replays persisted records without re-issuing their LLM calls.
         """
         result = RunResult()
+        executed = checkpointer.executed if checkpointer is not None else {}
         for node in np.asarray(queries, dtype=np.int64):
-            result.add(self.execute_query(int(node), include_neighbors=int(node) not in pruned))
+            node = int(node)
+            cached = executed.get(node)
+            if cached is not None:
+                result.add(cached)
+                continue
+            record = self.execute_query(node, include_neighbors=node not in pruned)
+            result.add(record)
+            if checkpointer is not None:
+                checkpointer.append(record)
+        if checkpointer is not None:
+            checkpointer.mark_complete()
         return result
 
     def run_with_budget_guard(
@@ -183,6 +318,7 @@ class MultiQueryEngine:
         queries: np.ndarray,
         pruned: frozenset[int] | set[int] = frozenset(),
         completion_reserve: int = 16,
+        checkpointer: "RunCheckpointer | None" = None,
     ) -> RunResult:
         """Budget-enforcing execution (the hard constraint of paper Eq. 2).
 
@@ -203,9 +339,14 @@ class MultiQueryEngine:
             raise ValueError("completion_reserve must be >= 0")
         tokenizer = self.llm.tokenizer
         nodes = [int(v) for v in np.asarray(queries, dtype=np.int64)]
+        executed = checkpointer.executed if checkpointer is not None else {}
         # Exact zero-shot floor per query (tokenizer only — no LLM spend).
+        # Already-checkpointed queries replay for free, so they floor at 0.
         floors = []
         for node in nodes:
+            if node in executed:
+                floors.append(0)
+                continue
             prompt, _ = self.build_prompt(node, include_neighbors=False)
             floors.append(tokenizer.count(prompt) + completion_reserve)
         floor_after = np.concatenate([np.cumsum(np.asarray(floors[::-1]))[::-1][1:], [0]])
@@ -216,11 +357,20 @@ class MultiQueryEngine:
             )
         result = RunResult()
         for i, node in enumerate(nodes):
+            cached = executed.get(node)
+            if cached is not None:
+                result.add(cached)
+                continue
             include = node not in pruned
             if include:
                 prompt, _ = self.build_prompt(node, include_neighbors=True)
                 cost = tokenizer.count(prompt) + completion_reserve
                 if self.ledger.would_exceed(cost + int(floor_after[i])):
                     include = False
-            result.add(self.execute_query(node, include_neighbors=include))
+            record = self.execute_query(node, include_neighbors=include)
+            result.add(record)
+            if checkpointer is not None:
+                checkpointer.append(record)
+        if checkpointer is not None:
+            checkpointer.mark_complete()
         return result

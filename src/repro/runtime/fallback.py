@@ -1,0 +1,79 @@
+"""Graceful degradation: what to answer when the LLM will not.
+
+When retries (and the circuit breaker) give up on a query, aborting the
+whole run wastes everything already spent.  The engine instead walks a
+*degradation ladder*:
+
+1. **Pruned prompt** — re-ask with the cheap zero-shot (neighbor-free)
+   prompt; transient overload often admits smaller requests, and Table IV
+   shows the accuracy cost of dropping neighbor text is small.
+2. **Surrogate prediction** — answer from the surrogate MLP ``f_θ1`` (the
+   same classifier behind the inadequacy measure ``D(t_i)``), at zero token
+   cost.
+3. **Abstain** — record an explicit non-answer rather than raising.
+
+Each tier stamps its name on the :class:`~repro.runtime.results.QueryRecord`
+(``degraded_pruned`` / ``degraded_surrogate`` / ``abstained``) so results
+report exactly how much fidelity a run lost to failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol
+
+import numpy as np
+
+if TYPE_CHECKING:
+    from repro.graph.tag import TextAttributedGraph
+    from repro.ml.mlp import MLPClassifier
+
+
+class SurrogatePredictor(Protocol):
+    """Anything that maps node ids to class probabilities without the LLM.
+
+    :class:`~repro.core.inadequacy.TextInadequacyScorer` satisfies this
+    directly (its ``predict_proba`` runs the fitted surrogate over the
+    scorer's graph); :class:`FeatureSurrogate` adapts a bare classifier.
+    """
+
+    def predict_proba(self, nodes: np.ndarray) -> np.ndarray: ...
+
+
+class FeatureSurrogate:
+    """Adapt a fitted classifier over graph features to node-id lookups."""
+
+    def __init__(self, classifier: "MLPClassifier", graph: "TextAttributedGraph"):
+        self.classifier = classifier
+        self.graph = graph
+
+    def predict_proba(self, nodes: np.ndarray) -> np.ndarray:
+        features = self.graph.features[np.asarray(nodes, dtype=np.int64)]
+        return self.classifier.predict_proba(features.astype(np.float64))
+
+
+@dataclass
+class DegradationLadder:
+    """Configuration of the engine's fallback ladder.
+
+    Parameters
+    ----------
+    to_pruned:
+        Whether to attempt the cheaper zero-shot prompt before giving up on
+        the LLM entirely (skipped when the query was already zero-shot).
+    surrogate:
+        Optional :class:`SurrogatePredictor`; when present, its argmax class
+        (with its probability as confidence) answers queries the LLM could
+        not.  ``None`` drops straight to abstention.
+    """
+
+    to_pruned: bool = True
+    surrogate: SurrogatePredictor | None = None
+
+    def surrogate_prediction(self, node: int) -> tuple[int, float]:
+        """(label, confidence) from the surrogate for one node."""
+        if self.surrogate is None:
+            raise ValueError("ladder has no surrogate")
+        probs = self.surrogate.predict_proba(np.asarray([node], dtype=np.int64))[0]
+        label = int(np.argmax(probs))
+        return label, float(probs[label])

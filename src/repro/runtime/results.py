@@ -6,6 +6,12 @@ from dataclasses import dataclass, field
 
 from repro.llm.pricing import PRICES_PER_1K_TOKENS, cost_usd
 
+#: Execution outcome tiers, best to worst.  ``ok``/``retried`` are full-
+#: fidelity LLM answers; the ``degraded_*`` tiers come from the engine's
+#: fallback ladder (cheaper zero-shot prompt, then the surrogate MLP); an
+#: ``abstained`` query produced no prediction at all.
+OUTCOME_TIERS = ("ok", "retried", "degraded_pruned", "degraded_surrogate", "abstained")
+
 
 @dataclass(frozen=True)
 class QueryRecord:
@@ -22,6 +28,16 @@ class QueryRecord:
     pruned: bool = False
     round_index: int | None = None
     confidence: float | None = None
+    outcome: str = "ok"
+
+    def __post_init__(self) -> None:
+        if self.outcome not in OUTCOME_TIERS:
+            raise ValueError(f"unknown outcome tier {self.outcome!r}")
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the record came from a fallback tier (or abstained)."""
+        return self.outcome not in ("ok", "retried")
 
     @property
     def correct(self) -> bool:
@@ -80,6 +96,30 @@ class RunResult:
     def num_rounds(self) -> int:
         rounds = {r.round_index for r in self.records if r.round_index is not None}
         return len(rounds)
+
+    @property
+    def outcome_counts(self) -> dict[str, int]:
+        """Per-tier record counts (every tier present, zero-filled)."""
+        counts = dict.fromkeys(OUTCOME_TIERS, 0)
+        for r in self.records:
+            counts[r.outcome] += 1
+        return counts
+
+    @property
+    def num_degraded(self) -> int:
+        """Queries answered below full fidelity (fallback tiers + abstains)."""
+        return sum(r.degraded for r in self.records)
+
+    @property
+    def num_abstained(self) -> int:
+        return sum(r.outcome == "abstained" for r in self.records)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of queries answered at full LLM fidelity (ok/retried)."""
+        if not self.records:
+            raise ValueError("no records; availability is undefined")
+        return 1.0 - self.num_degraded / len(self.records)
 
     def cost_usd(self, model: str) -> float:
         """Dollar cost under ``model`` pricing (models without a price raise)."""

@@ -32,6 +32,17 @@ class TestTauForBudget:
         with pytest.raises(ValueError):
             tau_for_budget(0, 500, 200, budget=1)
 
+    def test_budget_one_ulp_below_minimum_is_feasible(self):
+        # A budget equal to the fully-pruned cost minus float rounding noise
+        # must clamp to τ=1, not raise: the caller's arithmetic cannot be
+        # expected to land exactly on the representable minimum.
+        import numpy as np
+
+        min_cost = 100 * (500.3 - 200.1)
+        nudged = float(np.nextafter(min_cost, 0.0))
+        assert nudged < min_cost
+        assert tau_for_budget(100, 500.3, 200.1, nudged) == 1.0
+
     @given(
         st.integers(min_value=1, max_value=10_000),
         st.floats(min_value=10, max_value=5_000),

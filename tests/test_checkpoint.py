@@ -1,0 +1,134 @@
+"""Property tests for checkpoint/resume: interrupted ≡ uninterrupted.
+
+The contract (for any interruption point ``k``): a run that crashes after
+``k`` executed queries and resumes from its checkpoint issues *exactly*
+``n − k`` further LLM calls and produces a result identical to the run that
+was never interrupted.  Both plain engine runs and boosting (where resume
+must reproduce the round structure through replay) are covered.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.boosting import QueryBoostingStrategy
+from repro.io.runs import RunCheckpointer
+from repro.llm.interface import LLMClient, LLMResponse
+from repro.llm.simulated import SimulatedLLM
+from repro.runtime.engine import MultiQueryEngine
+from repro.selection.registry import make_selector
+
+NUM_QUERIES = 12
+MAX_EXAMPLES = 8
+
+
+class Interrupted(RuntimeError):
+    """Simulated crash; deliberately not a TransientLLMError."""
+
+
+class InterruptingLLM(LLMClient):
+    """Crashes the run once ``stop_after`` calls have been answered."""
+
+    def __init__(self, inner: LLMClient, stop_after: int | None = None):
+        super().__init__(name=f"interrupt({inner.name})", tokenizer=inner.tokenizer)
+        self.inner = inner
+        self.stop_after = stop_after
+
+    def _complete(self, prompt: str) -> str:
+        raise AssertionError("unreachable: complete() is overridden")
+
+    def complete(self, prompt: str) -> LLMResponse:
+        if self.stop_after is not None and self.usage.num_queries >= self.stop_after:
+            raise Interrupted(f"crash after {self.stop_after} calls")
+        response = self.inner.complete(prompt)
+        self.usage.record(response)
+        return response
+
+
+def build_engine(tiny_graph, tiny_split, tiny_builder, llm) -> MultiQueryEngine:
+    # Built inline (not via the function-scoped factory fixture) because
+    # @given re-runs the test body many times per fixture instantiation.
+    return MultiQueryEngine(
+        graph=tiny_graph,
+        llm=llm,
+        selector=make_selector("1-hop"),
+        builder=tiny_builder,
+        labeled=tiny_split.labeled,
+        max_neighbors=4,
+        seed=9,
+    )
+
+
+def fresh_llm(tiny_tag, stop_after: int | None = None) -> InterruptingLLM:
+    return InterruptingLLM(
+        SimulatedLLM(tiny_tag.vocabulary, name="gpt-3.5", seed=5), stop_after=stop_after
+    )
+
+
+def interrupt_then_resume(tiny_graph, tiny_split, tiny_builder, tiny_tag, k, execute):
+    """Run ``execute`` uninterrupted, then interrupted at ``k`` + resumed.
+
+    Returns (uninterrupted result, resumed result, resumed llm) so callers
+    can assert equivalence and the exact resumed call count.
+    """
+    queries = tiny_split.queries[:NUM_QUERIES]
+    full = execute(build_engine(tiny_graph, tiny_split, tiny_builder, fresh_llm(tiny_tag)),
+                   queries, None)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "checkpoint.json"
+        crashing = fresh_llm(tiny_tag, stop_after=k)
+        engine = build_engine(tiny_graph, tiny_split, tiny_builder, crashing)
+        with pytest.raises(Interrupted):
+            execute(engine, queries, RunCheckpointer(path))
+        assert crashing.usage.num_queries == k
+
+        resumed_llm = fresh_llm(tiny_tag)
+        engine = build_engine(tiny_graph, tiny_split, tiny_builder, resumed_llm)
+        checkpointer = RunCheckpointer(path)
+        assert checkpointer.resumed_records == k
+        result = execute(engine, queries, checkpointer)
+        assert RunCheckpointer(path).state.completed is True
+    return full, result, resumed_llm
+
+
+@given(k=st.integers(min_value=0, max_value=NUM_QUERIES - 1))
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+def test_resumed_plain_run_matches_uninterrupted(
+    tiny_graph, tiny_split, tiny_builder, tiny_tag, k
+):
+    def execute(engine, queries, checkpointer):
+        return engine.run(queries, checkpointer=checkpointer)
+
+    full, resumed, llm = interrupt_then_resume(
+        tiny_graph, tiny_split, tiny_builder, tiny_tag, k, execute
+    )
+    assert llm.usage.num_queries == NUM_QUERIES - k
+    assert resumed.records == full.records
+
+
+@given(k=st.integers(min_value=0, max_value=NUM_QUERIES - 1))
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+def test_resumed_boosting_matches_uninterrupted(
+    tiny_graph, tiny_split, tiny_builder, tiny_tag, k
+):
+    rounds: dict[int, list[list[int]]] = {}
+
+    def execute(engine, queries, checkpointer):
+        boosted = QueryBoostingStrategy().execute(engine, queries, checkpointer=checkpointer)
+        rounds[id(checkpointer)] = boosted.rounds
+        return boosted.run
+
+    full, resumed, llm = interrupt_then_resume(
+        tiny_graph, tiny_split, tiny_builder, tiny_tag, k, execute
+    )
+    # Resume replays the cached prefix through the deterministic scheduler:
+    # identical records, identical round structure, zero duplicate calls.
+    assert llm.usage.num_queries == NUM_QUERIES - k
+    assert resumed.records == full.records
+    uninterrupted_rounds, resumed_rounds = rounds[id(None)], list(rounds.values())[-1]
+    assert resumed_rounds == uninterrupted_rounds

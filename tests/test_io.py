@@ -6,7 +6,16 @@ import numpy as np
 import pytest
 
 from repro.io.graphs import load_graph, save_graph
-from repro.io.runs import load_run, run_to_rows, save_run, write_csv
+from repro.io.runs import (
+    CheckpointState,
+    RunCheckpointer,
+    load_checkpoint,
+    load_run,
+    run_to_rows,
+    save_checkpoint,
+    save_run,
+    write_csv,
+)
 from repro.runtime.results import QueryRecord, RunResult
 
 
@@ -101,3 +110,91 @@ class TestRunPersistence:
         lines = path.read_text().strip().splitlines()
         assert len(lines) == 6  # header + 5 records
         assert "node" in lines[0] and "correct" in lines[0]
+
+    def test_version_1_files_load_with_default_outcome(self, tmp_path):
+        import json
+
+        save_run(sample_run(), tmp_path / "run.json")
+        payload = json.loads((tmp_path / "run.json").read_text())
+        payload["format_version"] = 1
+        for record in payload["records"]:
+            del record["outcome"]  # the field version 2 introduced
+        (tmp_path / "run.json").write_text(json.dumps(payload))
+        loaded = load_run(tmp_path / "run.json")
+        assert all(r.outcome == "ok" for r in loaded.records)
+
+    def test_outcome_survives_roundtrip(self, tmp_path):
+        record = QueryRecord(
+            node=0,
+            true_label=1,
+            predicted_label=None,
+            prompt_tokens=0,
+            completion_tokens=0,
+            num_neighbors=0,
+            num_neighbor_labels=0,
+            num_pseudo_labels=0,
+            outcome="abstained",
+        )
+        save_run(RunResult([record]), tmp_path / "run.json")
+        assert load_run(tmp_path / "run.json").records[0].outcome == "abstained"
+
+
+class TestCheckpointPersistence:
+    def test_roundtrip(self, tmp_path):
+        state = CheckpointState(
+            records=list(sample_run().records), pseudo_labels={7: 1, 9: 0}, completed=False
+        )
+        save_checkpoint(state, tmp_path / "ck.json")
+        loaded = load_checkpoint(tmp_path / "ck.json")
+        assert loaded.records == state.records
+        assert loaded.pseudo_labels == {7: 1, 9: 0}  # int keys survive JSON
+        assert loaded.completed is False
+
+    def test_atomic_write_leaves_no_tmp(self, tmp_path):
+        save_checkpoint(CheckpointState(), tmp_path / "ck.json")
+        assert list(tmp_path.iterdir()) == [tmp_path / "ck.json"]
+
+    def test_rejects_plain_run_files(self, tmp_path):
+        save_run(sample_run(), tmp_path / "run.json")
+        with pytest.raises(ValueError, match="not a checkpoint"):
+            load_checkpoint(tmp_path / "run.json")
+
+    def test_checkpointer_persists_incrementally(self, tmp_path):
+        path = tmp_path / "ck.json"
+        ck = RunCheckpointer(path)
+        records = list(sample_run().records)
+        ck.append(records[0])
+        ck.record_pseudo(records[0].node, 1)
+        ck.append(records[1])
+        # Every append flushed (flush_every=1): a fresh reader sees both.
+        resumed = RunCheckpointer(path)
+        assert resumed.resumed_records == 2
+        assert set(resumed.executed) == {records[0].node, records[1].node}
+        assert resumed.pseudo_labels == {records[0].node: 1}
+        assert resumed.state.completed is False
+
+    def test_duplicate_append_rejected(self, tmp_path):
+        ck = RunCheckpointer(tmp_path / "ck.json")
+        record = sample_run().records[0]
+        ck.append(record)
+        with pytest.raises(ValueError, match="already checkpointed"):
+            ck.append(record)
+
+    def test_flush_every_batches_writes(self, tmp_path):
+        path = tmp_path / "ck.json"
+        ck = RunCheckpointer(path, flush_every=3)
+        records = list(sample_run().records)
+        ck.append(records[0])
+        ck.append(records[1])
+        assert not path.exists()  # below the batch threshold
+        ck.append(records[2])
+        assert RunCheckpointer(path).resumed_records == 3
+        ck.append(records[3])
+        ck.mark_complete()  # forces the final flush
+        resumed = RunCheckpointer(path)
+        assert resumed.resumed_records == 4
+        assert resumed.state.completed is True
+
+    def test_invalid_flush_every(self, tmp_path):
+        with pytest.raises(ValueError):
+            RunCheckpointer(tmp_path / "ck.json", flush_every=0)

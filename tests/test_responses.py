@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.llm.responses import format_category_response, parse_category_response
+from repro.llm.responses import ABSTAIN, format_category_response, parse_category_response
 
 CLASSES = ["Case_Based", "Neural_Networks", "Theory"]
 
@@ -48,3 +48,32 @@ class TestParse:
 
     def test_whitespace_tolerance(self):
         assert parse_category_response("Category:   [ 'Theory' ]", CLASSES) == 2
+
+
+class TestAbstainOnGarbage:
+    """Malformed real-API output must abstain, never raise."""
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [
+            "",
+            "   \n\t  ",
+            "I cannot classify this document.",
+            "Category: []",
+            "Category: ['Quantum_Gravity']",
+            "```json\n{\"category\": null}\n```",
+            "ERROR 429: rate limit exceeded",
+            "?????",
+        ],
+    )
+    def test_garbage_returns_abstain(self, garbage):
+        assert parse_category_response(garbage, CLASSES) is ABSTAIN
+
+    @pytest.mark.parametrize("non_string", [None, 42, b"Theory", ["Theory"]])
+    def test_non_string_returns_abstain(self, non_string):
+        assert parse_category_response(non_string, CLASSES) is ABSTAIN
+
+    def test_abstain_is_none(self):
+        # QueryRecord stores predicted_label=None for abstentions; the
+        # sentinel must stay interchangeable with that representation.
+        assert ABSTAIN is None
