@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test bench bench-tables report examples clean
+.PHONY: install test bench bench-tables report examples trace-smoke clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -19,6 +19,14 @@ bench-output:
 
 report:
 	python -m repro.cli report --output reproduction_report.md
+
+# Emit a real instrumented run and validate its trace against the schema.
+trace-smoke:
+	mkdir -p .smoke
+	PYTHONPATH=src python -m repro.cli classify --dataset cora --scale 0.15 \
+		--queries 8 --strategy boost --cache --trace .smoke/trace.jsonl \
+		--metrics .smoke/metrics.prom
+	PYTHONPATH=src python -m repro.obs.schema .smoke/trace.jsonl
 
 examples:
 	python examples/quickstart.py

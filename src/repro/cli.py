@@ -5,9 +5,13 @@ Subcommands::
     repro datasets                 list the dataset replicas (Table II stats)
     repro info DATASET             generate a replica and print measured stats
     repro classify ...             run a query set under a strategy
+    repro trace FILE               validate + summarize a JSONL query trace
     repro experiment NAME          reproduce one paper table/figure
     repro report [--quick]        reproduce everything into a markdown report
     repro prices                  show the token pricing table
+
+``classify --trace/--metrics`` instruments the run (span trace as JSONL,
+metrics as Prometheus text or JSON); see docs/observability.md.
 
 Run ``repro <subcommand> --help`` for options.
 """
@@ -89,7 +93,8 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     from repro.experiments.common import load_setup
     from repro.experiments.table4 import fit_scorer
     from repro.io.runs import RunCheckpointer, save_run, write_csv
-    from repro.llm.reliability import FlakyLLM, resilient
+    from repro.llm.caching import CachingLLM
+    from repro.llm.reliability import FlakyLLM, SimulatedClock, resilient
     from repro.runtime.fallback import DegradationLadder
 
     setup = load_setup(args.dataset, num_queries=args.queries, scale=args.scale)
@@ -97,6 +102,28 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     scorer = None
     if args.strategy in ("prune", "joint") or args.failure_rate > 0:
         scorer = fit_scorer(setup, model=args.model)
+
+    instr = None
+    clock = None
+    if args.trace or args.metrics:
+        from uuid import uuid4
+
+        from repro.obs import Instrumentation
+
+        # One simulated clock shared by the retry/breaker stack, the span
+        # tracer and the engine's latency stamps, so every timestamp in the
+        # trace lives on the same (deterministic) timeline.
+        clock = SimulatedClock()
+        instr = Instrumentation(
+            run_id=uuid4().hex[:12],
+            clock=clock,
+            labels={
+                "dataset": args.dataset,
+                "method": args.method,
+                "strategy": args.strategy,
+                "model": args.model,
+            },
+        )
 
     llm = None
     ladder = None
@@ -111,11 +138,24 @@ def _cmd_classify(args: argparse.Namespace) -> int:
             charge_failed_prompts=True,
             key="prompt",
         )
-        llm = resilient(flaky, max_attempts=args.max_attempts, seed=17)
+        llm = resilient(flaky, max_attempts=args.max_attempts, seed=17, clock=clock)
         ladder = DegradationLadder(surrogate=scorer)
-    engine = setup.make_engine(args.method, model=args.model, llm=llm, ladder=ladder)
+    cache = None
+    if args.cache:
+        cache = CachingLLM(llm if llm is not None else setup.make_llm(args.model))
+        llm = cache
+    if instr is not None and llm is not None:
+        from repro.obs import instrument_stack
 
-    checkpointer = RunCheckpointer(args.checkpoint) if args.checkpoint else None
+        instrument_stack(llm, instr)
+    engine = setup.make_engine(
+        args.method, model=args.model, llm=llm, ladder=ladder,
+        observer=instr, clock=clock,
+    )
+
+    checkpointer = (
+        RunCheckpointer(args.checkpoint, observer=instr) if args.checkpoint else None
+    )
     if checkpointer is not None and checkpointer.resumed_records:
         print(f"resuming from {args.checkpoint}: {checkpointer.resumed_records} records replay")
 
@@ -146,10 +186,47 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         tiers = ", ".join(f"{k}={v}" for k, v in result.outcome_counts.items() if v)
         print(f"  outcomes  : {tiers}")
         print(f"  wasted    : {flaky.wasted_prompt_tokens:,} prompt tokens on failed calls")
+    if cache is not None:
+        stats = cache.stats()
+        print(
+            f"  cache     : {stats['hits']} hits / {stats['misses']} misses "
+            f"({stats['hit_rate']:.1%} hit rate, {stats['evictions']} evictions)"
+        )
     if args.save_run:
         print(f"  saved run : {save_run(result, args.save_run)}")
     if args.csv:
         print(f"  saved csv : {write_csv(result, args.csv)}")
+    if instr is not None:
+        from pathlib import Path
+
+        from repro.obs import render_trace_summary
+
+        if args.trace:
+            path = instr.write_trace(args.trace)
+            print(f"  trace     : {path} ({len(instr.tracer.spans)} spans)")
+        if args.metrics:
+            path = Path(args.metrics)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            if path.suffix == ".json":
+                path.write_text(instr.registry.to_json(indent=2) + "\n")
+            else:
+                path.write_text(instr.registry.to_prometheus())
+            print(f"  metrics   : {path}")
+        print()
+        print(render_trace_summary(instr.trace_lines()))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import TraceSchemaError, read_trace, render_trace_summary, validate_trace_lines
+
+    try:
+        lines = read_trace(args.path)
+        validate_trace_lines(lines)
+    except (TraceSchemaError, ValueError, OSError) as error:
+        print(f"INVALID trace: {error}", file=sys.stderr)
+        return 1
+    print(render_trace_summary(lines))
     return 0
 
 
@@ -220,7 +297,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint file: the run persists progress there and, if the "
         "file exists, resumes without re-issuing completed LLM calls",
     )
+    sub.add_argument(
+        "--cache",
+        action="store_true",
+        help="wrap the model in an exact-prompt response cache and report "
+        "its hit rate",
+    )
+    sub.add_argument(
+        "--trace",
+        default=None,
+        help="instrument the run and write its span trace (JSONL) here; "
+        "also prints the per-run telemetry summary",
+    )
+    sub.add_argument(
+        "--metrics",
+        default=None,
+        help="instrument the run and write its metrics here (Prometheus "
+        "text, or JSON when the path ends in .json)",
+    )
     sub.set_defaults(func=_cmd_classify)
+
+    sub = subparsers.add_parser("trace", help="validate + summarize a JSONL query trace")
+    sub.add_argument("path", help="trace file written by classify --trace")
+    sub.set_defaults(func=_cmd_trace)
 
     sub = subparsers.add_parser("experiment", help="reproduce one paper table/figure")
     sub.add_argument("name", choices=EXPERIMENT_NAMES)

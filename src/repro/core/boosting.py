@@ -167,9 +167,12 @@ class QueryBoostingStrategy:
         cached = checkpointer.executed if checkpointer is not None else {}
         gamma1, gamma2 = self.gamma1, self.gamma2
         num_classes = engine.graph.num_classes
+        observer = engine.observer
         result = RunResult()
         rounds: list[list[int]] = []
         deferrals: dict[int, int] = {}
+        if observer is not None:
+            observer.on_run_start(len(unexecuted))
 
         while unexecuted:
             # Step 1: candidate selection, relaxing thresholds when empty.
@@ -189,29 +192,37 @@ class QueryBoostingStrategy:
             # LLM batch — richest-labeled first for readability of traces).
             candidates.sort(key=lambda pair: (-pair[1], pair[0]))
             round_records = []
-            for node, _ in candidates:
-                cached_record = cached.get(node)
-                if cached_record is not None:
-                    round_records.append(cached_record)
-                    result.add(cached_record)
-                    continue
-                can_defer = deferrals.get(node, 0) < self.max_deferrals
-                try:
-                    record = engine.execute_query(
-                        node,
-                        include_neighbors=node not in pruned,
-                        round_index=len(rounds),
-                        on_failure="raise" if can_defer else None,
-                    )
-                except TransientLLMError:
-                    if not can_defer:
-                        raise  # deferrals exhausted, no ladder to absorb this
-                    deferrals[node] = deferrals.get(node, 0) + 1
-                    continue  # re-enqueued: still in unexecuted for later rounds
-                round_records.append(record)
-                result.add(record)
-                if checkpointer is not None:
-                    checkpointer.append(record)
+            round_deferred = 0
+            with engine.span(
+                "round", round_index=len(rounds), candidates=len(candidates)
+            ):
+                for node, _ in candidates:
+                    cached_record = cached.get(node)
+                    if cached_record is not None:
+                        engine.observe_replay(cached_record)
+                        round_records.append(cached_record)
+                        result.add(cached_record)
+                        continue
+                    can_defer = deferrals.get(node, 0) < self.max_deferrals
+                    try:
+                        record = engine.execute_query(
+                            node,
+                            include_neighbors=node not in pruned,
+                            round_index=len(rounds),
+                            on_failure="raise" if can_defer else None,
+                        )
+                    except TransientLLMError:
+                        if not can_defer:
+                            raise  # deferrals exhausted, no ladder to absorb this
+                        deferrals[node] = deferrals.get(node, 0) + 1
+                        round_deferred += 1
+                        if observer is not None:
+                            observer.on_deferral(node, deferrals[node])
+                        continue  # re-enqueued: still in unexecuted for later rounds
+                    round_records.append(record)
+                    result.add(record)
+                    if checkpointer is not None:
+                        checkpointer.append(record)
             # Step 3: pseudo-labels publish after the whole round, exactly
             # as Algorithm 2 separates its query and label-update steps.
             for record in round_records:
@@ -224,6 +235,10 @@ class QueryBoostingStrategy:
             executed = {r.node for r in round_records}
             unexecuted = [v for v in unexecuted if v not in executed]
             if round_records:
+                if observer is not None:
+                    observer.on_round_end(
+                        len(rounds), len(round_records), round_deferred
+                    )
                 rounds.append([r.node for r in round_records])
 
         if checkpointer is not None:

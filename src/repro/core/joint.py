@@ -55,6 +55,8 @@ class JointStrategy:
         """
         queries = np.asarray(queries, dtype=np.int64)
         plan = self.pruning.plan_by_tau(queries, tau)
+        if engine.observer is not None:
+            engine.observer.on_pruning_plan(len(plan.pruned), len(queries), plan.tau)
         boosted = self.boosting.execute(
             engine, queries, pruned=plan.pruned, checkpointer=checkpointer
         )

@@ -94,5 +94,9 @@ class TokenPruningStrategy:
         deterministic, so it is re-derived rather than persisted).
         """
         plan = self.plan_by_tau(queries, tau)
+        if engine.observer is not None:
+            engine.observer.on_pruning_plan(
+                len(plan.pruned), len(plan.order), plan.tau
+            )
         result = engine.run(plan.order, pruned=plan.pruned, checkpointer=checkpointer)
         return result, plan

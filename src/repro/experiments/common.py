@@ -67,6 +67,8 @@ class ExperimentSetup:
         include_neighbor_abstracts: bool = False,
         seed: int = ENGINE_SEED,
         ladder: DegradationLadder | None = None,
+        observer=None,
+        clock=None,
     ) -> MultiQueryEngine:
         """Fresh engine for one (method, model) cell of a results table."""
         return MultiQueryEngine(
@@ -79,6 +81,8 @@ class ExperimentSetup:
             include_neighbor_abstracts=include_neighbor_abstracts,
             seed=seed,
             ladder=ladder,
+            observer=observer,
+            clock=clock,
         )
 
 

@@ -25,9 +25,10 @@ from repro.core.pruning import TokenPruningStrategy
 from repro.experiments.common import load_setup
 from repro.experiments.report import render_table
 from repro.experiments.table4 import fit_scorer
-from repro.llm.reliability import FlakyLLM, resilient
+from repro.llm.reliability import FlakyLLM, SimulatedClock, resilient
+from repro.obs import Instrumentation, instrument_stack
 from repro.runtime.fallback import DegradationLadder
-from repro.runtime.results import RunResult
+from repro.runtime.results import OUTCOME_TIERS, RunResult
 
 FAILURE_RATES = (0.0, 0.1, 0.3, 0.5, 0.8)
 FLAKY_SEED = 13
@@ -74,6 +75,21 @@ def run_resilience(
     scorer = fit_scorer(setup, model=model)
     cells = []
     for rate in failure_rates:
+        # One fresh telemetry pipeline per cell: the fault-tolerance stack
+        # and the engine report into the same registry, and the cell below
+        # is assembled from registry totals rather than by reaching into
+        # each wrapper's private counters.
+        clock = SimulatedClock()
+        instr = Instrumentation(
+            run_id=f"resilience-{rate:.2f}",
+            clock=clock,
+            labels={
+                "dataset": dataset,
+                "method": method,
+                "strategy": "joint",
+                "model": model,
+            },
+        )
         flaky = FlakyLLM(
             setup.make_llm(model),
             failure_rate=rate,
@@ -81,25 +97,37 @@ def run_resilience(
             charge_failed_prompts=True,
             key="prompt",
         )
-        stack = resilient(flaky, max_attempts=max_attempts, seed=RETRY_SEED)
+        stack = resilient(flaky, max_attempts=max_attempts, seed=RETRY_SEED, clock=clock)
+        instrument_stack(stack, instr)
         # The scorer doubles as the surrogate fallback: the same f_θ1 that
         # measures text inadequacy answers queries the LLM cannot.
         engine = setup.make_engine(
-            method, llm=stack, ladder=DegradationLadder(surrogate=scorer)
+            method,
+            llm=stack,
+            ladder=DegradationLadder(surrogate=scorer),
+            observer=instr,
+            clock=clock,
         )
         joint = JointStrategy(TokenPruningStrategy(scorer), QueryBoostingStrategy())
         run: RunResult = joint.execute(engine, setup.queries, tau=tau).run
-        retrying = stack.inner
+        registry = instr.registry
+        outcome_counts = {
+            tier: int(registry.total("repro_queries_total", outcome=tier))
+            for tier in OUTCOME_TIERS
+        }
         cells.append(
             ResilienceCell(
                 failure_rate=rate,
                 accuracy=run.accuracy * 100,
-                total_tokens=run.total_tokens,
-                wasted_prompt_tokens=flaky.wasted_prompt_tokens,
-                retries=retrying.retries,
-                deadline_give_ups=retrying.deadline_give_ups,
-                breaker_opened=stack.breaker.times_opened,
-                outcome_counts=run.outcome_counts,
+                total_tokens=int(
+                    registry.total("repro_prompt_tokens_total")
+                    + registry.total("repro_completion_tokens_total")
+                ),
+                wasted_prompt_tokens=int(registry.total("repro_wasted_prompt_tokens_total")),
+                retries=int(registry.total("repro_retries_total")),
+                deadline_give_ups=int(registry.total("repro_deadline_give_ups_total")),
+                breaker_opened=int(registry.total("repro_breaker_transitions_total", to="open")),
+                outcome_counts=outcome_counts,
             )
         )
     return ResilienceResult(dataset=dataset, method=method, tau=tau, cells=cells)

@@ -17,13 +17,20 @@ import json
 import os
 from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.runtime.results import QueryRecord, RunResult
 
+if TYPE_CHECKING:
+    from repro.obs.hooks import RunObserver
+
 # Version 2 added ``QueryRecord.outcome``; version-1 files load with the
 # default tier ("ok"), which is exactly what pre-outcome records were.
-_FORMAT_VERSION = 2
-_SUPPORTED_VERSIONS = (1, 2)
+# Version 3 added ``QueryRecord.latency_seconds``; older files load with
+# ``None`` (no simulated clock ran), so every earlier checkpoint and saved
+# run stays loadable.
+_FORMAT_VERSION = 3
+_SUPPORTED_VERSIONS = (1, 2, 3)
 
 
 def save_run(result: RunResult, path: str | Path) -> Path:
@@ -144,16 +151,27 @@ class RunCheckpointer:
         Persist after every N appended records.  ``1`` (the default) never
         loses an executed query to a crash; larger values trade crash
         re-query cost for fewer writes on large runs.
+    observer:
+        Optional run observer; resume loads report ``on_checkpoint_loaded``
+        and every file write ``on_checkpoint_flush``.
     """
 
-    def __init__(self, path: str | Path, flush_every: int = 1):
+    def __init__(
+        self,
+        path: str | Path,
+        flush_every: int = 1,
+        observer: "RunObserver | None" = None,
+    ):
         if flush_every < 1:
             raise ValueError("flush_every must be >= 1")
         self.path = Path(path)
         self.flush_every = flush_every
+        self.observer = observer
         self._pending = 0
         self.state = load_checkpoint(self.path) if self.path.exists() else CheckpointState()
         self.resumed_records = len(self.state.records)
+        if observer is not None and self.resumed_records:
+            observer.on_checkpoint_loaded(self.resumed_records, self.state.completed)
 
     @property
     def executed(self) -> dict[int, QueryRecord]:
@@ -185,3 +203,5 @@ class RunCheckpointer:
     def flush(self) -> None:
         save_checkpoint(self.state, self.path)
         self._pending = 0
+        if self.observer is not None:
+            self.observer.on_checkpoint_flush(len(self.state.records))

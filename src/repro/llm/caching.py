@@ -14,9 +14,12 @@ cost zero tokens and are tracked separately from the inner client's usage.
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import TYPE_CHECKING
 
 from repro.llm.interface import LLMClient, LLMResponse
-from repro.text.tokenizer import Tokenizer
+
+if TYPE_CHECKING:
+    from repro.obs.hooks import RunObserver
 
 
 class CachingLLM(LLMClient):
@@ -29,17 +32,26 @@ class CachingLLM(LLMClient):
     max_entries:
         LRU capacity; ``None`` means unbounded (fine for the bounded query
         sets of the paper's experiments).
+    observer:
+        Optional run observer; hits, misses and LRU evictions report to it.
     """
 
-    def __init__(self, inner: LLMClient, max_entries: int | None = 10_000):
+    def __init__(
+        self,
+        inner: LLMClient,
+        max_entries: int | None = 10_000,
+        observer: "RunObserver | None" = None,
+    ):
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be >= 1 or None")
         super().__init__(name=f"cached({inner.name})", tokenizer=inner.tokenizer)
         self.inner = inner
         self.max_entries = max_entries
+        self.observer = observer
         self._cache: OrderedDict[str, tuple[str, float | None]] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def _complete(self, prompt: str) -> str:
         return self._complete_with_confidence(prompt)[0]
@@ -48,14 +60,21 @@ class CachingLLM(LLMClient):
         cached = self._cache.get(prompt)
         if cached is not None:
             self.hits += 1
+            if self.observer is not None:
+                self.observer.on_cache_hit()
             self._cache.move_to_end(prompt)
             return cached
         self.misses += 1
+        if self.observer is not None:
+            self.observer.on_cache_miss()
         response = self.inner.complete(prompt)
         entry = (response.text, response.confidence)
         self._cache[prompt] = entry
         if self.max_entries is not None and len(self._cache) > self.max_entries:
             self._cache.popitem(last=False)
+            self.evictions += 1
+            if self.observer is not None:
+                self.observer.on_cache_eviction()
         return entry
 
     def complete(self, prompt: str) -> LLMResponse:
@@ -88,7 +107,29 @@ class CachingLLM(LLMClient):
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def stats(self) -> dict[str, float | int]:
+        """Lifetime cache statistics as one dict (the reporting surface).
+
+        Counters are *lifetime*: :meth:`clear` drops cached entries but not
+        these, so metrics built on them never silently rewind.
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "evictions": self.evictions,
+            "entries": len(self._cache),
+        }
+
     def clear(self) -> None:
+        """Drop every cached entry; lifetime stats are preserved.
+
+        (Use :meth:`reset_stats` to also rewind the counters.)
+        """
         self._cache.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the lifetime hit/miss/eviction counters."""
         self.hits = 0
         self.misses = 0
+        self.evictions = 0

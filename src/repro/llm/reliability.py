@@ -21,8 +21,13 @@ All waiting is *simulated*: waits accumulate on a :class:`SimulatedClock`
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.llm.interface import LLMClient, LLMResponse
 from repro.utils.rng import spawn_rng
+
+if TYPE_CHECKING:
+    from repro.obs.hooks import RunObserver
 
 
 class TransientLLMError(RuntimeError):
@@ -89,6 +94,7 @@ class FlakyLLM(LLMClient):
         seed: int = 0,
         charge_failed_prompts: bool = False,
         key: str = "call",
+        observer: "RunObserver | None" = None,
     ):
         if not 0.0 <= failure_rate < 1.0:
             raise ValueError("failure_rate must be in [0, 1)")
@@ -100,6 +106,7 @@ class FlakyLLM(LLMClient):
         self.seed = seed
         self.charge_failed_prompts = charge_failed_prompts
         self.key = key
+        self.observer = observer
         self.calls = 0
         self.failures = 0
         self.wasted_prompt_tokens = 0
@@ -120,8 +127,10 @@ class FlakyLLM(LLMClient):
             rng = spawn_rng(self.seed, "flaky", self.calls)
         if rng.random() < self.failure_rate:
             self.failures += 1
-            if self.charge_failed_prompts:
-                self.wasted_prompt_tokens += self.tokenizer.count(prompt)
+            wasted = self.tokenizer.count(prompt) if self.charge_failed_prompts else 0
+            self.wasted_prompt_tokens += wasted
+            if self.observer is not None:
+                self.observer.on_injected_failure(wasted)
             raise TransientLLMError(f"simulated transient failure on call {self.calls}")
         response = self.inner.complete(prompt)
         self.usage.record(response)
@@ -157,6 +166,9 @@ class RetryingLLM(LLMClient):
     clock:
         Optional shared :class:`SimulatedClock`; every backoff wait advances
         it, which is how a co-wired :class:`CircuitBreaker` observes time.
+    observer:
+        Optional run observer; each retry reports ``on_retry(attempt,
+        wait)`` and each expired deadline ``on_deadline_give_up``.
     """
 
     def __init__(
@@ -169,6 +181,7 @@ class RetryingLLM(LLMClient):
         deadline_seconds: float | None = None,
         seed: int = 0,
         clock: SimulatedClock | None = None,
+        observer: "RunObserver | None" = None,
     ):
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
@@ -187,6 +200,7 @@ class RetryingLLM(LLMClient):
         self.deadline_seconds = deadline_seconds
         self.seed = seed
         self.clock = clock
+        self.observer = observer
         self.retries = 0
         self.deadline_give_ups = 0
         self.simulated_wait_seconds = 0.0
@@ -223,6 +237,8 @@ class RetryingLLM(LLMClient):
                     and waited_this_query + wait > self.deadline_seconds
                 ):
                     self.deadline_give_ups += 1
+                    if self.observer is not None:
+                        self.observer.on_deadline_give_up(attempt + 1)
                     raise TransientLLMError(
                         f"deadline of {self.deadline_seconds}s exhausted after "
                         f"{attempt + 1} attempts: {last_error}"
@@ -230,6 +246,8 @@ class RetryingLLM(LLMClient):
                 self.retries += 1
                 waited_this_query += wait
                 self.simulated_wait_seconds += wait
+                if self.observer is not None:
+                    self.observer.on_retry(attempt, wait)
                 if self.clock is not None:
                     self.clock.advance(wait)
         raise TransientLLMError(
@@ -249,7 +267,10 @@ class CircuitBreaker:
 
     The breaker is a pure state machine (no client coupling) so it can also
     guard non-LLM resources; :class:`CircuitBreakerLLM` adapts it to the
-    :class:`LLMClient` interface.
+    :class:`LLMClient` interface.  An attached ``observer`` receives
+    ``on_breaker_transition(old, new, at)`` for every state change — the
+    elapsed open → half-open move included — stamped with the clock time at
+    which the transition was *observed*.
     """
 
     def __init__(
@@ -258,6 +279,7 @@ class CircuitBreaker:
         recovery_seconds: float = 30.0,
         half_open_successes: int = 2,
         clock: SimulatedClock | None = None,
+        observer: "RunObserver | None" = None,
     ):
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
@@ -269,6 +291,7 @@ class CircuitBreaker:
         self.recovery_seconds = recovery_seconds
         self.half_open_successes = half_open_successes
         self.clock = clock or SimulatedClock()
+        self.observer = observer
         self._state = "closed"
         self._consecutive_failures = 0
         self._probe_successes = 0
@@ -276,11 +299,17 @@ class CircuitBreaker:
         self.times_opened = 0
         self.rejected_calls = 0
 
+    def _transition(self, new: str) -> None:
+        old = self._state
+        self._state = new
+        if self.observer is not None and old != new:
+            self.observer.on_breaker_transition(old, new, self.clock.now)
+
     @property
     def state(self) -> str:
         """Current state, resolving an elapsed open → half-open transition."""
         if self._state == "open" and self.clock.now - self._opened_at >= self.recovery_seconds:
-            self._state = "half_open"
+            self._transition("half_open")
             self._probe_successes = 0
         return self._state
 
@@ -288,6 +317,8 @@ class CircuitBreaker:
         """Whether a call may proceed right now; counts rejections."""
         if self.state == "open":
             self.rejected_calls += 1
+            if self.observer is not None:
+                self.observer.on_breaker_rejection()
             return False
         return True
 
@@ -295,7 +326,7 @@ class CircuitBreaker:
         if self.state == "half_open":
             self._probe_successes += 1
             if self._probe_successes >= self.half_open_successes:
-                self._state = "closed"
+                self._transition("closed")
                 self._consecutive_failures = 0
         else:
             self._consecutive_failures = 0
@@ -310,7 +341,7 @@ class CircuitBreaker:
                 self._trip()
 
     def _trip(self) -> None:
-        self._state = "open"
+        self._transition("open")
         self._opened_at = self.clock.now
         self._consecutive_failures = 0
         self._probe_successes = 0

@@ -1,0 +1,58 @@
+"""Unified telemetry: metrics registry, span tracing, run instrumentation.
+
+The execution stack (engine, strategies, reliability wrappers, cache,
+checkpointer) reports its lifecycle through the optional observer protocol
+in :mod:`repro.obs.hooks`; :class:`Instrumentation` is the standard
+observer, feeding a :class:`MetricsRegistry` (Prometheus text + JSON
+exposition) and a :class:`SpanTracer` (replay-exact JSONL traces on the
+simulated clock).  With no observer attached — the default — the stack's
+behaviour is byte-identical to an uninstrumented build.
+
+See ``docs/observability.md`` for the metric catalogue, the trace schema,
+and the determinism contract.
+"""
+
+from repro.obs.hooks import RunObserver
+from repro.obs.instrument import Instrumentation, instrument_stack
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    TOKEN_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.summary import render_trace_summary
+from repro.obs.tracing import TRACE_FORMAT_VERSION, Span, SpanTracer, read_trace
+
+_SCHEMA_NAMES = ("TraceSchemaError", "validate_trace_file", "validate_trace_lines")
+
+
+def __getattr__(name: str):
+    # Lazy so `python -m repro.obs.schema` doesn't re-execute an
+    # already-imported module (runpy's double-import warning).
+    if name in _SCHEMA_NAMES:
+        from repro.obs import schema
+
+        return getattr(schema, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "RunObserver",
+    "Span",
+    "SpanTracer",
+    "TOKEN_BUCKETS",
+    "TRACE_FORMAT_VERSION",
+    "TraceSchemaError",
+    "instrument_stack",
+    "read_trace",
+    "render_trace_summary",
+    "validate_trace_file",
+    "validate_trace_lines",
+]

@@ -1,0 +1,95 @@
+"""The run-observer protocol: how the execution stack reports what it does.
+
+The engine, strategies, reliability wrappers, cache and checkpointer all
+accept an optional ``observer``.  When it is ``None`` (the default) they do
+*nothing extra* — not a single added call — which is what makes the
+"observability off means byte-identical behaviour" guarantee cheap to keep.
+When set, they invoke the hooks below at well-defined lifecycle points.
+
+The protocol is structural: any object with these methods works, and
+instrumented components never import this module at runtime (type hints
+only), so `repro.obs` stays an optional layer rather than a hard
+dependency of the execution stack.  :class:`RunObserver` is the no-op base
+to subclass; :class:`repro.obs.instrument.Instrumentation` is the standard
+implementation that feeds a metrics registry and a span tracer.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.runtime.results import QueryRecord
+
+
+class RunObserver:
+    """No-op implementation of every hook; subclass and override freely."""
+
+    # ------------------------------------------------------------------ spans
+
+    @contextmanager
+    def span(self, name: str, **attributes: object):
+        """Timed scope around one phase of work; yields a span or ``None``.
+
+        The base implementation yields ``None`` so callers written against
+        an arbitrary observer can still do ``with obs.span(...) as s`` and
+        guard ``if s is not None`` before annotating it.
+        """
+        yield None
+
+    # ---------------------------------------------------------------- queries
+
+    def on_run_start(self, num_queries: int) -> None:
+        """A plain / guarded / boosted execution is about to start."""
+
+    def on_query_end(self, record: "QueryRecord", replayed: bool = False) -> None:
+        """One query produced its record.
+
+        ``replayed=True`` means the record came from a checkpoint instead of
+        a fresh LLM call — zero paid tokens this run.
+        """
+
+    # --------------------------------------------------------------- boosting
+
+    def on_round_end(self, round_index: int, executed: int, deferred: int) -> None:
+        """A boosting round finished (``executed`` includes replayed records)."""
+
+    def on_deferral(self, node: int, attempt: int) -> None:
+        """A failed boosting candidate was re-enqueued into a later round."""
+
+    def on_pruning_plan(self, num_pruned: int, num_total: int, tau: float) -> None:
+        """A token-pruning plan was drawn (Algorithm 1 / joint strategy)."""
+
+    # ------------------------------------------------------------- reliability
+
+    def on_retry(self, attempt: int, wait_seconds: float) -> None:
+        """A retry is about to wait ``wait_seconds`` after failed ``attempt``."""
+
+    def on_deadline_give_up(self, attempts: int) -> None:
+        """A per-query retry deadline expired before the attempts ran out."""
+
+    def on_injected_failure(self, wasted_prompt_tokens: int) -> None:
+        """A FlakyLLM injected a transient failure (test/experiment stacks)."""
+
+    def on_breaker_transition(self, old: str, new: str, at: float) -> None:
+        """The circuit breaker moved between closed/open/half_open states."""
+
+    def on_breaker_rejection(self) -> None:
+        """An open circuit rejected a call before it reached the backend."""
+
+    # ------------------------------------------------------------------ cache
+
+    def on_cache_hit(self) -> None: ...
+
+    def on_cache_miss(self) -> None: ...
+
+    def on_cache_eviction(self) -> None: ...
+
+    # ------------------------------------------------------------- checkpoints
+
+    def on_checkpoint_loaded(self, num_records: int, completed: bool) -> None:
+        """An existing checkpoint was loaded for resume."""
+
+    def on_checkpoint_flush(self, num_records: int) -> None:
+        """The checkpoint file was (re)written with ``num_records`` records."""

@@ -1,0 +1,183 @@
+"""Human-readable per-run summaries rendered from a trace.
+
+One function, one input: :func:`render_trace_summary` takes the parsed
+JSONL lines of a trace (header + spans + optional metrics snapshot) and
+renders the run as the operator-facing story — where the tokens and money
+went by outcome tier and boosting round, what the circuit breaker did and
+when, how the response cache performed, and how much of the run was
+replayed from a checkpoint.  ``repro trace FILE`` and ``repro classify
+--trace`` both end here, so the file on disk and the console agree.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.experiments.report import render_table
+
+
+def _query_spans(lines: list[dict]) -> list[dict]:
+    return [ln for ln in lines if ln.get("kind") == "span" and ln.get("name") == "query"]
+
+
+def _events(lines: list[dict], name: str) -> list[dict]:
+    return [ln for ln in lines if ln.get("kind") == "span" and ln.get("name") == name]
+
+
+def _metrics(lines: list[dict]) -> dict:
+    for line in lines:
+        if line.get("kind") == "metrics":
+            return line.get("families", {})
+    return {}
+
+
+def _family_totals(families: dict, name: str, by_label: str | None = None) -> dict[str, float]:
+    """Sum a counter family's series, optionally keyed by one label."""
+    totals: dict[str, float] = defaultdict(float)
+    for entry in families.get(name, {}).get("series", []):
+        key = entry["labels"].get(by_label, "") if by_label else ""
+        totals[key] += float(entry.get("value", 0.0))
+    return dict(totals)
+
+
+def outcome_breakdown(lines: list[dict]) -> list[tuple[str, int, int, int, float | None]]:
+    """(outcome, queries, prompt_tokens, completion_tokens, cost) rows.
+
+    Token counts are *paid* tokens: replayed spans contribute zero.  Cost
+    comes from the metrics snapshot when present (``None`` per row
+    otherwise, e.g. for unpriced simulated models).
+    """
+    counts: dict[str, list[int]] = defaultdict(lambda: [0, 0, 0])
+    for span in _query_spans(lines):
+        attrs = span.get("attributes", {})
+        if "outcome" not in attrs:
+            # A query whose call failed and produced no record (the node was
+            # deferred to a later round, where a fresh query span covers it).
+            continue
+        outcome = "replayed" if attrs.get("replayed") else str(attrs["outcome"])
+        row = counts[outcome]
+        row[0] += 1
+        if not attrs.get("replayed"):
+            row[1] += int(attrs.get("prompt_tokens", 0))
+            row[2] += int(attrs.get("completion_tokens", 0))
+    cost_by_outcome = _family_totals(_metrics(lines), "repro_cost_usd_total", "outcome")
+    return [
+        (outcome, n, p, c, cost_by_outcome.get(outcome))
+        for outcome, (n, p, c) in sorted(counts.items())
+    ]
+
+
+def round_breakdown(lines: list[dict]) -> list[tuple[int, int, int, int]]:
+    """(round, queries, paid_tokens, replayed) rows; empty for unboosted runs."""
+    rows: dict[int, list[int]] = defaultdict(lambda: [0, 0, 0])
+    for span in _query_spans(lines):
+        attrs = span.get("attributes", {})
+        round_index = attrs.get("round_index")
+        if round_index is None or "outcome" not in attrs:
+            continue
+        row = rows[int(round_index)]
+        row[0] += 1
+        if attrs.get("replayed"):
+            row[2] += 1
+        else:
+            row[1] += int(attrs.get("prompt_tokens", 0)) + int(attrs.get("completion_tokens", 0))
+    return [(r, n, tokens, replayed) for r, (n, tokens, replayed) in sorted(rows.items())]
+
+
+def breaker_timeline(lines: list[dict]) -> list[str]:
+    """Chronological ``t=...s old→new`` strings for breaker transitions."""
+    out = []
+    for event in _events(lines, "breaker_transition"):
+        attrs = event.get("attributes", {})
+        out.append(f"t={float(attrs.get('at', event.get('start', 0.0))):.1f}s "
+                   f"{attrs.get('old')}→{attrs.get('new')}")
+    return out
+
+
+def cache_efficiency(lines: list[dict]) -> dict[str, float] | None:
+    """hits/misses/evictions/hit_rate from the metrics snapshot, or None."""
+    families = _metrics(lines)
+    hits = sum(_family_totals(families, "repro_cache_hits_total").values())
+    misses = sum(_family_totals(families, "repro_cache_misses_total").values())
+    if hits + misses == 0:
+        return None
+    evictions = sum(_family_totals(families, "repro_cache_evictions_total").values())
+    return {
+        "hits": hits,
+        "misses": misses,
+        "evictions": evictions,
+        "hit_rate": hits / (hits + misses),
+    }
+
+
+def render_trace_summary(lines: list[dict]) -> str:
+    """Render the full per-run summary for one parsed trace."""
+    header = lines[0] if lines and lines[0].get("kind") == "run" else {}
+    labels = header.get("labels", {})
+    parts = []
+    context = " ".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    parts.append(f"run {header.get('run_id', '?')}" + (f" ({context})" if context else ""))
+
+    tiers = outcome_breakdown(lines)
+    if tiers:
+        total_queries = sum(n for _, n, _, _, _ in tiers)
+        total_tokens = sum(p + c for _, _, p, c, _ in tiers)
+        rows = [
+            (
+                outcome,
+                n,
+                f"{p:,}",
+                f"{c:,}",
+                "-" if cost is None else f"${cost:.4f}",
+            )
+            for outcome, n, p, c, cost in tiers
+        ]
+        parts.append(
+            render_table(
+                ["Outcome", "Queries", "Prompt tok", "Completion tok", "Cost"],
+                rows,
+                title=f"Token/cost breakdown by outcome tier "
+                f"({total_queries} queries, {total_tokens:,} paid tokens)",
+            )
+        )
+    else:
+        parts.append("no query spans in trace")
+
+    rounds = round_breakdown(lines)
+    if rounds:
+        parts.append(
+            render_table(
+                ["Round", "Queries", "Paid tokens", "Replayed"],
+                [(r, n, f"{tokens:,}", replayed) for r, n, tokens, replayed in rounds],
+                title="Boosting rounds",
+            )
+        )
+
+    timeline = breaker_timeline(lines)
+    if timeline:
+        parts.append("breaker timeline : " + "; ".join(timeline))
+
+    retries = len(_events(lines, "retry"))
+    if retries:
+        waited = sum(
+            float(e.get("attributes", {}).get("wait_seconds", 0.0))
+            for e in _events(lines, "retry")
+        )
+        parts.append(f"retries          : {retries} ({waited:.1f}s simulated backoff)")
+
+    deferrals = len(_events(lines, "deferral"))
+    if deferrals:
+        parts.append(f"deferrals        : {deferrals}")
+
+    cache = cache_efficiency(lines)
+    if cache is not None:
+        parts.append(
+            f"cache            : {cache['hits']:.0f} hits / {cache['misses']:.0f} misses "
+            f"({cache['hit_rate']:.1%} hit rate, {cache['evictions']:.0f} evictions)"
+        )
+
+    replays = _events(lines, "checkpoint_loaded")
+    if replays:
+        n = sum(int(e.get("attributes", {}).get("num_records", 0)) for e in replays)
+        parts.append(f"checkpoint       : resumed with {n} replayed records")
+    return "\n".join(parts)

@@ -14,6 +14,8 @@ tables rely on.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
+from dataclasses import replace
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -33,6 +35,7 @@ if TYPE_CHECKING:
     from collections.abc import Mapping
 
     from repro.io.runs import RunCheckpointer
+    from repro.obs.hooks import RunObserver
 
 
 class MultiQueryEngine:
@@ -58,6 +61,17 @@ class MultiQueryEngine:
         set, a query whose LLM call ultimately fails (retries exhausted,
         circuit open) degrades through cheaper answer sources instead of
         raising; the chosen tier lands in ``QueryRecord.outcome``.
+    observer:
+        Optional :class:`~repro.obs.hooks.RunObserver` (duck-typed, no hard
+        dependency on ``repro.obs``).  When set, each query's lifecycle is
+        traced as nested spans (neighbor selection → prompt build → LLM
+        call → parse) and every record is reported via ``on_query_end``.
+        ``None`` (the default) adds no calls of any kind — execution is
+        byte-identical to an unobserved engine.
+    clock:
+        Optional simulated clock (anything with ``.now``); when present,
+        each record's ``latency_seconds`` is stamped with the simulated
+        time its execution consumed (retry backoff, breaker think time).
     """
 
     def __init__(
@@ -72,6 +86,8 @@ class MultiQueryEngine:
         ledger: BudgetLedger | None = None,
         seed: int = 0,
         ladder: DegradationLadder | None = None,
+        observer: "RunObserver | None" = None,
+        clock: object | None = None,
     ):
         if max_neighbors < 0:
             raise ValueError("max_neighbors must be >= 0")
@@ -84,6 +100,8 @@ class MultiQueryEngine:
         self.ledger = ledger
         self.seed = seed
         self.ladder = ladder
+        self.observer = observer
+        self.clock = clock
         self._labels: dict[int, int] = {
             int(v): int(graph.labels[int(v)]) for v in np.asarray(labeled, dtype=np.int64)
         }
@@ -156,19 +174,33 @@ class MultiQueryEngine:
 
     def build_prompt(self, node: int, include_neighbors: bool = True) -> tuple[str, list[SelectedNeighbor]]:
         """Render the prompt for ``node`` and return the neighbors used."""
-        text = self.graph.texts[int(node)]
         if not include_neighbors:
+            text = self.graph.texts[int(node)]
             return self.builder.zero_shot(text.title, text.abstract), []
         selected = self.select_neighbors(node)
-        prompt = self.builder.with_neighbors(
+        return self._render_prompt(node, selected), selected
+
+    def _render_prompt(self, node: int, selected: list[SelectedNeighbor]) -> str:
+        """Render the neighbor-bearing prompt from an existing selection."""
+        text = self.graph.texts[int(node)]
+        return self.builder.with_neighbors(
             text.title,
             text.abstract,
             self._entries(selected),
             similarity_ranked=self.selector.similarity_ranked,
         )
-        return prompt, selected
 
     # -------------------------------------------------------------- execution
+
+    def span(self, name: str, **attributes):
+        """Observer span context manager, or a no-op without an observer.
+
+        Yields the span (``None`` when unobserved), so callers annotate
+        with ``if span is not None: span.set(...)``.
+        """
+        if self.observer is None:
+            return nullcontext()
+        return self.observer.span(name, **attributes)
 
     def _record_from_response(
         self,
@@ -208,7 +240,8 @@ class MultiQueryEngine:
             # Tier 1: the cheap zero-shot prompt — still a real LLM answer.
             prompt, _ = self.build_prompt(node, include_neighbors=False)
             try:
-                response = self.llm.complete(prompt)
+                with self.span("degrade_pruned", node=node):
+                    response = self.llm.complete(prompt)
             except TransientLLMError:
                 pass
             else:
@@ -217,7 +250,8 @@ class MultiQueryEngine:
                 )
         if self.ladder.surrogate is not None:
             # Tier 2: the surrogate MLP behind D(t_i), at zero token cost.
-            label, confidence = self.ladder.surrogate_prediction(node)
+            with self.span("degrade_surrogate", node=node):
+                label, confidence = self.ladder.surrogate_prediction(node)
             return QueryRecord(
                 node=node,
                 true_label=int(self.graph.labels[node]),
@@ -233,6 +267,8 @@ class MultiQueryEngine:
                 outcome="degraded_surrogate",
             )
         # Tier 3: an explicit abstention beats an aborted run.
+        with self.span("abstain", node=node):
+            pass
         return QueryRecord(
             node=node,
             true_label=int(self.graph.labels[node]),
@@ -271,18 +307,68 @@ class MultiQueryEngine:
         mode = on_failure or ("degrade" if self.ladder is not None else "raise")
         if mode == "degrade" and self.ladder is None:
             raise ValueError("on_failure='degrade' requires an engine degradation ladder")
+        started_at = self.clock.now if self.clock is not None else None
+        with self.span(
+            "query", node=node, round_index=round_index, zero_shot=not include_neighbors
+        ) as qspan:
+            record = self._execute_inner(node, include_neighbors, round_index, mode)
+            if started_at is not None:
+                record = replace(
+                    record, latency_seconds=float(self.clock.now - started_at)
+                )
+            if qspan is not None:
+                qspan.set(
+                    outcome=record.outcome,
+                    prompt_tokens=record.prompt_tokens,
+                    completion_tokens=record.completion_tokens,
+                )
+            if self.observer is not None:
+                self.observer.on_query_end(record)
+            return record
+
+    def _execute_inner(
+        self, node: int, include_neighbors: bool, round_index: int | None, mode: str
+    ) -> QueryRecord:
+        """The untimed query lifecycle: select → build → call → parse."""
         retries_before = stack_retries(self.llm)
-        prompt, selected = self.build_prompt(node, include_neighbors)
+        if include_neighbors:
+            with self.span("select_neighbors", node=node):
+                selected = self.select_neighbors(node)
+            with self.span("prompt_build", node=node, num_neighbors=len(selected)):
+                prompt = self._render_prompt(node, selected)
+        else:
+            selected = []
+            with self.span("prompt_build", node=node, num_neighbors=0):
+                prompt, _ = self.build_prompt(node, include_neighbors=False)
         try:
-            response = self.llm.complete(prompt)
+            with self.span("llm_call", node=node):
+                response = self.llm.complete(prompt)
         except TransientLLMError:
             if mode == "raise":
                 raise
             return self._degraded_record(node, include_neighbors, round_index)
         outcome = "retried" if stack_retries(self.llm) > retries_before else "ok"
-        return self._record_from_response(
-            node, response, selected, not include_neighbors, round_index, outcome
-        )
+        with self.span("parse", node=node):
+            return self._record_from_response(
+                node, response, selected, not include_neighbors, round_index, outcome
+            )
+
+    def observe_replay(self, record: QueryRecord) -> None:
+        """Report one checkpoint-cached record: a ``replayed`` span, zero
+        paid tokens (its spend happened in the pre-crash run)."""
+        if self.observer is None:
+            return
+        with self.observer.span(
+            "query",
+            node=record.node,
+            round_index=record.round_index,
+            replayed=True,
+            outcome=record.outcome,
+            prompt_tokens=0,
+            completion_tokens=0,
+        ):
+            pass
+        self.observer.on_query_end(record, replayed=True)
 
     def run(
         self,
@@ -299,10 +385,13 @@ class MultiQueryEngine:
         """
         result = RunResult()
         executed = checkpointer.executed if checkpointer is not None else {}
+        if self.observer is not None:
+            self.observer.on_run_start(len(np.asarray(queries, dtype=np.int64)))
         for node in np.asarray(queries, dtype=np.int64):
             node = int(node)
             cached = executed.get(node)
             if cached is not None:
+                self.observe_replay(cached)
                 result.add(cached)
                 continue
             record = self.execute_query(node, include_neighbors=node not in pruned)
@@ -356,9 +445,12 @@ class MultiQueryEngine:
                 f"queries ({self.ledger.remaining:.0f} tokens left)"
             )
         result = RunResult()
+        if self.observer is not None:
+            self.observer.on_run_start(len(nodes))
         for i, node in enumerate(nodes):
             cached = executed.get(node)
             if cached is not None:
+                self.observe_replay(cached)
                 result.add(cached)
                 continue
             include = node not in pruned

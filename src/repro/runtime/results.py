@@ -15,7 +15,13 @@ OUTCOME_TIERS = ("ok", "retried", "degraded_pruned", "degraded_surrogate", "abst
 
 @dataclass(frozen=True)
 class QueryRecord:
-    """Outcome of one executed node query."""
+    """Outcome of one executed node query.
+
+    ``latency_seconds`` is the simulated time the query took end-to-end
+    (retry backoff plus inter-query think time on the shared
+    ``SimulatedClock``); ``None`` when the engine ran without a clock —
+    which is also how records from pre-telemetry runs and checkpoints load.
+    """
 
     node: int
     true_label: int
@@ -29,6 +35,7 @@ class QueryRecord:
     round_index: int | None = None
     confidence: float | None = None
     outcome: str = "ok"
+    latency_seconds: float | None = None
 
     def __post_init__(self) -> None:
         if self.outcome not in OUTCOME_TIERS:
@@ -120,6 +127,12 @@ class RunResult:
         if not self.records:
             raise ValueError("no records; availability is undefined")
         return 1.0 - self.num_degraded / len(self.records)
+
+    @property
+    def total_latency_seconds(self) -> float | None:
+        """Summed simulated latency, or ``None`` when no record carries one."""
+        values = [r.latency_seconds for r in self.records if r.latency_seconds is not None]
+        return sum(values) if values else None
 
     def cost_usd(self, model: str) -> float:
         """Dollar cost under ``model`` pricing (models without a price raise)."""

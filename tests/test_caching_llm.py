@@ -61,12 +61,43 @@ class TestCachingLLM:
         cached.complete(prompts[2])  # still resident
         assert cached.hits == 1
 
-    def test_clear(self, setup):
+    def test_clear_drops_entries_but_keeps_stats(self, setup):
         _, cached, prompt = setup
         cached.complete(prompt)
         cached.clear()
+        cached.complete(prompt)  # must miss again: the entry is gone
+        assert cached.misses == 2 and cached.hits == 0
+        assert cached.stats()["entries"] == 1
+
+    def test_reset_stats(self, setup):
+        _, cached, prompt = setup
         cached.complete(prompt)
-        assert cached.misses == 1 and cached.hits == 0
+        cached.complete(prompt)
+        cached.reset_stats()
+        assert cached.stats() == {
+            "hits": 0,
+            "misses": 0,
+            "hit_rate": 0.0,
+            "evictions": 0,
+            "entries": 1,
+        }
+
+    def test_stats_dict(self, setup):
+        inner, _, _ = setup
+        cached = CachingLLM(inner, max_entries=2)
+        builder = PromptBuilder(["A", "B"])
+        prompts = [builder.zero_shot(f"t{i}", "abc def") for i in range(3)]
+        for p in prompts:
+            cached.complete(p)
+        cached.complete(prompts[2])
+        stats = cached.stats()
+        assert stats == {
+            "hits": 1,
+            "misses": 3,
+            "hit_rate": 0.25,
+            "evictions": 1,
+            "entries": 2,
+        }
 
     def test_invalid_capacity(self, setup):
         inner, _, _ = setup

@@ -75,3 +75,60 @@ class TestCommands:
         )
         assert code == 0
         assert "w/ N_i" in capsys.readouterr().out
+
+    def test_classify_traced(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        metrics_path = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "classify",
+                "--dataset", "cora",
+                "--scale", "0.15",
+                "--queries", "8",
+                "--strategy", "boost",
+                "--cache",
+                "--trace", str(trace_path),
+                "--metrics", str(metrics_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cache     :" in out and "hit rate" in out
+        assert "Token/cost breakdown" in out
+        assert "Boosting rounds" in out
+        assert trace_path.exists()
+        assert "repro_queries_total" in metrics_path.read_text()
+
+        # The emitted file passes validation via the trace subcommand...
+        assert main(["trace", str(trace_path)]) == 0
+        assert "Token/cost breakdown" in capsys.readouterr().out
+
+        # ...and traced runs stay prediction-identical to untraced ones.
+        from repro.obs.tracing import read_trace
+
+        lines = read_trace(trace_path)
+        spans = [x for x in lines if x.get("kind") == "span" and x["name"] == "query"]
+        assert len(spans) == 8
+
+    def test_classify_metrics_json(self, tmp_path):
+        import json
+
+        metrics_path = tmp_path / "metrics.json"
+        code = main(
+            [
+                "classify",
+                "--dataset", "cora",
+                "--scale", "0.15",
+                "--queries", "8",
+                "--metrics", str(metrics_path),
+            ]
+        )
+        assert code == 0
+        snapshot = json.loads(metrics_path.read_text())
+        assert "repro_queries_total" in snapshot["families"]
+
+    def test_trace_rejects_invalid_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind": "span"}\n')
+        assert main(["trace", str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().err

@@ -1,0 +1,116 @@
+"""Property test: breaker transition events faithfully mirror internal state.
+
+For any randomized script of successes, failures, clock advances and call
+admissions, the ``on_breaker_transition`` events an observer receives must
+(1) chain — each event's ``old`` state is the previous event's ``new`` state,
+starting from ``closed``; (2) follow only legal edges of the state machine;
+(3) carry non-decreasing clock timestamps; and (4) replay to exactly the
+state the breaker itself reports at every step.  Rejection events must match
+the breaker's rejection counter one-for-one.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llm.reliability import CircuitBreaker, SimulatedClock
+from repro.obs.hooks import RunObserver
+
+LEGAL_EDGES = {
+    ("closed", "open"),
+    ("open", "half_open"),
+    ("half_open", "open"),
+    ("half_open", "closed"),
+}
+
+OPS = st.lists(
+    st.sampled_from(["success", "failure", "advance", "allow"]),
+    min_size=1,
+    max_size=80,
+)
+
+
+class RecordingObserver(RunObserver):
+    def __init__(self):
+        self.transitions: list[tuple[str, str, float]] = []
+        self.rejections = 0
+
+    def on_breaker_transition(self, old: str, new: str, at: float) -> None:
+        self.transitions.append((old, new, at))
+
+    def on_breaker_rejection(self) -> None:
+        self.rejections += 1
+
+
+def replayed_state(transitions: list[tuple[str, str, float]]) -> str:
+    """The state an external consumer reconstructs from the event stream."""
+    return transitions[-1][1] if transitions else "closed"
+
+
+@given(ops=OPS)
+@settings(max_examples=60, deadline=None)
+def test_transition_events_match_internal_state(ops):
+    clock = SimulatedClock()
+    observer = RecordingObserver()
+    breaker = CircuitBreaker(
+        failure_threshold=3,
+        recovery_seconds=5.0,
+        half_open_successes=2,
+        clock=clock,
+        observer=observer,
+    )
+    for op in ops:
+        if op == "success":
+            breaker.record_success()
+        elif op == "failure":
+            breaker.record_failure()
+        elif op == "advance":
+            clock.advance(2.0)
+        else:
+            breaker.allow()
+        # Reading .state may itself emit the elapsed open → half_open event;
+        # after it, the event stream must replay to exactly this state.
+        assert breaker.state == replayed_state(observer.transitions)
+
+    for old, new, _ in observer.transitions:
+        assert (old, new) in LEGAL_EDGES
+    for (_, prev_new, prev_at), (next_old, _, next_at) in zip(
+        observer.transitions, observer.transitions[1:]
+    ):
+        assert next_old == prev_new  # events chain with no gaps
+        assert next_at >= prev_at  # stamped on a monotonic clock
+
+    assert observer.rejections == breaker.rejected_calls
+    opens = sum(1 for _, new, _ in observer.transitions if new == "open")
+    assert opens == breaker.times_opened
+
+
+@given(ops=OPS)
+@settings(max_examples=20, deadline=None)
+def test_unobserved_breaker_behaves_identically(ops):
+    """The observer is pure telemetry: state evolution is unchanged by it."""
+
+    def run(observer):
+        clock = SimulatedClock()
+        breaker = CircuitBreaker(
+            failure_threshold=3,
+            recovery_seconds=5.0,
+            half_open_successes=2,
+            clock=clock,
+            observer=observer,
+        )
+        states = []
+        for op in ops:
+            if op == "success":
+                breaker.record_success()
+            elif op == "failure":
+                breaker.record_failure()
+            elif op == "advance":
+                clock.advance(2.0)
+            else:
+                breaker.allow()
+            states.append(breaker.state)
+        return states, breaker.times_opened, breaker.rejected_calls
+
+    assert run(RecordingObserver()) == run(None)
