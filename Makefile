@@ -1,12 +1,29 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test bench bench-tables report examples trace-smoke clean
+.PHONY: install test test-parallel test-equivalence bench bench-tables report examples trace-smoke clean
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
 	pytest tests/
+
+# Tier-1 suite under pytest-xdist when available; serial fallback otherwise.
+# The if/else keeps a real test failure fatal either way (a `cmd || fallback`
+# chain would mask one).
+test-parallel:
+	@if python -c "import xdist" 2>/dev/null; then \
+		echo "pytest-xdist found: running tests/ with -n auto"; \
+		pytest tests/ -n auto; \
+	else \
+		echo "pytest-xdist not installed: falling back to serial tests/"; \
+		pytest tests/; \
+	fi
+
+# The batched-vs-serial equivalence suite (scheduler determinism contract).
+test-equivalence:
+	pytest tests/test_scheduler.py tests/test_scheduler_equivalence.py \
+		tests/test_golden_trace.py tests/test_concurrency_stress.py
 
 test-output:
 	pytest tests/ 2>&1 | tee test_output.txt

@@ -8,6 +8,9 @@ stdout; run with ``pytest benchmarks/ --benchmark-only -s`` to see them.
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
+
 import pytest
 
 
@@ -19,3 +22,38 @@ def run_once(benchmark):
         return benchmark.pedantic(fn, rounds=1, iterations=1)
 
     return runner
+
+
+@pytest.fixture()
+def bench_budget():
+    """Guard a benchmarked block with wall-clock and LLM-call-count budgets.
+
+    Usage::
+
+        with bench_budget(max_seconds=30.0, llm=model, max_calls=48):
+            run_workload()
+
+    ``max_seconds`` bounds real elapsed time (a regression tripwire for
+    workloads that should stay fast); ``llm``/``max_calls`` bound the number
+    of ``complete`` calls the block may issue on that client — the budget
+    the batched scheduler must *not* exceed relative to serial execution.
+    Exceeding either budget fails the test with the measured value.
+    """
+
+    @contextmanager
+    def guard(max_seconds: float | None = None, llm=None, max_calls: int | None = None):
+        calls_before = llm.usage.num_queries if llm is not None else 0
+        started = time.perf_counter()
+        yield
+        elapsed = time.perf_counter() - started
+        if max_seconds is not None:
+            assert elapsed <= max_seconds, (
+                f"wall-clock budget exceeded: {elapsed:.2f}s > {max_seconds:.2f}s"
+            )
+        if llm is not None and max_calls is not None:
+            spent = llm.usage.num_queries - calls_before
+            assert spent <= max_calls, (
+                f"LLM-call budget exceeded: {spent} calls > {max_calls}"
+            )
+
+    return guard

@@ -1,0 +1,89 @@
+"""Benchmark — batched scheduler throughput vs. serial dispatch.
+
+Acceptance shape (ISSUE 3): at ``max_concurrency=4`` the scheduler must
+overlap simulated per-call latency by **at least 2×** while issuing **zero
+extra LLM calls** and producing records identical to serial execution.
+:class:`LatencyLLM` charges one simulated second per call, so 48 serial
+queries cost 48 simulated seconds; four virtual workers should compress a
+16-query batch to ~4 seconds per batch.
+
+The measured numbers land in ``BENCH_scheduler.json`` next to the repo's
+other benchmark artifacts for tracking across commits.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.common import load_setup
+from repro.llm.reliability import LatencyLLM, SimulatedClock
+from repro.runtime.scheduler import QueryScheduler
+
+NUM_QUERIES = 48
+MAX_BATCH_SIZE = 16
+MAX_CONCURRENCY = 4
+SECONDS_PER_CALL = 1.0
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_scheduler.json"
+
+
+def _make_engine(setup, scheduler=None):
+    clock = SimulatedClock()
+    inner = setup.make_llm("gpt-3.5")
+    llm = LatencyLLM(inner, clock=clock, seconds_per_call=SECONDS_PER_CALL)
+    engine = setup.make_engine(
+        "1-hop", model="gpt-3.5", llm=llm, clock=clock, scheduler=scheduler
+    )
+    return engine, inner, clock
+
+
+def test_scheduler_throughput(run_once, bench_budget):
+    setup = load_setup("cora", num_queries=NUM_QUERIES)
+
+    serial_engine, serial_inner, serial_clock = _make_engine(setup)
+    serial_result = serial_engine.run(setup.queries)
+    assert serial_inner.usage.num_queries == NUM_QUERIES
+    assert serial_clock.now == pytest.approx(NUM_QUERIES * SECONDS_PER_CALL)
+
+    scheduler = QueryScheduler(
+        max_batch_size=MAX_BATCH_SIZE, max_concurrency=MAX_CONCURRENCY
+    )
+    batched_engine, batched_inner, batched_clock = _make_engine(setup, scheduler)
+    with bench_budget(max_seconds=60.0, llm=batched_inner, max_calls=NUM_QUERIES):
+        batched_result = run_once(lambda: batched_engine.run(setup.queries))
+
+    # Zero extra LLM calls: batching reorders nothing and re-issues nothing.
+    assert batched_inner.usage.num_queries == serial_inner.usage.num_queries
+    assert batched_result.records == serial_result.records
+
+    report = scheduler.report
+    assert report.num_queries == NUM_QUERIES
+    assert report.serial_seconds == pytest.approx(NUM_QUERIES * SECONDS_PER_CALL)
+    # Four virtual workers over 16-query batches: 48s of latency overlaps
+    # into 12s of makespan — comfortably past the 2x acceptance floor.
+    assert report.speedup >= 2.0
+    assert report.overlapped_seconds == pytest.approx(12.0)
+
+    payload = {
+        "num_queries": NUM_QUERIES,
+        "max_batch_size": MAX_BATCH_SIZE,
+        "max_concurrency": MAX_CONCURRENCY,
+        "seconds_per_call": SECONDS_PER_CALL,
+        "llm_calls_serial": serial_inner.usage.num_queries,
+        "llm_calls_batched": batched_inner.usage.num_queries,
+        "serial_seconds": report.serial_seconds,
+        "overlapped_seconds": report.overlapped_seconds,
+        "speedup": report.speedup,
+        "waves": [asdict(w) for w in report.waves],
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print(
+        f"scheduler throughput: {report.serial_seconds:.0f}s serial -> "
+        f"{report.overlapped_seconds:.0f}s overlapped "
+        f"({report.speedup:.2f}x), artifact at {BENCH_PATH.name}"
+    )

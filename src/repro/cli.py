@@ -96,6 +96,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     from repro.llm.caching import CachingLLM
     from repro.llm.reliability import FlakyLLM, SimulatedClock, resilient
     from repro.runtime.fallback import DegradationLadder
+    from repro.runtime.scheduler import QueryScheduler
 
     setup = load_setup(args.dataset, num_queries=args.queries, scale=args.scale)
 
@@ -148,9 +149,16 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         from repro.obs import instrument_stack
 
         instrument_stack(llm, instr)
+    scheduler = None
+    if args.batch_size is not None or args.workers > 1:
+        scheduler = QueryScheduler(
+            max_batch_size=args.batch_size,
+            max_concurrency=args.workers,
+            mode=args.dispatch,
+        )
     engine = setup.make_engine(
         args.method, model=args.model, llm=llm, ladder=ladder,
-        observer=instr, clock=clock,
+        observer=instr, clock=clock, scheduler=scheduler,
     )
 
     checkpointer = (
@@ -186,6 +194,19 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         tiers = ", ".join(f"{k}={v}" for k, v in result.outcome_counts.items() if v)
         print(f"  outcomes  : {tiers}")
         print(f"  wasted    : {flaky.wasted_prompt_tokens:,} prompt tokens on failed calls")
+    if scheduler is not None:
+        report = scheduler.report
+        print(
+            f"  scheduler : {report.num_queries} queries in {report.num_waves} waves / "
+            f"{report.num_batches} batches ({scheduler.mode}, "
+            f"batch={scheduler.max_batch_size or 'wave'}, workers={scheduler.max_concurrency})"
+        )
+        if report.serial_seconds > 0:
+            print(
+                f"  overlap   : {report.serial_seconds:.1f}s serial -> "
+                f"{report.overlapped_seconds:.1f}s overlapped "
+                f"({report.speedup:.2f}x)"
+            )
     if cache is not None:
         stats = cache.stats()
         print(
@@ -296,6 +317,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="checkpoint file: the run persists progress there and, if the "
         "file exists, resumes without re-issuing completed LLM calls",
+    )
+    sub.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="dispatch queries through the batched scheduler in batches of "
+        "this size (default: serial execution)",
+    )
+    sub.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="scheduler concurrency: virtual workers under --dispatch "
+        "simulated, real threads under --dispatch threads",
+    )
+    sub.add_argument(
+        "--dispatch",
+        default="simulated",
+        choices=["simulated", "threads"],
+        help="scheduler dispatch mode; 'simulated' is deterministic "
+        "(bit-identical to serial) and accounts overlap virtually",
     )
     sub.add_argument(
         "--cache",

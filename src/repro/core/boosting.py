@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.llm.reliability import TransientLLMError
 from repro.runtime.results import RunResult
+from repro.runtime.scheduler import WorkItem
 
 if TYPE_CHECKING:  # engines are passed in at run time
     from repro.io.runs import RunCheckpointer
@@ -193,36 +194,69 @@ class QueryBoostingStrategy:
             candidates.sort(key=lambda pair: (-pair[1], pair[0]))
             round_records = []
             round_deferred = 0
+
+            def note_deferral(node: int) -> int:
+                deferrals[node] = deferrals.get(node, 0) + 1
+                if observer is not None:
+                    observer.on_deferral(node, deferrals[node])
+                return deferrals[node]
+
             with engine.span(
                 "round", round_index=len(rounds), candidates=len(candidates)
             ):
-                for node, _ in candidates:
-                    cached_record = cached.get(node)
-                    if cached_record is not None:
-                        engine.observe_replay(cached_record)
-                        round_records.append(cached_record)
-                        result.add(cached_record)
-                        continue
-                    can_defer = deferrals.get(node, 0) < self.max_deferrals
-                    try:
-                        record = engine.execute_query(
-                            node,
+                if engine.scheduler is not None:
+                    # Each round is one dependency-free wave: pseudo-labels
+                    # publish only after Step 3, so candidates may dispatch
+                    # batched/overlapped without changing any prompt.
+                    items = [
+                        WorkItem(
+                            node=node,
                             include_neighbors=node not in pruned,
                             round_index=len(rounds),
-                            on_failure="raise" if can_defer else None,
+                            on_failure=(
+                                "raise"
+                                if deferrals.get(node, 0) < self.max_deferrals
+                                else None
+                            ),
+                            cached=cached.get(node),
+                            on_defer=lambda node=node: note_deferral(node),
+                            after_execute=(
+                                checkpointer.append if checkpointer is not None else None
+                            ),
                         )
-                    except TransientLLMError:
-                        if not can_defer:
-                            raise  # deferrals exhausted, no ladder to absorb this
-                        deferrals[node] = deferrals.get(node, 0) + 1
-                        round_deferred += 1
-                        if observer is not None:
-                            observer.on_deferral(node, deferrals[node])
-                        continue  # re-enqueued: still in unexecuted for later rounds
-                    round_records.append(record)
-                    result.add(record)
-                    if checkpointer is not None:
-                        checkpointer.append(record)
+                        for node, _ in candidates
+                    ]
+                    outcome = engine.scheduler.run_wave(engine, items)
+                    round_records = outcome.records
+                    round_deferred = len(outcome.deferred)
+                    for record in round_records:
+                        result.add(record)
+                else:
+                    for node, _ in candidates:
+                        cached_record = cached.get(node)
+                        if cached_record is not None:
+                            engine.observe_replay(cached_record)
+                            round_records.append(cached_record)
+                            result.add(cached_record)
+                            continue
+                        can_defer = deferrals.get(node, 0) < self.max_deferrals
+                        try:
+                            record = engine.execute_query(
+                                node,
+                                include_neighbors=node not in pruned,
+                                round_index=len(rounds),
+                                on_failure="raise" if can_defer else None,
+                            )
+                        except TransientLLMError:
+                            if not can_defer:
+                                raise  # deferrals exhausted, no ladder to absorb this
+                            note_deferral(node)
+                            round_deferred += 1
+                            continue  # re-enqueued: still in unexecuted for later rounds
+                        round_records.append(record)
+                        result.add(record)
+                        if checkpointer is not None:
+                            checkpointer.append(record)
             # Step 3: pseudo-labels publish after the whole round, exactly
             # as Algorithm 2 separates its query and label-update steps.
             for record in round_records:

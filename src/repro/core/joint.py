@@ -52,6 +52,11 @@ class JointStrategy:
 
         The pruning plan is deterministic, so resume re-derives it and only
         the boosted execution consults the ``checkpointer``.
+
+        When the engine carries a :class:`~repro.runtime.scheduler.QueryScheduler`,
+        each boosted round dispatches as one batched wave; pruned queries sit
+        in the same waves as full ones (they differ only in prompt shape), so
+        the joint strategy batches exactly like plain boosting.
         """
         queries = np.asarray(queries, dtype=np.int64)
         plan = self.pruning.plan_by_tau(queries, tau)

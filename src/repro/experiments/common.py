@@ -69,8 +69,14 @@ class ExperimentSetup:
         ladder: DegradationLadder | None = None,
         observer=None,
         clock=None,
+        scheduler=None,
     ) -> MultiQueryEngine:
-        """Fresh engine for one (method, model) cell of a results table."""
+        """Fresh engine for one (method, model) cell of a results table.
+
+        ``scheduler`` (a :class:`~repro.runtime.scheduler.QueryScheduler`)
+        switches the engine to batched wave dispatch; omitted, runs stay
+        serial.
+        """
         return MultiQueryEngine(
             graph=self.graph,
             llm=llm if llm is not None else self.make_llm(model),
@@ -83,6 +89,7 @@ class ExperimentSetup:
             ladder=ladder,
             observer=observer,
             clock=clock,
+            scheduler=scheduler,
         )
 
 

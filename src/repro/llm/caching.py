@@ -9,10 +9,19 @@ the same zero-shot calibration prompts.
 
 :class:`CachingLLM` wraps any :class:`~repro.llm.interface.LLMClient`; hits
 cost zero tokens and are tracked separately from the inner client's usage.
+
+The cache is **concurrency-safe with single-flight misses**: when the
+batched scheduler's thread dispatcher issues the same prompt from several
+workers at once, exactly one of them (the *leader*) pays for the inner
+call; the rest wait on its result and account as hits — the same number of
+inner calls a serial execution would have issued.  A leader whose inner
+call fails releases the waiters, and the first to re-check becomes the new
+leader, again matching serial retry-by-reissue semantics.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING
 
@@ -49,33 +58,66 @@ class CachingLLM(LLMClient):
         self.max_entries = max_entries
         self.observer = observer
         self._cache: OrderedDict[str, tuple[str, float | None]] = OrderedDict()
+        self._lock = threading.Lock()
+        self._inflight: dict[str, threading.Event] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def _complete(self, prompt: str) -> str:
-        return self._complete_with_confidence(prompt)[0]
+        return self._lookup(prompt)[0][0]
 
-    def _complete_with_confidence(self, prompt: str) -> tuple[str, float | None]:
-        cached = self._cache.get(prompt)
-        if cached is not None:
-            self.hits += 1
+    def _lookup(self, prompt: str) -> tuple[tuple[str, float | None], bool]:
+        """Resolve ``prompt`` to a ``(entry, paid)`` pair.
+
+        ``paid`` is True only when *this* caller was the single-flight
+        leader that issued the inner call; hits and waiters served by
+        another leader's result cost nothing.
+        """
+        while True:
+            with self._lock:
+                cached = self._cache.get(prompt)
+                if cached is not None:
+                    self.hits += 1
+                    self._cache.move_to_end(prompt)
+                else:
+                    event = self._inflight.get(prompt)
+                    if event is None:
+                        event = self._inflight[prompt] = threading.Event()
+                        self.misses += 1
+                        leader = True
+                    else:
+                        leader = False
+            if cached is not None:
+                if self.observer is not None:
+                    self.observer.on_cache_hit()
+                return cached, False
+            if not leader:
+                # Another worker is completing this prompt; wait and re-check
+                # (its failure leaves the cache empty, making us the leader).
+                event.wait()
+                continue
             if self.observer is not None:
-                self.observer.on_cache_hit()
-            self._cache.move_to_end(prompt)
-            return cached
-        self.misses += 1
-        if self.observer is not None:
-            self.observer.on_cache_miss()
-        response = self.inner.complete(prompt)
-        entry = (response.text, response.confidence)
-        self._cache[prompt] = entry
-        if self.max_entries is not None and len(self._cache) > self.max_entries:
-            self._cache.popitem(last=False)
-            self.evictions += 1
-            if self.observer is not None:
+                self.observer.on_cache_miss()
+            try:
+                response = self.inner.complete(prompt)
+            except BaseException:
+                with self._lock:
+                    self._inflight.pop(prompt, None)
+                event.set()
+                raise
+            entry = (response.text, response.confidence)
+            with self._lock:
+                self._cache[prompt] = entry
+                evicted = self.max_entries is not None and len(self._cache) > self.max_entries
+                if evicted:
+                    self._cache.popitem(last=False)
+                    self.evictions += 1
+                self._inflight.pop(prompt, None)
+            event.set()
+            if evicted and self.observer is not None:
                 self.observer.on_cache_eviction()
-        return entry
+            return entry, True
 
     def complete(self, prompt: str) -> LLMResponse:
         """Serve from cache when possible; hits cost zero tokens.
@@ -85,18 +127,17 @@ class CachingLLM(LLMClient):
         """
         if not prompt:
             raise ValueError("prompt must be non-empty")
-        was_cached = prompt in self._cache
-        text, confidence = self._complete_with_confidence(prompt)
-        if was_cached:
-            response = LLMResponse(
-                text=text, prompt_tokens=0, completion_tokens=0, confidence=confidence
-            )
-        else:
+        (text, confidence), paid = self._lookup(prompt)
+        if paid:
             response = LLMResponse(
                 text=text,
                 prompt_tokens=self.tokenizer.count(prompt),
                 completion_tokens=self.tokenizer.count(text),
                 confidence=confidence,
+            )
+        else:
+            response = LLMResponse(
+                text=text, prompt_tokens=0, completion_tokens=0, confidence=confidence
             )
         self.usage.record(response)
         return response
@@ -113,23 +154,26 @@ class CachingLLM(LLMClient):
         Counters are *lifetime*: :meth:`clear` drops cached entries but not
         these, so metrics built on them never silently rewind.
         """
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "hit_rate": self.hit_rate,
-            "evictions": self.evictions,
-            "entries": len(self._cache),
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hit_rate,
+                "evictions": self.evictions,
+                "entries": len(self._cache),
+            }
 
     def clear(self) -> None:
         """Drop every cached entry; lifetime stats are preserved.
 
         (Use :meth:`reset_stats` to also rewind the counters.)
         """
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()
 
     def reset_stats(self) -> None:
         """Zero the lifetime hit/miss/eviction counters."""
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0

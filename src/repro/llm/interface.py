@@ -9,6 +9,7 @@ budgets and report costs (paper Eq. 2's ``Tokens(π ∘ v_i)``).
 from __future__ import annotations
 
 import abc
+import threading
 from dataclasses import dataclass, field
 
 from repro.text.tokenizer import Tokenizer
@@ -35,25 +36,34 @@ class LLMResponse:
 
 @dataclass
 class UsageTracker:
-    """Cumulative token/query accounting for one client."""
+    """Cumulative token/query accounting for one client.
+
+    Updates are lock-guarded so a client shared across the batched
+    scheduler's dispatcher threads never loses a count.
+    """
 
     num_queries: int = 0
     prompt_tokens: int = 0
     completion_tokens: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
 
     def record(self, response: LLMResponse) -> None:
-        self.num_queries += 1
-        self.prompt_tokens += response.prompt_tokens
-        self.completion_tokens += response.completion_tokens
+        with self._lock:
+            self.num_queries += 1
+            self.prompt_tokens += response.prompt_tokens
+            self.completion_tokens += response.completion_tokens
 
     @property
     def total_tokens(self) -> int:
         return self.prompt_tokens + self.completion_tokens
 
     def reset(self) -> None:
-        self.num_queries = 0
-        self.prompt_tokens = 0
-        self.completion_tokens = 0
+        with self._lock:
+            self.num_queries = 0
+            self.prompt_tokens = 0
+            self.completion_tokens = 0
 
     def snapshot(self) -> "UsageTracker":
         """Copy of the current counters (for before/after deltas)."""

@@ -12,15 +12,25 @@ provides the fault-tolerance substrate the execution engine builds on:
   closed → open → half-open state machine, so a persistently failing backend
   fails fast instead of burning retry waits (and the token ledger) on every
   query.
+* :class:`LatencyLLM` — simulated per-call service latency on the shared
+  clock, the substrate the batched scheduler's overlap accounting measures.
 * :func:`resilient` — the standard composition ``breaker(retry(inner))``
   sharing one clock.
 
 All waiting is *simulated*: waits accumulate on a :class:`SimulatedClock`
 (never slept), so tests and experiments stay fast and fully deterministic.
+
+Every wrapper here is **concurrency-safe**: counters, the breaker state
+machine, and the flaky client's failure scripts are guarded by locks so the
+batched scheduler's thread dispatcher can issue calls from a pool without
+losing updates.  Under the serial and simulated-dispatch paths the locks are
+uncontended and behaviour is byte-identical to the unguarded code.
 """
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from typing import TYPE_CHECKING
 
 from repro.llm.interface import LLMClient, LLMResponse
@@ -43,6 +53,46 @@ class CircuitOpenError(TransientLLMError):
     """
 
 
+# --------------------------------------------------------- per-call tallies
+
+_TALLIES = threading.local()
+
+
+class RetryTally:
+    """Mutable retry count for one tracked ``complete`` call."""
+
+    __slots__ = ("retries",)
+
+    def __init__(self) -> None:
+        self.retries = 0
+
+
+@contextmanager
+def track_call_retries():
+    """Count the retries any :class:`RetryingLLM` performs on *this thread*
+    for the duration of the block.
+
+    Unlike summing :func:`stack_retries` before and after a call — which
+    double-counts retries from concurrent queries — the tally is
+    thread-local, so the engine can tag a record ``retried`` correctly
+    whether the call ran serially or on a dispatcher thread.
+    """
+    stack = getattr(_TALLIES, "stack", None)
+    if stack is None:
+        stack = _TALLIES.stack = []
+    tally = RetryTally()
+    stack.append(tally)
+    try:
+        yield tally
+    finally:
+        stack.pop()
+
+
+def _note_retry() -> None:
+    for tally in getattr(_TALLIES, "stack", ()):
+        tally.retries += 1
+
+
 class SimulatedClock:
     """Deterministic monotonic clock, advanced by simulated waits only.
 
@@ -56,6 +106,7 @@ class SimulatedClock:
         if start < 0:
             raise ValueError("start must be >= 0")
         self._now = float(start)
+        self._lock = threading.Lock()
 
     @property
     def now(self) -> float:
@@ -64,7 +115,8 @@ class SimulatedClock:
     def advance(self, seconds: float) -> None:
         if seconds < 0:
             raise ValueError("cannot advance the clock backwards")
-        self._now += seconds
+        with self._lock:
+            self._now += seconds
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimulatedClock(now={self._now:.3f})"
@@ -111,6 +163,7 @@ class FlakyLLM(LLMClient):
         self.failures = 0
         self.wasted_prompt_tokens = 0
         self._prompt_attempts: dict[str, int] = {}
+        self._lock = threading.Lock()
 
     def _complete(self, prompt: str) -> str:
         raise AssertionError("unreachable: complete() is overridden")
@@ -118,20 +171,25 @@ class FlakyLLM(LLMClient):
     def complete(self, prompt: str) -> LLMResponse:
         if not prompt:
             raise ValueError("prompt must be non-empty")
-        self.calls += 1
-        if self.key == "prompt":
-            attempt = self._prompt_attempts.get(prompt, 0)
-            self._prompt_attempts[prompt] = attempt + 1
-            rng = spawn_rng(self.seed, "flaky-prompt", prompt, attempt)
-        else:
-            rng = spawn_rng(self.seed, "flaky", self.calls)
-        if rng.random() < self.failure_rate:
-            self.failures += 1
-            wasted = self.tokenizer.count(prompt) if self.charge_failed_prompts else 0
-            self.wasted_prompt_tokens += wasted
+        with self._lock:
+            self.calls += 1
+            call_index = self.calls
+            if self.key == "prompt":
+                attempt = self._prompt_attempts.get(prompt, 0)
+                self._prompt_attempts[prompt] = attempt + 1
+                rng = spawn_rng(self.seed, "flaky-prompt", prompt, attempt)
+            else:
+                rng = spawn_rng(self.seed, "flaky", call_index)
+            fail = rng.random() < self.failure_rate
+            wasted = 0
+            if fail:
+                self.failures += 1
+                wasted = self.tokenizer.count(prompt) if self.charge_failed_prompts else 0
+                self.wasted_prompt_tokens += wasted
+        if fail:
             if self.observer is not None:
                 self.observer.on_injected_failure(wasted)
-            raise TransientLLMError(f"simulated transient failure on call {self.calls}")
+            raise TransientLLMError(f"simulated transient failure on call {call_index}")
         response = self.inner.complete(prompt)
         self.usage.record(response)
         return response
@@ -204,14 +262,15 @@ class RetryingLLM(LLMClient):
         self.retries = 0
         self.deadline_give_ups = 0
         self.simulated_wait_seconds = 0.0
+        self._lock = threading.Lock()
 
     def _complete(self, prompt: str) -> str:
         raise AssertionError("unreachable: complete() is overridden")
 
-    def _next_wait(self, attempt: int) -> float:
+    def _next_wait(self, attempt: int, jitter_index: int) -> float:
         delay = min(self.base_delay * 2**attempt, self.max_delay)
         if self.jitter > 0.0:
-            u = spawn_rng(self.seed, "retry-jitter", self.retries).random()
+            u = spawn_rng(self.seed, "retry-jitter", jitter_index).random()
             delay *= 1.0 - self.jitter * u
         return delay
 
@@ -231,21 +290,26 @@ class RetryingLLM(LLMClient):
                 last_error = error
                 if attempt + 1 >= self.max_attempts:
                     break
-                wait = self._next_wait(attempt)
-                if (
-                    self.deadline_seconds is not None
-                    and waited_this_query + wait > self.deadline_seconds
-                ):
-                    self.deadline_give_ups += 1
+                with self._lock:
+                    wait = self._next_wait(attempt, self.retries)
+                    expired = (
+                        self.deadline_seconds is not None
+                        and waited_this_query + wait > self.deadline_seconds
+                    )
+                    if expired:
+                        self.deadline_give_ups += 1
+                    else:
+                        self.retries += 1
+                        waited_this_query += wait
+                        self.simulated_wait_seconds += wait
+                if expired:
                     if self.observer is not None:
                         self.observer.on_deadline_give_up(attempt + 1)
                     raise TransientLLMError(
                         f"deadline of {self.deadline_seconds}s exhausted after "
                         f"{attempt + 1} attempts: {last_error}"
                     ) from last_error
-                self.retries += 1
-                waited_this_query += wait
-                self.simulated_wait_seconds += wait
+                _note_retry()
                 if self.observer is not None:
                     self.observer.on_retry(attempt, wait)
                 if self.clock is not None:
@@ -298,6 +362,9 @@ class CircuitBreaker:
         self._opened_at = 0.0
         self.times_opened = 0
         self.rejected_calls = 0
+        # Reentrant: allow()/record_*() resolve elapsed transitions via the
+        # ``state`` property while already holding the lock.
+        self._lock = threading.RLock()
 
     def _transition(self, new: str) -> None:
         old = self._state
@@ -308,37 +375,41 @@ class CircuitBreaker:
     @property
     def state(self) -> str:
         """Current state, resolving an elapsed open → half-open transition."""
-        if self._state == "open" and self.clock.now - self._opened_at >= self.recovery_seconds:
-            self._transition("half_open")
-            self._probe_successes = 0
-        return self._state
+        with self._lock:
+            if self._state == "open" and self.clock.now - self._opened_at >= self.recovery_seconds:
+                self._transition("half_open")
+                self._probe_successes = 0
+            return self._state
 
     def allow(self) -> bool:
         """Whether a call may proceed right now; counts rejections."""
-        if self.state == "open":
-            self.rejected_calls += 1
-            if self.observer is not None:
-                self.observer.on_breaker_rejection()
-            return False
-        return True
+        with self._lock:
+            if self.state == "open":
+                self.rejected_calls += 1
+                if self.observer is not None:
+                    self.observer.on_breaker_rejection()
+                return False
+            return True
 
     def record_success(self) -> None:
-        if self.state == "half_open":
-            self._probe_successes += 1
-            if self._probe_successes >= self.half_open_successes:
-                self._transition("closed")
+        with self._lock:
+            if self.state == "half_open":
+                self._probe_successes += 1
+                if self._probe_successes >= self.half_open_successes:
+                    self._transition("closed")
+                    self._consecutive_failures = 0
+            else:
                 self._consecutive_failures = 0
-        else:
-            self._consecutive_failures = 0
 
     def record_failure(self) -> None:
-        state = self.state
-        if state == "half_open":
-            self._trip()
-        elif state == "closed":
-            self._consecutive_failures += 1
-            if self._consecutive_failures >= self.failure_threshold:
+        with self._lock:
+            state = self.state
+            if state == "half_open":
                 self._trip()
+            elif state == "closed":
+                self._consecutive_failures += 1
+                if self._consecutive_failures >= self.failure_threshold:
+                    self._trip()
 
     def _trip(self) -> None:
         self._transition("open")
@@ -397,6 +468,52 @@ class CircuitBreakerLLM(LLMClient):
             self.breaker.record_failure()
             raise
         self.breaker.record_success()
+        self.usage.record(response)
+        return response
+
+
+class LatencyLLM(LLMClient):
+    """Simulated per-call service latency on a shared :class:`SimulatedClock`.
+
+    Real API calls take hundreds of milliseconds; the simulated models answer
+    instantly.  This wrapper restores a latency profile to the timeline —
+    ``seconds_per_call`` base cost plus ``seconds_per_1k_tokens`` per token
+    transferred — which is exactly what the batched scheduler's overlap
+    accounting measures and overlaps across virtual workers.  Failed inner
+    calls advance the clock by the base cost alone (the request round-trip
+    happened; the tokens never flowed).
+    """
+
+    def __init__(
+        self,
+        inner: LLMClient,
+        clock: SimulatedClock,
+        seconds_per_call: float = 1.0,
+        seconds_per_1k_tokens: float = 0.0,
+    ):
+        if seconds_per_call < 0 or seconds_per_1k_tokens < 0:
+            raise ValueError("latency parameters must be >= 0")
+        super().__init__(name=f"latency({inner.name})", tokenizer=inner.tokenizer)
+        self.inner = inner
+        self.clock = clock
+        self.seconds_per_call = seconds_per_call
+        self.seconds_per_1k_tokens = seconds_per_1k_tokens
+
+    def _complete(self, prompt: str) -> str:
+        raise AssertionError("unreachable: complete() is overridden")
+
+    def complete(self, prompt: str) -> LLMResponse:
+        if not prompt:
+            raise ValueError("prompt must be non-empty")
+        try:
+            response = self.inner.complete(prompt)
+        except TransientLLMError:
+            self.clock.advance(self.seconds_per_call)
+            raise
+        self.clock.advance(
+            self.seconds_per_call
+            + self.seconds_per_1k_tokens * response.total_tokens / 1000.0
+        )
         self.usage.record(response)
         return response
 

@@ -61,6 +61,26 @@ class RunObserver:
     def on_pruning_plan(self, num_pruned: int, num_total: int, tau: float) -> None:
         """A token-pruning plan was drawn (Algorithm 1 / joint strategy)."""
 
+    # ------------------------------------------------------------- scheduling
+
+    def on_wave_start(self, wave_index: int, num_queries: int, num_batches: int) -> None:
+        """A batched scheduler wave is about to dispatch.
+
+        Wave hooks are **metrics-only** by contract: implementations must not
+        emit trace spans or events here, because simulated-mode dispatch
+        promises traces bit-identical to serial runs (which see no waves).
+        """
+
+    def on_wave_end(
+        self,
+        wave_index: int,
+        num_queries: int,
+        num_batches: int,
+        serial_seconds: float,
+        overlapped_seconds: float,
+    ) -> None:
+        """A wave finished; latency is reported both summed and overlapped."""
+
     # ------------------------------------------------------------- reliability
 
     def on_retry(self, attempt: int, wait_seconds: float) -> None:

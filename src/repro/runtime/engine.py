@@ -23,11 +23,12 @@ import numpy as np
 from repro.core.budget import BudgetLedger
 from repro.graph.tag import TextAttributedGraph
 from repro.llm.interface import LLMClient, LLMResponse
-from repro.llm.reliability import TransientLLMError, stack_retries
+from repro.llm.reliability import TransientLLMError, track_call_retries
 from repro.llm.responses import parse_category_response
 from repro.prompts.builder import NeighborEntry, PromptBuilder
 from repro.runtime.fallback import DegradationLadder
 from repro.runtime.results import QueryRecord, RunResult
+from repro.runtime.scheduler import QueryScheduler, WorkItem
 from repro.selection.base import NeighborSelector, SelectedNeighbor
 from repro.utils.rng import spawn_rng
 
@@ -72,6 +73,13 @@ class MultiQueryEngine:
         Optional simulated clock (anything with ``.now``); when present,
         each record's ``latency_seconds`` is stamped with the simulated
         time its execution consumed (retry backoff, breaker think time).
+    scheduler:
+        Optional :class:`~repro.runtime.scheduler.QueryScheduler`.  When
+        set, :meth:`run`, :meth:`run_with_budget_guard` and the boosting
+        strategy dispatch dependency-free waves through it (batched,
+        concurrency-overlapped) instead of looping query by query; records
+        merge back in canonical order, so simulated dispatch stays
+        bit-identical to serial execution.  ``None`` keeps the serial loop.
     """
 
     def __init__(
@@ -88,6 +96,7 @@ class MultiQueryEngine:
         ladder: DegradationLadder | None = None,
         observer: "RunObserver | None" = None,
         clock: object | None = None,
+        scheduler: QueryScheduler | None = None,
     ):
         if max_neighbors < 0:
             raise ValueError("max_neighbors must be >= 0")
@@ -102,6 +111,7 @@ class MultiQueryEngine:
         self.ladder = ladder
         self.observer = observer
         self.clock = clock
+        self.scheduler = scheduler
         self._labels: dict[int, int] = {
             int(v): int(graph.labels[int(v)]) for v in np.asarray(labeled, dtype=np.int64)
         }
@@ -330,7 +340,6 @@ class MultiQueryEngine:
         self, node: int, include_neighbors: bool, round_index: int | None, mode: str
     ) -> QueryRecord:
         """The untimed query lifecycle: select → build → call → parse."""
-        retries_before = stack_retries(self.llm)
         if include_neighbors:
             with self.span("select_neighbors", node=node):
                 selected = self.select_neighbors(node)
@@ -342,16 +351,103 @@ class MultiQueryEngine:
                 prompt, _ = self.build_prompt(node, include_neighbors=False)
         try:
             with self.span("llm_call", node=node):
-                response = self.llm.complete(prompt)
+                response, call_retries = self.call_llm(prompt)
         except TransientLLMError:
             if mode == "raise":
                 raise
             return self._degraded_record(node, include_neighbors, round_index)
-        outcome = "retried" if stack_retries(self.llm) > retries_before else "ok"
+        outcome = "retried" if call_retries else "ok"
         with self.span("parse", node=node):
             return self._record_from_response(
                 node, response, selected, not include_neighbors, round_index, outcome
             )
+
+    # ------------------------------------------------------- batched dispatch
+
+    def call_llm(self, prompt: str) -> tuple[LLMResponse, int]:
+        """One LLM call with per-call retry accounting.
+
+        The retry count comes from a thread-local tally, so it is correct
+        both on the serial path and from the batched scheduler's dispatcher
+        threads (where a global before/after counter diff would mix in
+        concurrent queries' retries).
+        """
+        with track_call_retries() as tally:
+            response = self.llm.complete(prompt)
+        return response, tally.retries
+
+    def finalize_prepared(
+        self,
+        node: int,
+        response: LLMResponse,
+        selected: list[SelectedNeighbor],
+        include_neighbors: bool,
+        round_index: int | None,
+        call_retries: int,
+    ) -> QueryRecord:
+        """Turn a phase-1 completion into a record (thread-dispatch merge).
+
+        Runs on the merge thread in canonical order: the ledger charge, the
+        parse and the observer report happen exactly once per query, in the
+        same relative order as a serial run.  The emitted ``query`` span is
+        condensed (the select/build/call children already happened off-span
+        on a worker thread) and tagged ``batched`` for trace consumers.
+        """
+        outcome = "retried" if call_retries else "ok"
+        started_at = self.clock.now if self.clock is not None else None
+        with self.span(
+            "query",
+            node=node,
+            round_index=round_index,
+            zero_shot=not include_neighbors,
+            batched=True,
+        ) as qspan:
+            record = self._record_from_response(
+                node, response, selected, not include_neighbors, round_index, outcome
+            )
+            if started_at is not None:
+                record = replace(
+                    record, latency_seconds=float(self.clock.now - started_at)
+                )
+            if qspan is not None:
+                qspan.set(
+                    outcome=record.outcome,
+                    prompt_tokens=record.prompt_tokens,
+                    completion_tokens=record.completion_tokens,
+                )
+            if self.observer is not None:
+                self.observer.on_query_end(record)
+            return record
+
+    def degrade_failed_query(
+        self, node: int, include_neighbors: bool, round_index: int | None
+    ) -> QueryRecord:
+        """Walk the degradation ladder for a query whose phase-1 call failed
+        (thread-dispatch merge path; mirrors the serial degrade branch)."""
+        if self.ladder is None:
+            raise ValueError("degrading a failed query requires an engine degradation ladder")
+        started_at = self.clock.now if self.clock is not None else None
+        with self.span(
+            "query",
+            node=node,
+            round_index=round_index,
+            zero_shot=not include_neighbors,
+            batched=True,
+        ) as qspan:
+            record = self._degraded_record(node, include_neighbors, round_index)
+            if started_at is not None:
+                record = replace(
+                    record, latency_seconds=float(self.clock.now - started_at)
+                )
+            if qspan is not None:
+                qspan.set(
+                    outcome=record.outcome,
+                    prompt_tokens=record.prompt_tokens,
+                    completion_tokens=record.completion_tokens,
+                )
+            if self.observer is not None:
+                self.observer.on_query_end(record)
+            return record
 
     def observe_replay(self, record: QueryRecord) -> None:
         """Report one checkpoint-cached record: a ``replayed`` span, zero
@@ -382,22 +478,38 @@ class MultiQueryEngine:
         benchmark methods and by Algorithm 1.  With a ``checkpointer``,
         every executed record persists incrementally and a resumed run
         replays persisted records without re-issuing their LLM calls.
+
+        With a ``scheduler``, the whole query list is one dependency-free
+        wave: no query reads another's output, so dispatch order is free and
+        records merge back in query order.
         """
         result = RunResult()
         executed = checkpointer.executed if checkpointer is not None else {}
+        nodes = [int(v) for v in np.asarray(queries, dtype=np.int64)]
         if self.observer is not None:
-            self.observer.on_run_start(len(np.asarray(queries, dtype=np.int64)))
-        for node in np.asarray(queries, dtype=np.int64):
-            node = int(node)
-            cached = executed.get(node)
-            if cached is not None:
-                self.observe_replay(cached)
-                result.add(cached)
-                continue
-            record = self.execute_query(node, include_neighbors=node not in pruned)
-            result.add(record)
-            if checkpointer is not None:
-                checkpointer.append(record)
+            self.observer.on_run_start(len(nodes))
+        if self.scheduler is not None:
+            items = [
+                WorkItem(
+                    node=node,
+                    cached=executed.get(node),
+                    include_neighbors=node not in pruned,
+                    after_execute=checkpointer.append if checkpointer is not None else None,
+                )
+                for node in nodes
+            ]
+            result.extend(self.scheduler.run_wave(self, items).records)
+        else:
+            for node in nodes:
+                cached = executed.get(node)
+                if cached is not None:
+                    self.observe_replay(cached)
+                    result.add(cached)
+                    continue
+                record = self.execute_query(node, include_neighbors=node not in pruned)
+                result.add(record)
+                if checkpointer is not None:
+                    checkpointer.append(record)
         if checkpointer is not None:
             checkpointer.mark_complete()
         return result
@@ -421,6 +533,13 @@ class MultiQueryEngine:
 
         Static planning (Sec. V-C1's τ formula) should normally keep the
         guard inactive; this is the safety net for estimate error.
+
+        The guard's keep-or-prune decision for query *i* reads the ledger
+        *after* queries before it have charged — an inherently sequential
+        chain.  With a ``scheduler`` the run therefore dispatches in
+        canonical order regardless of dispatch mode (each item carries its
+        decision as a deferred callable), keeping behaviour bit-identical
+        to serial while still accounting batch overlap.
         """
         if self.ledger is None or self.ledger.budget is None:
             raise ValueError("run_with_budget_guard needs an engine ledger with a budget")
@@ -447,22 +566,41 @@ class MultiQueryEngine:
         result = RunResult()
         if self.observer is not None:
             self.observer.on_run_start(len(nodes))
-        for i, node in enumerate(nodes):
-            cached = executed.get(node)
-            if cached is not None:
-                self.observe_replay(cached)
-                result.add(cached)
-                continue
-            include = node not in pruned
-            if include:
-                prompt, _ = self.build_prompt(node, include_neighbors=True)
-                cost = tokenizer.count(prompt) + completion_reserve
-                if self.ledger.would_exceed(cost + int(floor_after[i])):
-                    include = False
-            record = self.execute_query(node, include_neighbors=include)
-            result.add(record)
-            if checkpointer is not None:
-                checkpointer.append(record)
+
+        def decide_include(node: int, position: int) -> bool:
+            """The guard's rationing decision, evaluated at execution time."""
+            if node in pruned:
+                return False
+            prompt, _ = self.build_prompt(node, include_neighbors=True)
+            cost = tokenizer.count(prompt) + completion_reserve
+            return not self.ledger.would_exceed(cost + int(floor_after[position]))
+
+        if self.scheduler is not None:
+            items = [
+                WorkItem(
+                    node=node,
+                    cached=executed.get(node),
+                    decide_include=(
+                        lambda node=node, i=i: decide_include(node, i)
+                    ),
+                    after_execute=checkpointer.append if checkpointer is not None else None,
+                )
+                for i, node in enumerate(nodes)
+            ]
+            result.extend(self.scheduler.run_wave(self, items).records)
+        else:
+            for i, node in enumerate(nodes):
+                cached = executed.get(node)
+                if cached is not None:
+                    self.observe_replay(cached)
+                    result.add(cached)
+                    continue
+                record = self.execute_query(
+                    node, include_neighbors=decide_include(node, i)
+                )
+                result.add(record)
+                if checkpointer is not None:
+                    checkpointer.append(record)
         if checkpointer is not None:
             checkpointer.mark_complete()
         return result

@@ -1,0 +1,394 @@
+"""Deterministic batched/parallel dispatch of multi-query waves.
+
+The paper's MQO strategies (Algorithms 1–2) are defined over a *set* of
+queries; nothing in them requires serial dispatch except that pseudo-labels
+must land before the boosting rounds that read them.  This module exploits
+that: a query list partitions into dependency-respecting **waves** — all of
+a plain or pruned run is one wave; each boosting round is a wave whose
+pseudo-label writes form the barrier — and each wave dispatches through a
+:class:`QueryScheduler` in batches of up to ``max_batch_size`` queries over
+``max_concurrency`` workers.
+
+Two dispatch modes cover the two deployment realities:
+
+``"simulated"`` (default, deterministic)
+    Queries execute **in canonical order** — the exact order, LLM-call
+    sequence, RNG draws, ledger charges, checkpoint flushes and observer
+    spans of a serial run, making every artifact bit-identical to serial
+    execution.  Concurrency is accounted *virtually*: each query's simulated
+    latency (measured on the engine's ``SimulatedClock``) is assigned to the
+    next-free of ``max_concurrency`` virtual workers, and the wave's
+    overlapped makespan is reported alongside the serial sum.  This is how a
+    deterministic run demonstrates (and tests assert) the throughput win of
+    batching without sacrificing replay-exactness.
+
+``"threads"``
+    Real concurrency for real clients: prompt construction and the LLM call
+    of each query run on a thread pool (phase 1), then records are
+    finalized — ledger charges, parsing, degradation, spans, checkpoint
+    appends — serially **in canonical order** (phase 2).  Records, token
+    ledgers and checkpoints match serial execution whenever the client's
+    responses are per-prompt deterministic; wall-clock-dependent internals
+    (circuit-breaker timelines, usage interleavings) are totals-equal but
+    not sequence-equal.  Budget-guarded waves contain per-query decisions
+    that read the ledger mid-wave, so they degrade to in-order dispatch
+    automatically.
+
+The scheduler reports per-wave telemetry through the engine's observer
+(``on_wave_start`` / ``on_wave_end``) as **metrics only** — emitting wave
+spans would break the bit-identical trace contract of simulated dispatch.
+See ``docs/scheduling.md`` for the full determinism contract.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.llm.reliability import TransientLLMError
+from repro.runtime.results import QueryRecord
+
+if TYPE_CHECKING:
+    from repro.runtime.engine import MultiQueryEngine
+
+DISPATCH_MODES = ("simulated", "threads")
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One query of a wave, as the engine/strategies hand it to dispatch.
+
+    ``cached`` carries a checkpoint record to replay instead of executing.
+    ``decide_include`` defers the include/prune decision to execution time
+    (the budget guard's sequential rationing); its presence forces in-order
+    dispatch.  ``on_failure`` follows
+    :meth:`~repro.runtime.engine.MultiQueryEngine.execute_query`; when it is
+    ``"raise"``, a transient failure defers the query (``on_defer`` fires,
+    the node lands in :attr:`WaveOutcome.deferred`) instead of propagating.
+    ``after_execute`` runs in canonical order after each fresh record — the
+    checkpoint-append hook.
+    """
+
+    node: int
+    include_neighbors: bool = True
+    round_index: int | None = None
+    on_failure: str | None = None
+    cached: QueryRecord | None = None
+    decide_include: Callable[[], bool] | None = None
+    on_defer: Callable[[], None] | None = None
+    after_execute: Callable[[QueryRecord], None] | None = None
+
+
+@dataclass(frozen=True)
+class WaveStats:
+    """Telemetry of one dispatched wave."""
+
+    wave_index: int
+    num_queries: int
+    num_replayed: int
+    num_deferred: int
+    num_batches: int
+    serial_seconds: float
+    overlapped_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        """Serial-over-overlapped latency ratio (1.0 when latency is zero)."""
+        if self.overlapped_seconds <= 0.0:
+            return 1.0
+        return self.serial_seconds / self.overlapped_seconds
+
+
+@dataclass(frozen=True)
+class WaveOutcome:
+    """Dispatch result: records in canonical order plus deferral bookkeeping."""
+
+    records: list[QueryRecord]
+    deferred: list[int]
+    stats: WaveStats
+
+
+@dataclass
+class SchedulerReport:
+    """Accumulated wave telemetry across one scheduler's lifetime."""
+
+    waves: list[WaveStats] = field(default_factory=list)
+
+    @property
+    def num_waves(self) -> int:
+        return len(self.waves)
+
+    @property
+    def num_batches(self) -> int:
+        return sum(w.num_batches for w in self.waves)
+
+    @property
+    def num_queries(self) -> int:
+        return sum(w.num_queries for w in self.waves)
+
+    @property
+    def serial_seconds(self) -> float:
+        return sum(w.serial_seconds for w in self.waves)
+
+    @property
+    def overlapped_seconds(self) -> float:
+        return sum(w.overlapped_seconds for w in self.waves)
+
+    @property
+    def speedup(self) -> float:
+        if self.overlapped_seconds <= 0.0:
+            return 1.0
+        return self.serial_seconds / self.overlapped_seconds
+
+
+def _chunks(items: list, size: int | None) -> list[list]:
+    if not items:
+        return []
+    if size is None or size >= len(items):
+        return [items]
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
+class QueryScheduler:
+    """Wave dispatcher with batching and (virtual or real) concurrency.
+
+    Parameters
+    ----------
+    max_batch_size:
+        Upper bound on queries per dispatched batch; batches of a wave run
+        one after another (the batch is the API-request granularity).
+        ``None`` treats the whole wave as one batch.
+    max_concurrency:
+        Worker count — virtual workers overlapping simulated latency in
+        ``"simulated"`` mode, real threads in ``"threads"`` mode.
+    mode:
+        One of :data:`DISPATCH_MODES`; see the module docstring.
+    """
+
+    def __init__(
+        self,
+        max_batch_size: int | None = None,
+        max_concurrency: int = 1,
+        mode: str = "simulated",
+    ):
+        if max_batch_size is not None and max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1 or None")
+        if max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1")
+        if mode not in DISPATCH_MODES:
+            raise ValueError(f"mode must be one of {DISPATCH_MODES}, got {mode!r}")
+        self.max_batch_size = max_batch_size
+        self.max_concurrency = max_concurrency
+        self.mode = mode
+        self.report = SchedulerReport()
+        self._next_wave = 0
+
+    # ------------------------------------------------------------------ waves
+
+    def run_wave(self, engine: "MultiQueryEngine", items: list[WorkItem]) -> WaveOutcome:
+        """Dispatch one dependency-free wave and merge it canonically.
+
+        ``items`` is the canonical order: the records list of the outcome
+        lines up with it exactly (minus deferred queries), replays included.
+        """
+        for item in items:
+            if item.on_failure not in (None, "degrade", "raise"):
+                raise ValueError(f"bad on_failure {item.on_failure!r} for node {item.node}")
+        wave_index = self._next_wave
+        self._next_wave += 1
+        fresh = sum(1 for item in items if item.cached is None)
+        num_batches = len(_chunks(list(range(fresh)), self.max_batch_size))
+        if engine.observer is not None:
+            engine.observer.on_wave_start(wave_index, len(items), num_batches)
+        ordered_only = any(item.decide_include is not None for item in items)
+        if self.mode == "threads" and not ordered_only:
+            outcome = self._dispatch_threads(engine, items, wave_index, num_batches)
+        else:
+            outcome = self._dispatch_ordered(engine, items, wave_index, num_batches)
+        self.report.waves.append(outcome.stats)
+        if engine.observer is not None:
+            stats = outcome.stats
+            engine.observer.on_wave_end(
+                stats.wave_index,
+                stats.num_queries,
+                stats.num_batches,
+                stats.serial_seconds,
+                stats.overlapped_seconds,
+            )
+        return outcome
+
+    # ------------------------------------------------- simulated (canonical)
+
+    def _dispatch_ordered(
+        self,
+        engine: "MultiQueryEngine",
+        items: list[WorkItem],
+        wave_index: int,
+        num_batches: int,
+    ) -> WaveOutcome:
+        """Canonical-order execution with virtual-worker overlap accounting.
+
+        Bit-identical to a serial run by construction: every side effect
+        (LLM call, RNG draw, ledger charge, span, checkpoint flush) happens
+        in exactly the order the serial loop would produce it.
+        """
+        clock = engine.clock
+        records: list[QueryRecord] = []
+        deferred: list[int] = []
+        latencies: list[float] = []
+        replayed = 0
+        for item in items:
+            if item.cached is not None:
+                engine.observe_replay(item.cached)
+                records.append(item.cached)
+                replayed += 1
+                continue
+            include = (
+                item.decide_include() if item.decide_include is not None else item.include_neighbors
+            )
+            started = clock.now if clock is not None else 0.0
+            try:
+                record = engine.execute_query(
+                    item.node,
+                    include_neighbors=include,
+                    round_index=item.round_index,
+                    on_failure=item.on_failure,
+                )
+            except TransientLLMError:
+                if item.on_failure != "raise":
+                    raise
+                latencies.append((clock.now - started) if clock is not None else 0.0)
+                deferred.append(item.node)
+                if item.on_defer is not None:
+                    item.on_defer()
+                continue
+            latencies.append((clock.now - started) if clock is not None else 0.0)
+            records.append(record)
+            if item.after_execute is not None:
+                item.after_execute(record)
+        serial_seconds, overlapped_seconds = self._overlap(latencies)
+        stats = WaveStats(
+            wave_index=wave_index,
+            num_queries=len(items),
+            num_replayed=replayed,
+            num_deferred=len(deferred),
+            num_batches=num_batches,
+            serial_seconds=serial_seconds,
+            overlapped_seconds=overlapped_seconds,
+        )
+        return WaveOutcome(records=records, deferred=deferred, stats=stats)
+
+    def _overlap(self, latencies: list[float]) -> tuple[float, float]:
+        """Virtual makespan of the measured latencies under this config.
+
+        Queries are assigned in canonical order to the next-free of
+        ``max_concurrency`` virtual workers, batch by batch (a batch
+        barrier models one API request round per batch).  Deterministic:
+        no heuristic packing, no wall clock.
+        """
+        serial = sum(latencies)
+        overlapped = 0.0
+        for batch in _chunks(latencies, self.max_batch_size):
+            workers = [0.0] * min(self.max_concurrency, len(batch))
+            for latency in batch:
+                slot = workers.index(min(workers))
+                workers[slot] += latency
+            overlapped += max(workers, default=0.0)
+        return serial, overlapped
+
+    # --------------------------------------------------------------- threads
+
+    def _dispatch_threads(
+        self,
+        engine: "MultiQueryEngine",
+        items: list[WorkItem],
+        wave_index: int,
+        num_batches: int,
+    ) -> WaveOutcome:
+        """Thread-pool phase-1 calls, canonical phase-2 merge."""
+        fresh = [(index, item) for index, item in enumerate(items) if item.cached is None]
+        phase1: dict[int, tuple] = {}
+        serial_seconds = 0.0
+        overlapped_seconds = 0.0
+        for batch in _chunks(fresh, self.max_batch_size):
+            batch_started = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=min(self.max_concurrency, len(batch))) as pool:
+                futures = {
+                    index: pool.submit(self._phase1, engine, item) for index, item in batch
+                }
+                for index, future in futures.items():
+                    phase1[index] = future.result()
+            overlapped_seconds += time.perf_counter() - batch_started
+        with engine.span("wave", wave_index=wave_index, queries=len(items)):
+            records, deferred, replayed, serial_seconds = self._merge_threads(
+                engine, items, phase1
+            )
+        stats = WaveStats(
+            wave_index=wave_index,
+            num_queries=len(items),
+            num_replayed=replayed,
+            num_deferred=len(deferred),
+            num_batches=num_batches,
+            serial_seconds=serial_seconds,
+            overlapped_seconds=overlapped_seconds,
+        )
+        return WaveOutcome(records=records, deferred=deferred, stats=stats)
+
+    @staticmethod
+    def _phase1(engine: "MultiQueryEngine", item: WorkItem) -> tuple:
+        """The parallel-safe slice of one query: build prompt, call the LLM."""
+        started = time.perf_counter()
+        try:
+            prompt, selected = engine.build_prompt(
+                item.node, include_neighbors=item.include_neighbors
+            )
+            response, call_retries = engine.call_llm(prompt)
+        except TransientLLMError as error:
+            return ("error", error, time.perf_counter() - started)
+        return ("ok", (response, selected, call_retries), time.perf_counter() - started)
+
+    def _merge_threads(
+        self, engine: "MultiQueryEngine", items: list[WorkItem], phase1: dict[int, tuple]
+    ) -> tuple[list[QueryRecord], list[int], int, float]:
+        records: list[QueryRecord] = []
+        deferred: list[int] = []
+        replayed = 0
+        serial_seconds = 0.0
+        for index, item in enumerate(items):
+            if item.cached is not None:
+                engine.observe_replay(item.cached)
+                records.append(item.cached)
+                replayed += 1
+                continue
+            kind, payload, elapsed = phase1[index]
+            serial_seconds += elapsed
+            if kind == "ok":
+                response, selected, call_retries = payload
+                record = engine.finalize_prepared(
+                    item.node,
+                    response,
+                    selected,
+                    include_neighbors=item.include_neighbors,
+                    round_index=item.round_index,
+                    call_retries=call_retries,
+                )
+            else:
+                mode = item.on_failure or ("degrade" if engine.ladder is not None else "raise")
+                if mode == "raise":
+                    if item.on_failure == "raise":
+                        deferred.append(item.node)
+                        if item.on_defer is not None:
+                            item.on_defer()
+                        continue
+                    raise payload
+                record = engine.degrade_failed_query(
+                    item.node,
+                    include_neighbors=item.include_neighbors,
+                    round_index=item.round_index,
+                )
+            records.append(record)
+            if item.after_execute is not None:
+                item.after_execute(record)
+        return records, deferred, replayed, serial_seconds

@@ -1,0 +1,295 @@
+"""Reusable serial-vs-batched equivalence harness.
+
+The batched scheduler's core promise is that simulated-mode dispatch is
+**bit-identical to serial execution**: same records, same round structure,
+same ledger charges, same checkpoint bytes, same trace spans, same metrics
+(minus the scheduler's own ``repro_scheduler_*`` families, which only exist
+when a scheduler runs).  This module turns that promise into a reusable
+assertion:
+
+- :class:`Scenario` describes one execution configuration — strategy,
+  query count, failure injection, budget slack, cache, ladder, checkpoint,
+  instrumentation — as plain data, so property-based tests can draw them.
+- :func:`run_scenario` builds the full stack (flaky → retry → breaker →
+  cache → engine, all on one :class:`SimulatedClock`) on the tiny test
+  graph and executes it, returning a :class:`Capture` of every comparable
+  artifact.
+- :func:`assert_equivalent` compares two captures field by field with
+  failure messages that name the first diverging artifact.
+
+Tests use it as::
+
+    serial  = run_scenario(scenario, tag, split, builder)
+    batched = run_scenario(scenario, tag, split, builder,
+                           scheduler=QueryScheduler(max_batch_size=4,
+                                                    max_concurrency=3))
+    assert_equivalent(serial, batched)
+
+Thread-mode dispatch is *records/totals*-equal but not trace-equal (phase-1
+calls interleave on real threads); pass ``compare_traces=False`` for it.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.boosting import QueryBoostingStrategy
+from repro.core.budget import BudgetLedger
+from repro.graph.generators import GeneratedTag
+from repro.graph.splits import LabeledSplit
+from repro.io.runs import RunCheckpointer
+from repro.llm.caching import CachingLLM
+from repro.llm.reliability import FlakyLLM, SimulatedClock, resilient
+from repro.llm.simulated import SimulatedLLM
+from repro.obs import Instrumentation, instrument_stack
+from repro.prompts.builder import PromptBuilder
+from repro.runtime.engine import MultiQueryEngine
+from repro.runtime.fallback import DegradationLadder
+from repro.runtime.scheduler import QueryScheduler
+from repro.selection.registry import make_selector
+
+#: Metric families emitted only by the scheduler; stripped before comparing
+#: a batched run's metrics snapshot against a serial run's.
+SCHEDULER_METRIC_PREFIX = "repro_scheduler_"
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One execution configuration, as drawable plain data.
+
+    ``strategy`` is one of ``"none"`` (plain run), ``"guard"``
+    (:meth:`MultiQueryEngine.run_with_budget_guard`), ``"boost"``
+    (Algorithm 2) — with ``prune_fraction > 0`` the plain/boosted runs see a
+    pruned set, which for boosting is the joint strategy's wiring.
+    ``budget_slack`` (guard only) sets the budget to
+    ``floor * (1 + budget_slack)`` where ``floor`` is the all-zero-shot
+    token floor, so every drawn scenario is feasible by construction.
+    """
+
+    strategy: str = "none"
+    num_queries: int = 12
+    method: str = "1-hop"
+    prune_fraction: float = 0.0
+    budget_slack: float = 0.5
+    failure_rate: float = 0.0
+    max_attempts: int = 3
+    use_ladder: bool = False
+    use_cache: bool = False
+    checkpoint: bool = False
+    observe: bool = True
+
+    def __post_init__(self):
+        if self.strategy not in ("none", "guard", "boost"):
+            raise ValueError(f"unknown strategy {self.strategy!r}")
+        if not 0.0 <= self.prune_fraction <= 1.0:
+            raise ValueError("prune_fraction must be in [0, 1]")
+        if self.failure_rate > 0 and not self.use_ladder and self.strategy != "boost":
+            # Plain/guarded runs have no deferral path; without a ladder an
+            # injected failure aborts the run and there is nothing to compare.
+            raise ValueError("failure injection outside boosting needs a ladder")
+
+
+@dataclass
+class Capture:
+    """Every comparable artifact of one executed scenario."""
+
+    records: list[dict]
+    rounds: list[list[int]] | None
+    ledger: tuple[int, int] | None
+    usage: tuple[int, int, int]
+    clock_now: float | None
+    trace: list[dict] | None
+    trace_raw: list[dict] | None
+    metrics: dict | None
+    checkpoint_text: str | None
+    cache_stats: dict | None
+    flaky: tuple[int, int, int] | None
+    scheduler_report: object | None
+
+
+def _normalize_trace(lines: list[dict]) -> list[dict]:
+    """Strip the run id — the one field allowed to differ between runs."""
+    out = []
+    for line in lines:
+        line = copy.deepcopy(line)
+        line.pop("run_id", None)
+        out.append(line)
+    return out
+
+
+def strip_scheduler_metrics(snapshot: dict) -> dict:
+    """Drop the ``repro_scheduler_*`` families from a metrics snapshot."""
+    snapshot = copy.deepcopy(snapshot)
+    families = snapshot.get("families")
+    if isinstance(families, dict):
+        snapshot["families"] = {
+            name: fam
+            for name, fam in families.items()
+            if not name.startswith(SCHEDULER_METRIC_PREFIX)
+        }
+        return snapshot
+    return {
+        name: fam
+        for name, fam in snapshot.items()
+        if not name.startswith(SCHEDULER_METRIC_PREFIX)
+    }
+
+
+def _zero_shot_floor(engine: MultiQueryEngine, nodes: list[int], reserve: int = 16) -> int:
+    """Token floor of an all-pruned run (tokenizer only, no LLM calls)."""
+    total = 0
+    for node in nodes:
+        prompt, _ = engine.build_prompt(node, include_neighbors=False)
+        total += engine.llm.tokenizer.count(prompt) + reserve
+    return total
+
+
+def prune_set(queries: np.ndarray, fraction: float) -> frozenset[int]:
+    """Deterministic pruned subset: the first ``fraction`` of the queries."""
+    nodes = [int(v) for v in queries]
+    return frozenset(nodes[: int(round(fraction * len(nodes)))])
+
+
+def run_scenario(
+    scenario: Scenario,
+    tag: GeneratedTag,
+    split: LabeledSplit,
+    builder: PromptBuilder,
+    scheduler: QueryScheduler | None = None,
+    checkpoint_path: str | Path | None = None,
+    run_id: str = "equivalence",
+) -> Capture:
+    """Build the scenario's full stack on the tiny graph and execute it.
+
+    Every piece of randomness is seeded identically across calls, so two
+    invocations differ only in the ``scheduler`` argument — exactly the
+    variable under test.
+    """
+    if scenario.checkpoint and checkpoint_path is None:
+        raise ValueError("scenario.checkpoint requires a checkpoint_path")
+    queries = split.queries[: scenario.num_queries]
+    nodes = [int(v) for v in queries]
+    pruned = prune_set(queries, scenario.prune_fraction)
+
+    clock = SimulatedClock()
+    base = SimulatedLLM(tag.vocabulary, name="gpt-3.5", seed=5)
+    llm = base
+    flaky = None
+    if scenario.failure_rate > 0:
+        flaky = FlakyLLM(
+            base,
+            failure_rate=scenario.failure_rate,
+            seed=13,
+            charge_failed_prompts=True,
+            key="prompt",  # order/thread-stable injection pattern
+        )
+        llm = resilient(
+            flaky, max_attempts=scenario.max_attempts, seed=17, clock=clock
+        )
+    cache = None
+    if scenario.use_cache:
+        cache = CachingLLM(llm)
+        llm = cache
+
+    instr = None
+    if scenario.observe:
+        instr = Instrumentation(
+            run_id=run_id,
+            clock=clock,
+            labels={"dataset": "tiny", "strategy": scenario.strategy, "model": "gpt-3.5"},
+        )
+        instrument_stack(llm, instr)
+
+    ledger = None
+    ladder = DegradationLadder() if scenario.use_ladder else None
+    engine = MultiQueryEngine(
+        graph=tag.graph,
+        llm=llm,
+        selector=make_selector(scenario.method),
+        builder=builder,
+        labeled=split.labeled,
+        max_neighbors=4,
+        seed=9,
+        ladder=ladder,
+        observer=instr,
+        clock=clock,
+        scheduler=scheduler,
+    )
+    if scenario.strategy == "guard":
+        floor = _zero_shot_floor(engine, nodes)
+        budget = float(math.ceil(floor * (1.0 + scenario.budget_slack)))
+        ledger = BudgetLedger(budget=budget)
+        engine.ledger = ledger
+
+    checkpointer = None
+    if scenario.checkpoint:
+        checkpointer = RunCheckpointer(checkpoint_path, observer=instr)
+
+    rounds = None
+    if scenario.strategy == "none":
+        result = engine.run(queries, pruned=pruned, checkpointer=checkpointer)
+    elif scenario.strategy == "guard":
+        result = engine.run_with_budget_guard(
+            queries, pruned=pruned, checkpointer=checkpointer
+        )
+    else:  # boost
+        boosted = QueryBoostingStrategy(max_deferrals=2).execute(
+            engine, queries, pruned=pruned, checkpointer=checkpointer
+        )
+        result = boosted.run
+        rounds = boosted.rounds
+
+    return Capture(
+        records=[asdict(r) for r in result.records],
+        rounds=rounds,
+        ledger=(ledger.spent, ledger.charges) if ledger is not None else None,
+        usage=(base.usage.num_queries, base.usage.prompt_tokens, base.usage.completion_tokens),
+        clock_now=clock.now,
+        trace=_normalize_trace(instr.trace_lines()) if instr is not None else None,
+        trace_raw=instr.trace_lines() if instr is not None else None,
+        metrics=instr.registry.snapshot() if instr is not None else None,
+        checkpoint_text=Path(checkpoint_path).read_text() if scenario.checkpoint else None,
+        cache_stats=cache.stats() if cache is not None else None,
+        flaky=(flaky.calls, flaky.failures, flaky.wasted_prompt_tokens)
+        if flaky is not None
+        else None,
+        scheduler_report=scheduler.report if scheduler is not None else None,
+    )
+
+
+def assert_equivalent(
+    serial: Capture, batched: Capture, compare_traces: bool = True
+) -> None:
+    """Assert two captures describe the same execution, artifact by artifact.
+
+    ``compare_traces=False`` relaxes the comparison to records/totals for
+    thread-mode dispatch, whose span sequence legitimately differs (condensed
+    ``query`` spans, a ``wave`` span) even though every record, token count
+    and checkpoint byte still matches.
+    """
+    assert [r["node"] for r in batched.records] == [
+        r["node"] for r in serial.records
+    ], "record order diverged"
+    assert batched.records == serial.records, "per-query records diverged"
+    assert batched.rounds == serial.rounds, "boosting round structure diverged"
+    assert batched.ledger == serial.ledger, "budget ledger diverged"
+    assert batched.usage == serial.usage, "base-model usage diverged"
+    assert batched.checkpoint_text == serial.checkpoint_text, "checkpoint bytes diverged"
+    assert batched.cache_stats == serial.cache_stats, "cache statistics diverged"
+    assert batched.flaky == serial.flaky, "failure-injection counters diverged"
+    if not compare_traces:
+        return
+    assert batched.clock_now == serial.clock_now, "simulated clocks diverged"
+    if serial.trace is not None and batched.trace is not None:
+        serial_spans = [line for line in serial.trace if line.get("kind") != "metrics"]
+        batched_spans = [line for line in batched.trace if line.get("kind") != "metrics"]
+        assert batched_spans == serial_spans, "trace spans diverged"
+    if serial.metrics is not None and batched.metrics is not None:
+        assert strip_scheduler_metrics(batched.metrics) == strip_scheduler_metrics(
+            serial.metrics
+        ), "metrics snapshots diverged (beyond repro_scheduler_*)"

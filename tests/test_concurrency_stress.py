@@ -1,0 +1,258 @@
+"""Concurrency stress tests for the LLM wrapper stack.
+
+The batched scheduler's thread dispatcher shares one wrapper chain
+(cache → breaker → retrier → flaky → model) across workers, so every
+wrapper must be thread-safe.  These tests hammer each wrapper from many
+threads and compare against a single-threaded oracle (exact totals where
+order-independence guarantees them, linearizability invariants where it
+does not).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.llm.interface import LLMClient, UsageTracker
+from repro.llm.reliability import (
+    CircuitBreaker,
+    FlakyLLM,
+    RetryingLLM,
+    SimulatedClock,
+    TransientLLMError,
+    track_call_retries,
+)
+from repro.llm.caching import CachingLLM
+from repro.obs.hooks import RunObserver
+
+
+class StaticLLM(LLMClient):
+    """Deterministic echo model: same prompt, same answer, any thread."""
+
+    def __init__(self, delay: float = 0.0):
+        super().__init__(name="static")
+        self.delay = delay
+
+    def _complete(self, prompt: str) -> str:
+        if self.delay:
+            time.sleep(self.delay)
+        return f"answer:{prompt}"
+
+
+class ScriptedLLM(LLMClient):
+    """Fails the first ``fails[prompt]`` attempts of each prompt, then answers."""
+
+    def __init__(self, fails: dict[str, int]):
+        super().__init__(name="scripted")
+        self._fails = dict(fails)
+        self._lock = threading.Lock()
+
+    def _complete(self, prompt: str) -> str:
+        with self._lock:
+            remaining = self._fails.get(prompt, 0)
+            if remaining:
+                self._fails[prompt] = remaining - 1
+                raise TransientLLMError(f"scripted failure for {prompt!r}")
+        return f"answer:{prompt}"
+
+
+def _run_threads(num_threads: int, work) -> list:
+    with ThreadPoolExecutor(max_workers=num_threads) as pool:
+        return [f.result() for f in [pool.submit(work, i) for i in range(num_threads)]]
+
+
+class TestCachingLLMSingleFlight:
+    def test_concurrent_identical_prompts_pay_one_call(self):
+        inner = StaticLLM(delay=0.02)
+        cache = CachingLLM(inner)
+        texts = _run_threads(8, lambda i: cache.complete("shared prompt").text)
+        assert set(texts) == {"answer:shared prompt"}
+        assert inner.usage.num_queries == 1  # single-flight: one paid call
+        assert cache.misses == 1
+        assert cache.hits == 7
+
+    def test_k_distinct_prompts_pay_exactly_k(self):
+        inner = StaticLLM(delay=0.002)
+        cache = CachingLLM(inner)
+        prompts = [f"prompt {i % 4}" for i in range(32)]  # K=4 distinct
+
+        def work(i):
+            return cache.complete(prompts[i]).text
+
+        texts = _run_threads(8, lambda t: [work(i) for i in range(t, 32, 8)])
+        assert inner.usage.num_queries == 4
+        assert cache.misses == 4
+        assert cache.hits == 28
+        flat = [text for chunk in texts for text in chunk]
+        assert all(text.startswith("answer:prompt ") for text in flat)
+
+    def test_waiters_account_as_zero_token_hits(self):
+        inner = StaticLLM(delay=0.02)
+        cache = CachingLLM(inner)
+        responses = _run_threads(6, lambda i: cache.complete("p").total_tokens)
+        paid = [tokens for tokens in responses if tokens > 0]
+        assert len(paid) == 1  # only the leader carries token cost
+        assert cache.usage.total_tokens == paid[0]
+
+    def test_failed_leader_releases_waiters_who_reissue(self):
+        inner = ScriptedLLM({"p": 1})  # first attempt fails, second succeeds
+        cache = CachingLLM(inner)
+        barrier = threading.Barrier(6)
+        outcomes = []
+        lock = threading.Lock()
+
+        def work(i):
+            barrier.wait()
+            try:
+                text = cache.complete("p").text
+            except TransientLLMError:
+                with lock:
+                    outcomes.append("error")
+            else:
+                with lock:
+                    outcomes.append(text)
+
+        _run_threads(6, work)
+        assert outcomes.count("error") == 1  # the failing leader's caller
+        assert outcomes.count("answer:p") == 5
+        assert cache.misses == 2  # failed leader + the re-issuing new leader
+        assert cache.stats()["entries"] == 1
+
+
+class TestRetryingLLMThreaded:
+    def _totals(self, num_workers: int) -> tuple:
+        """Run the same call multiset through the stack with N workers."""
+        clock = SimulatedClock()
+        flaky = FlakyLLM(
+            StaticLLM(),
+            failure_rate=0.35,
+            seed=13,
+            charge_failed_prompts=True,
+            key="prompt",  # failure script keyed by prompt: order-independent
+        )
+        retrying = RetryingLLM(
+            flaky, max_attempts=5, jitter=0.0, deadline_seconds=None,
+            seed=17, clock=clock,
+        )
+        prompts = [f"query {i}" for i in range(40)]
+        if num_workers == 1:
+            for prompt in prompts:
+                retrying.complete(prompt)
+        else:
+            _run_threads(
+                num_workers,
+                lambda t: [retrying.complete(p) for p in prompts[t::num_workers]],
+            )
+        return (
+            flaky.calls,
+            flaky.failures,
+            flaky.wasted_prompt_tokens,
+            retrying.retries,
+            retrying.simulated_wait_seconds,
+            retrying.usage.num_queries,
+            retrying.usage.prompt_tokens,
+            retrying.usage.completion_tokens,
+            clock.now,
+        )
+
+    def test_totals_match_single_thread_oracle(self):
+        oracle = self._totals(num_workers=1)
+        threaded = self._totals(num_workers=6)
+        assert threaded == oracle
+        assert oracle[3] > 0  # the scenario actually retried something
+
+    def test_per_call_retry_tally_is_thread_local(self):
+        clock = SimulatedClock()
+        inner = ScriptedLLM({"flaky prompt": 2})
+        retrying = RetryingLLM(
+            inner, max_attempts=4, jitter=0.0, seed=1, clock=clock
+        )
+        barrier = threading.Barrier(2)
+
+        def call(prompt):
+            barrier.wait()
+            with track_call_retries() as tally:
+                retrying.complete(prompt)
+            return tally.retries
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            flaky_future = pool.submit(call, "flaky prompt")
+            clean_future = pool.submit(call, "clean prompt")
+            assert flaky_future.result() == 2
+            assert clean_future.result() == 0  # unpolluted by the other thread
+
+
+class TestCircuitBreakerThreaded:
+    class _TransitionLog(RunObserver):
+        def __init__(self):
+            self.transitions: list[tuple[str, str]] = []
+
+        def on_breaker_transition(self, old: str, new: str, at: float) -> None:
+            self.transitions.append((old, new))
+
+    def test_hammered_breaker_keeps_linearizable_state(self):
+        log = self._TransitionLog()
+        clock = SimulatedClock()
+        breaker = CircuitBreaker(
+            failure_threshold=3, recovery_seconds=5.0, half_open_successes=2,
+            clock=clock, observer=log,
+        )
+
+        def work(t):
+            for i in range(200):
+                if breaker.allow():
+                    # Every thread opens with a failure burst (guaranteeing a
+                    # trip), then settles into a mixed success/failure load.
+                    if i < 20 or (t * 31 + i) % 3 == 0:
+                        breaker.record_failure()
+                    else:
+                        breaker.record_success()
+                else:
+                    clock.advance(1.0)
+
+        _run_threads(8, work)
+        assert breaker.state in ("closed", "open", "half_open")
+        assert breaker.times_opened >= 1  # the mix trips it at least once
+        # Linearizability: every transition must chain from the previous one.
+        for (_, prev_new), (next_old, _) in zip(log.transitions, log.transitions[1:]):
+            assert next_old == prev_new, f"broken transition chain: {log.transitions}"
+
+    def test_rejections_only_while_open(self):
+        clock = SimulatedClock()
+        breaker = CircuitBreaker(
+            failure_threshold=2, recovery_seconds=1e9, clock=clock
+        )
+
+        def work(t):
+            rejected = 0
+            for _ in range(100):
+                if not breaker.allow():
+                    rejected += 1
+                else:
+                    breaker.record_failure()
+            return rejected
+
+        results = _run_threads(4, work)
+        assert breaker.state == "open"
+        assert breaker.rejected_calls == sum(results)
+        assert breaker.rejected_calls > 0
+
+
+class TestSharedPrimitives:
+    def test_usage_tracker_never_drops_counts(self):
+        tracker = UsageTracker()
+        from repro.llm.interface import LLMResponse
+
+        response = LLMResponse(text="x", prompt_tokens=3, completion_tokens=2)
+        _run_threads(8, lambda t: [tracker.record(response) for _ in range(500)])
+        assert tracker.num_queries == 4000
+        assert tracker.prompt_tokens == 12000
+        assert tracker.completion_tokens == 8000
+
+    def test_simulated_clock_advances_atomically(self):
+        clock = SimulatedClock()
+        _run_threads(8, lambda t: [clock.advance(0.5) for _ in range(1000)])
+        assert clock.now == pytest.approx(4000.0)

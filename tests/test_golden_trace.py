@@ -1,0 +1,123 @@
+"""Golden-trace regression test for batched scheduler runs.
+
+``tests/data/golden_scheduler_trace.jsonl`` is the canonical trace of one
+fully-loaded batched run (boosting + failure injection + degradation ladder
++ cache, dispatched through the scheduler).  The test re-executes the run
+and asserts the emitted trace matches the stored file **modulo the run id**
+— the one field the trace contract allows to vary.  Any unintended change
+to span structure, ordering, attributes, timestamps or metric families
+shows up as a diff against this file.
+
+Regenerate after an *intended* trace change with::
+
+    PYTHONPATH=src python -m tests.test_golden_trace
+
+and review the diff like any other golden-file update.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.graph.generators import GeneratorConfig, generate_tag
+from repro.graph.splits import make_split
+from repro.obs import validate_trace_lines
+from repro.prompts.builder import PromptBuilder
+from repro.runtime.scheduler import QueryScheduler
+
+from tests.equivalence import Scenario, run_scenario
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_scheduler_trace.jsonl"
+
+#: The run id stored in the golden file; fresh runs use a different one to
+#: prove the comparison really is modulo run id.
+GOLDEN_RUN_ID = "golden"
+
+#: Mirrors the ``tiny`` fixture stack in ``tests/conftest.py`` so the module
+#: regenerates standalone (``python -m tests.test_golden_trace``).
+TINY_CONFIG = GeneratorConfig(
+    class_names=("Alpha", "Beta", "Gamma", "Delta"),
+    num_nodes=320,
+    num_edges=900,
+    homophily=0.8,
+    clear_fraction=0.6,
+    feature_dim=96,
+    title_words=8,
+    abstract_words=40,
+    name="tiny",
+)
+
+GOLDEN_SCENARIO = Scenario(
+    strategy="boost",
+    num_queries=12,
+    failure_rate=0.15,
+    max_attempts=3,
+    use_ladder=True,
+    use_cache=True,
+    observe=True,
+)
+
+GOLDEN_SCHEDULER = dict(max_batch_size=4, max_concurrency=3)
+
+
+def _execute(run_id: str):
+    tag = generate_tag(TINY_CONFIG, seed=42)
+    split = make_split(tag.graph, num_queries=80, labeled_per_class=10, seed=3)
+    builder = PromptBuilder(tag.graph.class_names, "paper", "citation", "Abstract")
+    return run_scenario(
+        GOLDEN_SCENARIO,
+        tag,
+        split,
+        builder,
+        scheduler=QueryScheduler(**GOLDEN_SCHEDULER),
+        run_id=run_id,
+    )
+
+
+def _strip_run_id(lines: list[dict]) -> list[dict]:
+    return [{k: v for k, v in line.items() if k != "run_id"} for line in lines]
+
+
+def _read_golden() -> list[dict]:
+    return [
+        json.loads(line)
+        for line in GOLDEN_PATH.read_text().splitlines()
+        if line.strip()
+    ]
+
+
+class TestGoldenTrace:
+    def test_golden_file_is_schema_valid(self):
+        validate_trace_lines(_read_golden())
+
+    def test_batched_run_reproduces_golden_trace(self):
+        capture = _execute(run_id="fresh-run")
+        golden = _strip_run_id(_read_golden())
+        fresh = _strip_run_id(capture.trace_raw)
+        assert len(fresh) == len(golden), (
+            f"trace length changed: {len(fresh)} lines vs golden {len(golden)}"
+        )
+        for line_no, (got, want) in enumerate(zip(fresh, golden), start=1):
+            assert got == want, f"trace line {line_no} diverged from golden file"
+
+    def test_fresh_run_id_differs_from_golden(self):
+        # Guards the "modulo run id" clause: the comparison must not be
+        # trivially passing because both runs share an id.
+        capture = _execute(run_id="fresh-run")
+        assert capture.trace_raw[0]["run_id"] == "fresh-run"
+        assert _read_golden()[0]["run_id"] == GOLDEN_RUN_ID
+
+
+def regenerate() -> Path:
+    """Rewrite the golden file from the current implementation."""
+    capture = _execute(run_id=GOLDEN_RUN_ID)
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(
+        "\n".join(json.dumps(line, sort_keys=True) for line in capture.trace_raw) + "\n"
+    )
+    return GOLDEN_PATH
+
+
+if __name__ == "__main__":
+    print(f"rewrote {regenerate()}")

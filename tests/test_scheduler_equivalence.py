@@ -1,0 +1,168 @@
+"""Property-based batched-vs-serial equivalence (the tentpole guarantee).
+
+Hypothesis draws scenarios — strategy, query count, pruning, budget slack,
+failure injection, cache/ladder/checkpoint/instrumentation wiring — and
+(batch size, concurrency) scheduler configurations, then asserts the
+batched run reproduces the serial run artifact for artifact via the
+:mod:`tests.equivalence` harness.  Every draw is fully seeded, so failures
+shrink and replay deterministically.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.scheduler import QueryScheduler
+
+from tests.equivalence import Scenario, assert_equivalent, run_scenario
+
+SETTINGS = dict(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+batch_sizes = st.sampled_from([None, 1, 3, 8])
+worker_counts = st.integers(min_value=1, max_value=6)
+
+
+def scheduler_from(batch: int | None, workers: int) -> QueryScheduler:
+    return QueryScheduler(max_batch_size=batch, max_concurrency=workers)
+
+
+class TestPlainRunEquivalence:
+    @given(
+        n=st.integers(min_value=1, max_value=20),
+        prune=st.floats(min_value=0.0, max_value=1.0),
+        batch=batch_sizes,
+        workers=worker_counts,
+        observe=st.booleans(),
+    )
+    @settings(**SETTINGS)
+    def test_records_traces_and_usage_match(
+        self, tiny_tag, tiny_split, tiny_builder, n, prune, batch, workers, observe
+    ):
+        scenario = Scenario(
+            strategy="none", num_queries=n, prune_fraction=prune, observe=observe
+        )
+        serial = run_scenario(scenario, tiny_tag, tiny_split, tiny_builder)
+        batched = run_scenario(
+            scenario, tiny_tag, tiny_split, tiny_builder,
+            scheduler=scheduler_from(batch, workers),
+        )
+        assert_equivalent(serial, batched)
+
+    @given(
+        n=st.integers(min_value=2, max_value=16),
+        batch=batch_sizes,
+        workers=worker_counts,
+    )
+    @settings(**SETTINGS)
+    def test_cached_runs_match(
+        self, tiny_tag, tiny_split, tiny_builder, n, batch, workers
+    ):
+        scenario = Scenario(strategy="none", num_queries=n, use_cache=True)
+        serial = run_scenario(scenario, tiny_tag, tiny_split, tiny_builder)
+        batched = run_scenario(
+            scenario, tiny_tag, tiny_split, tiny_builder,
+            scheduler=scheduler_from(batch, workers),
+        )
+        assert_equivalent(serial, batched)
+
+
+class TestGuardedRunEquivalence:
+    @given(
+        n=st.integers(min_value=2, max_value=16),
+        slack=st.floats(min_value=0.0, max_value=2.0),
+        batch=batch_sizes,
+        workers=worker_counts,
+    )
+    @settings(**SETTINGS)
+    def test_ledger_and_rationing_match(
+        self, tiny_tag, tiny_split, tiny_builder, n, slack, batch, workers
+    ):
+        scenario = Scenario(strategy="guard", num_queries=n, budget_slack=slack)
+        serial = run_scenario(scenario, tiny_tag, tiny_split, tiny_builder)
+        batched = run_scenario(
+            scenario, tiny_tag, tiny_split, tiny_builder,
+            scheduler=scheduler_from(batch, workers),
+        )
+        assert_equivalent(serial, batched)
+        assert batched.ledger is not None
+
+
+class TestBoostedRunEquivalence:
+    @given(
+        n=st.integers(min_value=2, max_value=20),
+        prune=st.floats(min_value=0.0, max_value=0.6),
+        batch=batch_sizes,
+        workers=worker_counts,
+    )
+    @settings(**SETTINGS)
+    def test_round_structure_matches(
+        self, tiny_tag, tiny_split, tiny_builder, n, prune, batch, workers
+    ):
+        scenario = Scenario(strategy="boost", num_queries=n, prune_fraction=prune)
+        serial = run_scenario(scenario, tiny_tag, tiny_split, tiny_builder)
+        batched = run_scenario(
+            scenario, tiny_tag, tiny_split, tiny_builder,
+            scheduler=scheduler_from(batch, workers),
+        )
+        assert_equivalent(serial, batched)
+        assert batched.rounds == serial.rounds
+
+    @given(
+        n=st.integers(min_value=2, max_value=14),
+        rate=st.floats(min_value=0.05, max_value=0.5),
+        attempts=st.integers(min_value=1, max_value=4),
+        batch=batch_sizes,
+        workers=worker_counts,
+    )
+    @settings(**SETTINGS)
+    def test_flaky_deferrals_match(
+        self, tiny_tag, tiny_split, tiny_builder, n, rate, attempts, batch, workers
+    ):
+        # Failure scripts are keyed by prompt, so the injected pattern is
+        # identical across serial and batched execution; deferrals must
+        # land on the same nodes in the same rounds.
+        scenario = Scenario(
+            strategy="boost",
+            num_queries=n,
+            failure_rate=rate,
+            max_attempts=attempts,
+            use_ladder=True,
+        )
+        serial = run_scenario(scenario, tiny_tag, tiny_split, tiny_builder)
+        batched = run_scenario(
+            scenario, tiny_tag, tiny_split, tiny_builder,
+            scheduler=scheduler_from(batch, workers),
+        )
+        assert_equivalent(serial, batched)
+
+
+class TestCheckpointEquivalence:
+    @given(
+        n=st.integers(min_value=2, max_value=14),
+        strategy=st.sampled_from(["none", "boost"]),
+        batch=batch_sizes,
+        workers=worker_counts,
+    )
+    @settings(**SETTINGS)
+    def test_checkpoint_bytes_match(
+        self, tiny_tag, tiny_split, tiny_builder, tmp_path_factory,
+        n, strategy, batch, workers,
+    ):
+        scenario = Scenario(strategy=strategy, num_queries=n, checkpoint=True)
+        base = tmp_path_factory.mktemp("ckpt")
+        serial = run_scenario(
+            scenario, tiny_tag, tiny_split, tiny_builder,
+            checkpoint_path=base / "serial.json",
+        )
+        batched = run_scenario(
+            scenario, tiny_tag, tiny_split, tiny_builder,
+            scheduler=scheduler_from(batch, workers),
+            checkpoint_path=base / "batched.json",
+        )
+        assert_equivalent(serial, batched)
+        assert serial.checkpoint_text is not None
