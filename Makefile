@@ -1,6 +1,9 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test test-parallel test-equivalence bench bench-tables report examples trace-smoke clean
+.PHONY: install test test-parallel test-equivalence coverage bench bench-tables report examples trace-smoke clean
+
+# Line-coverage floor enforced by `make coverage` (and CI).
+COVERAGE_FLOOR := 80
 
 install:
 	pip install -e . || python setup.py develop
@@ -19,6 +22,13 @@ test-parallel:
 		echo "pytest-xdist not installed: falling back to serial tests/"; \
 		pytest tests/; \
 	fi
+
+# Tier-1 suite under pytest-cov, failing below the line-coverage floor.
+# Requires pytest-cov (in the dev extras); plain `make test` stays
+# dependency-free for environments without it.
+coverage:
+	pytest tests/ --cov=repro --cov-report=term-missing \
+		--cov-fail-under=$(COVERAGE_FLOOR)
 
 # The batched-vs-serial equivalence suite (scheduler determinism contract).
 test-equivalence:

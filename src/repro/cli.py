@@ -36,6 +36,7 @@ EXPERIMENT_NAMES = (
     "pareto",
     "distillation",
     "resilience",
+    "cascade",
 )
 
 
@@ -100,6 +101,15 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 
     setup = load_setup(args.dataset, num_queries=args.queries, scale=args.scale)
 
+    models = [m.strip() for m in args.models.split(",") if m.strip()] if args.models else None
+    if models is not None and (args.failure_rate > 0 or args.cache):
+        print(
+            "--models (cascade routing) cannot combine with --failure-rate or "
+            "--cache: those wrap the single base model, not the tier clients",
+            file=sys.stderr,
+        )
+        return 2
+
     scorer = None
     if args.strategy in ("prune", "joint") or args.failure_rate > 0:
         scorer = fit_scorer(setup, model=args.model)
@@ -156,9 +166,33 @@ def _cmd_classify(args: argparse.Namespace) -> int:
             max_concurrency=args.workers,
             mode=args.dispatch,
         )
+    router = None
+    if models is not None:
+        from repro.experiments.cascade import inadequacy_map, quantile_threshold
+        from repro.runtime.router import EscalationPolicy
+
+        scores = None
+        entry_cutoff = 0.5
+        if args.escalate_on in ("inadequacy", "both"):
+            # D(t_i) is fitted against the *cheap* tier: entry routing must
+            # predict where the entry model fails, not the strong one.
+            scores = inadequacy_map(
+                fit_scorer(setup, model=models[0]), setup.queries
+            )
+            entry_cutoff = quantile_threshold(scores, args.inadequacy_quantile)
+        router = setup.make_router(
+            models,
+            policy=EscalationPolicy(
+                escalate_on=args.escalate_on,
+                inadequacy_threshold=entry_cutoff,
+                confidence_threshold=args.confidence_threshold,
+            ),
+            inadequacy=scores,
+            observer=instr,
+        )
     engine = setup.make_engine(
         args.method, model=args.model, llm=llm, ladder=ladder,
-        observer=instr, clock=clock, scheduler=scheduler,
+        observer=instr, clock=clock, scheduler=scheduler, router=router,
     )
 
     checkpointer = (
@@ -183,13 +217,39 @@ def _cmd_classify(args: argparse.Namespace) -> int:
             engine, setup.queries, tau=args.tau, checkpointer=checkpointer
         ).run
 
-    summary = cost_summary(result, args.model)
-    print(f"dataset={args.dataset} method={args.method} strategy={args.strategy} model={args.model}")
+    model_label = ",".join(models) if models is not None else args.model
+    print(f"dataset={args.dataset} method={args.method} strategy={args.strategy} model={model_label}")
     print(f"  queries   : {result.num_queries}")
     print(f"  accuracy  : {result.accuracy:.1%}")
-    print(f"  tokens    : {result.total_tokens:,} ({summary.tokens_per_query:.0f}/query)")
-    print(f"  cost      : ${summary.total_usd:.4f} (${summary.usd_per_query * 1000:.4f}/1k queries)")
+    if router is not None:
+        routed_usd = result.routed_cost_usd or 0.0
+        print(f"  tokens    : {result.total_tokens:,} ({result.total_tokens / result.num_queries:.0f}/query)")
+        print(f"  cost      : ${routed_usd:.4f} cascade (all tier attempts, per-tier pricing)")
+    else:
+        summary = cost_summary(result, args.model)
+        print(f"  tokens    : {result.total_tokens:,} ({summary.tokens_per_query:.0f}/query)")
+        print(f"  cost      : ${summary.total_usd:.4f} (${summary.usd_per_query * 1000:.4f}/1k queries)")
     print(f"  w/ N_i    : {result.queries_with_neighbors}/{result.num_queries} queries")
+    if router is not None:
+        from repro.experiments.report import render_table
+
+        stats = router.stats()
+        tier_rows = []
+        for tier in router.tiers:
+            answered = stats["resolved_by_tier"][tier.name] + stats["replayed_by_tier"][tier.name]
+            tier_records = [r for r in result.records if r.tier == tier.name]
+            acc = (
+                f"{sum(r.correct for r in tier_records) / len(tier_records) * 100:.1f}"
+                if tier_records
+                else "-"
+            )
+            usd = sum(r.cost_usd or 0.0 for r in tier_records)
+            tier_rows.append([tier.name, f"{answered}", acc, f"${usd:.4f}"])
+        print(
+            f"  cascade   : {result.num_escalated}/{result.num_queries} queries "
+            f"escalated ({stats['escalations']} hops this run)"
+        )
+        print(render_table(["Tier", "Answered", "Acc (%)", "Cost"], tier_rows, title="Cascade tiers"))
     if args.failure_rate > 0:
         tiers = ", ".join(f"{k}={v}" for k, v in result.outcome_counts.items() if v)
         print(f"  outcomes  : {tiers}")
@@ -281,6 +341,8 @@ def _cmd_prices(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.runtime.router import ESCALATION_MODES
+
     parser = argparse.ArgumentParser(prog="repro", description=__doc__.splitlines()[0])
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -344,6 +406,33 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="wrap the model in an exact-prompt response cache and report "
         "its hit rate",
+    )
+    sub.add_argument(
+        "--models",
+        default=None,
+        help="comma-separated cascade tiers, cheapest first (e.g. "
+        "'gpt-4o-mini,gpt-3.5'): route each query through the multi-model "
+        "cascade instead of the single --model",
+    )
+    sub.add_argument(
+        "--escalate-on",
+        default="both",
+        choices=list(ESCALATION_MODES),
+        help="cascade routing signals: pre-call text inadequacy D(t_i), "
+        "post-call response confidence, both, or never (pin to cheap tier)",
+    )
+    sub.add_argument(
+        "--confidence-threshold",
+        type=float,
+        default=0.6,
+        help="cascade: answers below this confidence escalate one tier",
+    )
+    sub.add_argument(
+        "--inadequacy-quantile",
+        type=float,
+        default=0.8,
+        help="cascade: queries in this top D(t_i) quantile enter at the "
+        "strongest tier directly",
     )
     sub.add_argument(
         "--trace",

@@ -69,35 +69,65 @@ def _check_costs(num_queries: int, avg_tokens_full: float, avg_tokens_neighbor: 
 
 @dataclass
 class BudgetLedger:
-    """Running token account against an optional hard budget ``B`` (Eq. 2).
+    """Running spend account against optional hard budgets (Eq. 2).
 
-    ``charge`` records spending; when a budget is set and a charge would
-    exceed it, ``would_exceed`` lets callers check before spending.
+    The ledger is the single place every execution path — plain runs, the
+    budget guard, the multi-model cascade router — records what it spent.
+    It accounts two currencies at once:
+
+    * **tokens** against ``budget`` (the paper's Eq. 2 constraint), and
+    * **dollars** against ``cost_budget_usd`` (the cascade's cost axis;
+      per-tier pricing comes from :mod:`repro.llm.pricing`).
+
+    ``charge`` records spending; ``would_exceed`` lets callers check either
+    budget *before* spending.  ``remaining``/``remaining_usd`` never go
+    negative: once a budget is exhausted they floor at zero.
     """
 
     budget: float | None = None
     spent: int = 0
     charges: int = field(default=0, repr=False)
+    cost_budget_usd: float | None = None
+    spent_usd: float = 0.0
 
     def __post_init__(self) -> None:
         if self.budget is not None and self.budget <= 0:
             raise ValueError("budget must be positive (or None for unlimited)")
+        if self.cost_budget_usd is not None and self.cost_budget_usd <= 0:
+            raise ValueError("cost_budget_usd must be positive (or None for unlimited)")
 
-    def would_exceed(self, tokens: int) -> bool:
-        """Whether charging ``tokens`` would overshoot the budget."""
+    def would_exceed(self, tokens: int, usd: float = 0.0) -> bool:
+        """Whether charging ``tokens`` (and ``usd``) would overshoot a budget."""
         if tokens < 0:
             raise ValueError("tokens must be >= 0")
-        return self.budget is not None and self.spent + tokens > self.budget
+        if usd < 0:
+            raise ValueError("usd must be >= 0")
+        if self.budget is not None and self.spent + tokens > self.budget:
+            return True
+        return (
+            self.cost_budget_usd is not None
+            and self.spent_usd + usd > self.cost_budget_usd
+        )
 
-    def charge(self, tokens: int) -> None:
+    def charge(self, tokens: int, usd: float = 0.0) -> None:
         if tokens < 0:
             raise ValueError("tokens must be >= 0")
+        if usd < 0:
+            raise ValueError("usd must be >= 0")
         self.spent += tokens
+        self.spent_usd += usd
         self.charges += 1
 
     @property
     def remaining(self) -> float:
-        """Tokens left under the budget (``inf`` when unlimited)."""
+        """Tokens left under the budget (``inf`` when unlimited, floored at 0)."""
         if self.budget is None:
             return float("inf")
-        return self.budget - self.spent
+        return max(0.0, self.budget - self.spent)
+
+    @property
+    def remaining_usd(self) -> float:
+        """Dollars left under the cost budget (``inf`` when unlimited, floored at 0)."""
+        if self.cost_budget_usd is None:
+            return float("inf")
+        return max(0.0, self.cost_budget_usd - self.spent_usd)

@@ -1,0 +1,173 @@
+"""Cascade frontier — routed multi-model execution vs. single-model baselines.
+
+The paper prices every query at one model.  The cascade router
+(:mod:`repro.runtime.router`) instead enters each query at the cheap tier —
+unless its text-inadequacy ``D(t_i)`` marks it hard — and escalates answers
+the cheap model is unsure about.  This experiment traces the resulting
+cost/accuracy frontier: single-model baselines at both tiers, then the
+routed cascade across a sweep of confidence thresholds.
+
+The headline claim it checks: a routed run stays within one accuracy point
+of the strong-model-only baseline while paying ≥30% fewer simulated dollars,
+because most queries resolve at ``gpt-4o-mini``'s ~3.3× cheaper input rate
+and only the genuinely ambiguous ones pay twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.inadequacy import TextInadequacyScorer
+from repro.experiments.common import ExperimentSetup, load_setup
+from repro.experiments.report import render_table
+from repro.experiments.table4 import fit_scorer
+from repro.runtime.router import EscalationPolicy
+
+#: Cheapest-first tier order; pricing and (simulated) accuracy both rise.
+DEFAULT_MODELS = ("gpt-4o-mini", "gpt-3.5")
+
+DEFAULT_CONFIDENCE_THRESHOLDS = (0.5, 0.6, 0.7)
+
+#: Queries whose ``D(t_i)`` sits in the top quantile enter the strong tier
+#: directly instead of paying a doomed cheap call first.
+DEFAULT_INADEQUACY_QUANTILE = 0.8
+
+
+@dataclass(frozen=True)
+class CascadePoint:
+    """One configuration's position on the cost/accuracy frontier."""
+
+    label: str
+    accuracy: float
+    total_tokens: int
+    cost_usd: float
+    escalated_fraction: float
+    tier_counts: dict[str, int]
+
+
+@dataclass
+class CascadeResult:
+    dataset: str
+    models: tuple[str, ...]
+    cheap_only: CascadePoint
+    strong_only: CascadePoint
+    routed: list[CascadePoint]
+
+    def best_routed(self) -> CascadePoint:
+        """The cheapest routed point within one accuracy point of strong-only."""
+        eligible = [
+            p for p in self.routed if p.accuracy >= self.strong_only.accuracy - 0.01
+        ]
+        pool = eligible or self.routed
+        return min(pool, key=lambda p: p.cost_usd)
+
+
+def inadequacy_map(scorer: TextInadequacyScorer, nodes: np.ndarray) -> dict[int, float]:
+    """Precompute ``{node: D(t_i)}`` for the router's entry rule."""
+    nodes = np.asarray(nodes, dtype=np.int64)
+    scores = scorer.score(nodes)
+    return {int(v): float(s) for v, s in zip(nodes, scores)}
+
+
+def quantile_threshold(scores: dict[int, float], quantile: float) -> float:
+    """The ``D(t_i)`` cutoff above which queries enter the strong tier."""
+    if not 0.0 <= quantile <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {quantile}")
+    return float(np.quantile(np.asarray(list(scores.values())), quantile))
+
+
+def _single_model_point(
+    setup: ExperimentSetup, method: str, model: str, label: str
+) -> CascadePoint:
+    result = setup.make_engine(method, model=model).run(setup.queries)
+    return CascadePoint(
+        label=label,
+        accuracy=result.accuracy,
+        total_tokens=result.total_tokens,
+        cost_usd=result.cost_usd(model),
+        escalated_fraction=0.0,
+        tier_counts={model: result.num_queries},
+    )
+
+
+def run_cascade(
+    dataset: str = "cora",
+    method: str = "sns",
+    models: tuple[str, ...] = DEFAULT_MODELS,
+    confidence_thresholds: tuple[float, ...] = DEFAULT_CONFIDENCE_THRESHOLDS,
+    inadequacy_quantile: float = DEFAULT_INADEQUACY_QUANTILE,
+    num_queries: int = 1000,
+    scale: float | None = None,
+) -> CascadeResult:
+    """Trace the cascade frontier on one dataset.
+
+    The inadequacy scorer is fitted against the *cheap* model — ``D(t_i)``
+    must predict where the entry tier fails, not where the strong tier
+    would.  Its calibration cost is shared across all routed points.
+    """
+    setup = load_setup(dataset, num_queries=num_queries, scale=scale)
+    scorer = fit_scorer(setup, model=models[0])
+    scores = inadequacy_map(scorer, setup.queries)
+    entry_cutoff = quantile_threshold(scores, inadequacy_quantile)
+
+    cheap_only = _single_model_point(setup, method, models[0], f"{models[0]} only")
+    strong_only = _single_model_point(setup, method, models[-1], f"{models[-1]} only")
+
+    routed = []
+    for threshold in confidence_thresholds:
+        policy = EscalationPolicy(
+            escalate_on="both",
+            inadequacy_threshold=entry_cutoff,
+            confidence_threshold=threshold,
+        )
+        router = setup.make_router(models, policy=policy, inadequacy=scores)
+        result = setup.make_engine(method, router=router).run(setup.queries)
+        routed.append(
+            CascadePoint(
+                label=f"routed conf>={threshold:g}",
+                accuracy=result.accuracy,
+                total_tokens=result.total_tokens,
+                cost_usd=result.routed_cost_usd or 0.0,
+                escalated_fraction=result.num_escalated / result.num_queries,
+                tier_counts=result.tier_counts,
+            )
+        )
+    return CascadeResult(
+        dataset=dataset,
+        models=tuple(models),
+        cheap_only=cheap_only,
+        strong_only=strong_only,
+        routed=routed,
+    )
+
+
+def format_cascade(result: CascadeResult) -> str:
+    strong_cost = result.strong_only.cost_usd
+    rows = []
+    for point in [result.cheap_only, result.strong_only, *result.routed]:
+        saving = 1.0 - point.cost_usd / strong_cost if strong_cost else 0.0
+        rows.append(
+            [
+                point.label,
+                f"{point.accuracy * 100:.1f}",
+                f"{point.total_tokens}",
+                f"{point.cost_usd:.4f}",
+                f"{saving * 100:+.0f}%",
+                f"{point.escalated_fraction * 100:.0f}%",
+            ]
+        )
+    return render_table(
+        ["Config", "Acc (%)", "Tokens", "Cost ($)", "vs strong", "Escalated"],
+        rows,
+        title=f"Cascade frontier — {result.dataset} ({' -> '.join(result.models)})",
+    )
+
+
+def main() -> None:
+    print(format_cascade(run_cascade()))
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,7 @@ from repro.llm.profiles import make_model
 from repro.prompts.builder import PromptBuilder
 from repro.runtime.engine import MultiQueryEngine
 from repro.runtime.fallback import DegradationLadder
+from repro.runtime.router import CascadeRouter, EscalationPolicy, RouterTier
 from repro.selection.registry import make_selector
 
 #: Default query-set size, matching the paper's protocol.
@@ -58,6 +59,32 @@ class ExperimentSetup:
         """Fresh preset model over this dataset's vocabulary."""
         return make_model(model, self.generated.vocabulary, seed=seed)
 
+    def make_router(
+        self,
+        models: tuple[str, ...] | list[str],
+        policy: EscalationPolicy | None = None,
+        inadequacy: dict[int, float] | None = None,
+        seed: int = MODEL_SEED,
+        observer=None,
+    ) -> CascadeRouter:
+        """Cascade router over fresh preset tiers, cheapest model first.
+
+        Tier seeds are offset per rung so the cheap and strong models draw
+        independent noise streams (same-seed instances of different profiles
+        would still differ, but decorrelation keeps escalations honest).
+        """
+        tiers = [
+            RouterTier(name=name, llm=self.make_llm(name, seed=seed + 101 * i))
+            for i, name in enumerate(models)
+        ]
+        return CascadeRouter(
+            tiers,
+            policy=policy,
+            inadequacy=inadequacy,
+            class_names=self.graph.class_names,
+            observer=observer,
+        )
+
     def make_engine(
         self,
         method: str,
@@ -70,16 +97,22 @@ class ExperimentSetup:
         observer=None,
         clock=None,
         scheduler=None,
+        router: CascadeRouter | None = None,
     ) -> MultiQueryEngine:
         """Fresh engine for one (method, model) cell of a results table.
 
         ``scheduler`` (a :class:`~repro.runtime.scheduler.QueryScheduler`)
         switches the engine to batched wave dispatch; omitted, runs stay
-        serial.
+        serial.  ``router`` (a :class:`~repro.runtime.router.CascadeRouter`)
+        switches per-query dispatch to the multi-model cascade; the engine's
+        base ``llm`` then defaults to the cheap tier's client and only serves
+        node-less calls.
         """
+        if llm is None:
+            llm = router.tiers[0].llm if router is not None else self.make_llm(model)
         return MultiQueryEngine(
             graph=self.graph,
-            llm=llm if llm is not None else self.make_llm(model),
+            llm=llm,
             selector=make_selector(method),
             builder=self.builder,
             labeled=self.split.labeled,
@@ -90,6 +123,7 @@ class ExperimentSetup:
             observer=observer,
             clock=clock,
             scheduler=scheduler,
+            router=router,
         )
 
 

@@ -29,8 +29,11 @@ if TYPE_CHECKING:
 # Version 3 added ``QueryRecord.latency_seconds``; older files load with
 # ``None`` (no simulated clock ran), so every earlier checkpoint and saved
 # run stays loadable.
-_FORMAT_VERSION = 3
-_SUPPORTED_VERSIONS = (1, 2, 3)
+# Version 4 added the cascade-router provenance fields
+# ``QueryRecord.tier``/``escalations``/``cost_usd``; older files load with
+# the single-model defaults (None/0/None).
+_FORMAT_VERSION = 4
+_SUPPORTED_VERSIONS = (1, 2, 3, 4)
 
 
 def save_run(result: RunResult, path: str | Path) -> Path:

@@ -25,15 +25,40 @@ PRICES_PER_1K_TOKENS: dict[str, ModelPrice] = {
 }
 
 
+class UnknownModelError(KeyError):
+    """Raised for a model string with no price entry.
+
+    Subclasses ``KeyError`` so existing ``except KeyError`` callers keep
+    working; the message always names every known model so a typo is
+    diagnosable from the error alone.
+    """
+
+    def __init__(self, model: str):
+        self.model = model
+        super().__init__(
+            f"no price for model {model!r}; known models: "
+            + ", ".join(known_models())
+        )
+
+    def __str__(self) -> str:  # KeyError.__str__ would repr() the message
+        return self.args[0]
+
+
+def known_models() -> tuple[str, ...]:
+    """The model names :func:`cost_usd` can price, sorted."""
+    return tuple(sorted(PRICES_PER_1K_TOKENS))
+
+
 def cost_usd(model: str, prompt_tokens: int, completion_tokens: int = 0) -> float:
     """Dollar cost of a query (or aggregate usage) for ``model``.
 
-    Unknown models raise ``KeyError`` so silent mispricing cannot happen.
+    Unknown models raise :class:`UnknownModelError` (a ``KeyError``) naming
+    every priceable model, so silent mispricing cannot happen.
     """
     if prompt_tokens < 0 or completion_tokens < 0:
         raise ValueError("token counts must be non-negative")
     key = model.lower()
     if key not in PRICES_PER_1K_TOKENS:
-        raise KeyError(f"no price for model {model!r}; known: {sorted(PRICES_PER_1K_TOKENS)}")
+        raise UnknownModelError(model)
     price = PRICES_PER_1K_TOKENS[key]
     return prompt_tokens / 1000.0 * price.input_per_1k + completion_tokens / 1000.0 * price.output_per_1k

@@ -61,6 +61,24 @@ class RunObserver:
     def on_pruning_plan(self, num_pruned: int, num_total: int, tau: float) -> None:
         """A token-pruning plan was drawn (Algorithm 1 / joint strategy)."""
 
+    # ---------------------------------------------------------------- routing
+
+    def on_router_escalation(
+        self, node: int, from_tier: str, to_tier: str, reason: str
+    ) -> None:
+        """The cascade router moved a query one tier up.
+
+        ``reason`` is the escalation rule that fired (``"abstain"`` or
+        ``"low_confidence"``).  Fires once per hop, in execution order.
+        """
+
+    def on_router_resolved(self, tier: str, escalations: int, cost_usd: float) -> None:
+        """A routed query settled at ``tier`` after ``escalations`` hops.
+
+        ``cost_usd`` is the summed dollar spend across every tier attempt
+        (discarded cheap answers included).
+        """
+
     # ------------------------------------------------------------- scheduling
 
     def on_wave_start(self, wave_index: int, num_queries: int, num_batches: int) -> None:

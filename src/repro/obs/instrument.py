@@ -136,6 +136,31 @@ class Instrumentation(RunObserver):
             "pruning_plan", num_pruned=num_pruned, num_total=num_total, tau=tau
         )
 
+    # ---------------------------------------------------------------- routing
+
+    def on_router_escalation(
+        self, node: int, from_tier: str, to_tier: str, reason: str
+    ) -> None:
+        self.registry.counter(
+            "repro_router_escalations_total",
+            "Cascade escalations, by hop and trigger",
+            **{**self.labels, "from": from_tier, "to": to_tier, "reason": reason},
+        ).inc()
+        self.tracer.event(
+            "escalation", node=node, from_tier=from_tier, to_tier=to_tier, reason=reason
+        )
+
+    def on_router_resolved(self, tier: str, escalations: int, cost_usd: float) -> None:
+        labels = {**self.labels, "tier": tier}
+        self.registry.counter(
+            "repro_router_queries_total", "Routed queries, by answering tier", **labels
+        ).inc()
+        self.registry.counter(
+            "repro_router_cost_usd_total",
+            "Cascade dollar spend attributed to the answering tier",
+            **labels,
+        ).inc(cost_usd)
+
     # ------------------------------------------------------------- scheduling
 
     def on_wave_start(self, wave_index: int, num_queries: int, num_batches: int) -> None:

@@ -1,8 +1,17 @@
-"""Multi-query execution runtime: engine, results, fallback, baselines."""
+"""Multi-query execution runtime: engine, results, fallback, baselines, router."""
 
 from repro.runtime.results import OUTCOME_TIERS, QueryRecord, RunResult
 from repro.runtime.fallback import DegradationLadder, FeatureSurrogate, SurrogatePredictor
 from repro.runtime.engine import MultiQueryEngine
+from repro.runtime.router import (
+    ESCALATION_MODES,
+    CascadeRouter,
+    EscalationPolicy,
+    RoutedResponse,
+    RouterTier,
+    TierAttempt,
+    make_tiers,
+)
 from repro.runtime.baselines import (
     random_prune_set,
     random_round_schedule,
@@ -17,6 +26,13 @@ __all__ = [
     "FeatureSurrogate",
     "SurrogatePredictor",
     "MultiQueryEngine",
+    "ESCALATION_MODES",
+    "CascadeRouter",
+    "EscalationPolicy",
+    "RoutedResponse",
+    "RouterTier",
+    "TierAttempt",
+    "make_tiers",
     "random_prune_set",
     "random_round_schedule",
     "run_unscheduled_boosting",

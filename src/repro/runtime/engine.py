@@ -28,6 +28,7 @@ from repro.llm.responses import parse_category_response
 from repro.prompts.builder import NeighborEntry, PromptBuilder
 from repro.runtime.fallback import DegradationLadder
 from repro.runtime.results import QueryRecord, RunResult
+from repro.runtime.router import CascadeRouter
 from repro.runtime.scheduler import QueryScheduler, WorkItem
 from repro.selection.base import NeighborSelector, SelectedNeighbor
 from repro.utils.rng import spawn_rng
@@ -80,6 +81,13 @@ class MultiQueryEngine:
         concurrency-overlapped) instead of looping query by query; records
         merge back in canonical order, so simulated dispatch stays
         bit-identical to serial execution.  ``None`` keeps the serial loop.
+    router:
+        Optional :class:`~repro.runtime.router.CascadeRouter`.  When set,
+        every primary LLM call routes through the multi-model cascade
+        instead of ``llm`` (which should be the cascade's cheap tier — it
+        still serves tokenizer counts and the degradation ladder's pruned
+        retry).  Records gain tier provenance, and the ledger is charged in
+        dollars as well as tokens.
     """
 
     def __init__(
@@ -97,6 +105,7 @@ class MultiQueryEngine:
         observer: "RunObserver | None" = None,
         clock: object | None = None,
         scheduler: QueryScheduler | None = None,
+        router: CascadeRouter | None = None,
     ):
         if max_neighbors < 0:
             raise ValueError("max_neighbors must be >= 0")
@@ -112,6 +121,7 @@ class MultiQueryEngine:
         self.observer = observer
         self.clock = clock
         self.scheduler = scheduler
+        self.router = router
         self._labels: dict[int, int] = {
             int(v): int(graph.labels[int(v)]) for v in np.asarray(labeled, dtype=np.int64)
         }
@@ -221,9 +231,19 @@ class MultiQueryEngine:
         round_index: int | None,
         outcome: str,
     ) -> QueryRecord:
-        """Charge the ledger and parse one completion into a record."""
+        """Charge the ledger and parse one completion into a record.
+
+        ``response`` is an :class:`LLMResponse` or (duck-typed) a routed
+        :class:`~repro.runtime.router.RoutedResponse`; the latter carries
+        cascade provenance and a per-tier dollar cost, both of which land on
+        the record, and its dollars charge the unified ledger alongside the
+        tokens.
+        """
+        routed_cost = getattr(response, "cost_usd", None)
         if self.ledger is not None:
-            self.ledger.charge(response.total_tokens)
+            self.ledger.charge(
+                response.total_tokens, usd=routed_cost if routed_cost is not None else 0.0
+            )
         predicted = parse_category_response(response.text, self.graph.class_names)
         labeled_neighbors = [sn for sn in selected if sn.label is not None]
         return QueryRecord(
@@ -239,6 +259,9 @@ class MultiQueryEngine:
             round_index=round_index,
             confidence=response.confidence,
             outcome=outcome,
+            tier=getattr(response, "tier", None),
+            escalations=getattr(response, "escalations", 0),
+            cost_usd=routed_cost,
         )
 
     def _degraded_record(
@@ -351,7 +374,7 @@ class MultiQueryEngine:
                 prompt, _ = self.build_prompt(node, include_neighbors=False)
         try:
             with self.span("llm_call", node=node):
-                response, call_retries = self.call_llm(prompt)
+                response, call_retries = self.call_llm(prompt, node=node)
         except TransientLLMError:
             if mode == "raise":
                 raise
@@ -364,16 +387,23 @@ class MultiQueryEngine:
 
     # ------------------------------------------------------- batched dispatch
 
-    def call_llm(self, prompt: str) -> tuple[LLMResponse, int]:
+    def call_llm(self, prompt: str, node: int | None = None) -> tuple[LLMResponse, int]:
         """One LLM call with per-call retry accounting.
 
-        The retry count comes from a thread-local tally, so it is correct
-        both on the serial path and from the batched scheduler's dispatcher
-        threads (where a global before/after counter diff would mix in
-        concurrent queries' retries).
+        With a :attr:`router` and a known ``node``, the call runs the whole
+        multi-model cascade (entry tier from ``D(t_i)``, escalation on low
+        confidence) and returns the aggregated
+        :class:`~repro.runtime.router.RoutedResponse`; otherwise it hits the
+        engine's single client.  The retry count comes from a thread-local
+        tally, so it is correct both on the serial path and from the batched
+        scheduler's dispatcher threads (where a global before/after counter
+        diff would mix in concurrent queries' retries).
         """
         with track_call_retries() as tally:
-            response = self.llm.complete(prompt)
+            if self.router is not None and node is not None:
+                response = self.router.complete(node, prompt)
+            else:
+                response = self.llm.complete(prompt)
         return response, tally.retries
 
     def finalize_prepared(
@@ -452,6 +482,8 @@ class MultiQueryEngine:
     def observe_replay(self, record: QueryRecord) -> None:
         """Report one checkpoint-cached record: a ``replayed`` span, zero
         paid tokens (its spend happened in the pre-crash run)."""
+        if self.router is not None:
+            self.router.note_replayed(record.tier)
         if self.observer is None:
             return
         with self.observer.span(

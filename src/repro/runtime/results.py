@@ -21,6 +21,14 @@ class QueryRecord:
     (retry backoff plus inter-query think time on the shared
     ``SimulatedClock``); ``None`` when the engine ran without a clock —
     which is also how records from pre-telemetry runs and checkpoints load.
+
+    ``tier``/``escalations``/``cost_usd`` carry multi-model cascade
+    provenance (:mod:`repro.runtime.router`): the model that produced the
+    final answer, how many times the query escalated to a stronger tier, and
+    the summed dollar cost across every tier attempt (tokens spent at
+    discarded cheaper tiers are paid for too).  Single-model runs — and
+    records loaded from pre-router checkpoints — leave all three at their
+    defaults.
     """
 
     node: int
@@ -36,10 +44,15 @@ class QueryRecord:
     confidence: float | None = None
     outcome: str = "ok"
     latency_seconds: float | None = None
+    tier: str | None = None
+    escalations: int = 0
+    cost_usd: float | None = None
 
     def __post_init__(self) -> None:
         if self.outcome not in OUTCOME_TIERS:
             raise ValueError(f"unknown outcome tier {self.outcome!r}")
+        if self.escalations < 0:
+            raise ValueError("escalations must be >= 0")
 
     @property
     def degraded(self) -> bool:
@@ -132,6 +145,30 @@ class RunResult:
     def total_latency_seconds(self) -> float | None:
         """Summed simulated latency, or ``None`` when no record carries one."""
         values = [r.latency_seconds for r in self.records if r.latency_seconds is not None]
+        return sum(values) if values else None
+
+    @property
+    def tier_counts(self) -> dict[str, int]:
+        """Records by the cascade tier that answered them (routed runs only)."""
+        counts: dict[str, int] = {}
+        for r in self.records:
+            if r.tier is not None:
+                counts[r.tier] = counts.get(r.tier, 0) + 1
+        return counts
+
+    @property
+    def num_escalated(self) -> int:
+        """Queries the cascade escalated past their entry tier at least once."""
+        return sum(r.escalations > 0 for r in self.records)
+
+    @property
+    def routed_cost_usd(self) -> float | None:
+        """Summed per-record cascade dollar cost; ``None`` for unrouted runs.
+
+        Unlike :meth:`cost_usd` this includes the spend of *discarded*
+        cheap-tier attempts, priced per tier — the true bill of a cascade.
+        """
+        values = [r.cost_usd for r in self.records if r.cost_usd is not None]
         return sum(values) if values else None
 
     def cost_usd(self, model: str) -> float:

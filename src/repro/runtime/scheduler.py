@@ -338,13 +338,18 @@ class QueryScheduler:
 
     @staticmethod
     def _phase1(engine: "MultiQueryEngine", item: WorkItem) -> tuple:
-        """The parallel-safe slice of one query: build prompt, call the LLM."""
+        """The parallel-safe slice of one query: build prompt, call the LLM.
+
+        The node id rides along so a routed engine runs its full cascade
+        (entry tier + escalations) here on the worker thread; the merge
+        phase only finalizes the already-aggregated response.
+        """
         started = time.perf_counter()
         try:
             prompt, selected = engine.build_prompt(
                 item.node, include_neighbors=item.include_neighbors
             )
-            response, call_retries = engine.call_llm(prompt)
+            response, call_retries = engine.call_llm(prompt, node=item.node)
         except TransientLLMError as error:
             return ("error", error, time.perf_counter() - started)
         return ("ok", (response, selected, call_retries), time.perf_counter() - started)

@@ -48,8 +48,10 @@ from repro.llm.reliability import FlakyLLM, SimulatedClock, resilient
 from repro.llm.simulated import SimulatedLLM
 from repro.obs import Instrumentation, instrument_stack
 from repro.prompts.builder import PromptBuilder
+from repro.llm.profiles import make_model
 from repro.runtime.engine import MultiQueryEngine
 from repro.runtime.fallback import DegradationLadder
+from repro.runtime.router import CascadeRouter, EscalationPolicy, RouterTier
 from repro.runtime.scheduler import QueryScheduler
 from repro.selection.registry import make_selector
 
@@ -82,6 +84,7 @@ class Scenario:
     use_cache: bool = False
     checkpoint: bool = False
     observe: bool = True
+    route: bool = False
 
     def __post_init__(self):
         if self.strategy not in ("none", "guard", "boost"):
@@ -92,6 +95,10 @@ class Scenario:
             # Plain/guarded runs have no deferral path; without a ladder an
             # injected failure aborts the run and there is nothing to compare.
             raise ValueError("failure injection outside boosting needs a ladder")
+        if self.route and (self.failure_rate > 0 or self.use_cache):
+            # Flaky/cache wrappers sit on the engine's base llm, which routed
+            # queries bypass — combining them would compare dead wrappers.
+            raise ValueError("routing cannot combine with failure injection or cache")
 
 
 @dataclass
@@ -110,6 +117,7 @@ class Capture:
     cache_stats: dict | None
     flaky: tuple[int, int, int] | None
     scheduler_report: object | None
+    router_stats: dict | None
 
 
 def _normalize_trace(lines: list[dict]) -> list[dict]:
@@ -205,6 +213,25 @@ def run_scenario(
         )
         instrument_stack(llm, instr)
 
+    router = None
+    if scenario.route:
+        # Cheap tier below the shared strong tier (``base``), so the strong
+        # model's usage counters still witness every escalated call.  The
+        # synthetic ``D(t_i)`` map is a pure function of the node id:
+        # deterministic, spread across the entry threshold.
+        cheap = make_model("gpt-4o-mini", tag.vocabulary, seed=21)
+        router = CascadeRouter(
+            [RouterTier("gpt-4o-mini", cheap), RouterTier("gpt-3.5", llm)],
+            policy=EscalationPolicy(
+                escalate_on="both",
+                inadequacy_threshold=0.7,
+                confidence_threshold=0.6,
+            ),
+            inadequacy={node: (node % 10) / 10.0 for node in nodes},
+            class_names=list(tag.graph.class_names),
+            observer=instr,
+        )
+
     ledger = None
     ladder = DegradationLadder() if scenario.use_ladder else None
     engine = MultiQueryEngine(
@@ -219,6 +246,7 @@ def run_scenario(
         observer=instr,
         clock=clock,
         scheduler=scheduler,
+        router=router,
     )
     if scenario.strategy == "guard":
         floor = _zero_shot_floor(engine, nodes)
@@ -259,6 +287,7 @@ def run_scenario(
         if flaky is not None
         else None,
         scheduler_report=scheduler.report if scheduler is not None else None,
+        router_stats=router.stats() if router is not None else None,
     )
 
 
@@ -282,6 +311,18 @@ def assert_equivalent(
     assert batched.checkpoint_text == serial.checkpoint_text, "checkpoint bytes diverged"
     assert batched.cache_stats == serial.cache_stats, "cache statistics diverged"
     assert batched.flaky == serial.flaky, "failure-injection counters diverged"
+    if serial.router_stats is None or batched.router_stats is None:
+        assert batched.router_stats == serial.router_stats, "cascade router stats diverged"
+    else:
+        # The router's aggregate dollar counter sums in execution order, so
+        # thread dispatch may differ by float associativity (one ULP); the
+        # per-record costs above already compared exactly.
+        s, b = dict(serial.router_stats), dict(batched.router_stats)
+        s_cost, b_cost = s.pop("cost_usd"), b.pop("cost_usd")
+        assert b == s, "cascade router stats diverged"
+        assert math.isclose(b_cost, s_cost, rel_tol=1e-9, abs_tol=1e-12), (
+            "cascade router dollar totals diverged"
+        )
     if not compare_traces:
         return
     assert batched.clock_now == serial.clock_now, "simulated clocks diverged"

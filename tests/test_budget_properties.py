@@ -1,0 +1,140 @@
+"""Property-based checks of the budget algebra and the spend ledger.
+
+Hypothesis sweeps the τ↔budget conversion over arbitrary feasible cost
+shapes and drives :class:`BudgetLedger` with arbitrary charge sequences,
+pinning three invariants the rest of the stack leans on:
+
+* the budget↔τ algebra round-trips (Eq. 2 is invertible on its domain),
+* ledger spend is monotone in both currencies — a charge never un-spends,
+* ``remaining``/``remaining_usd`` never go negative, however far a charge
+  sequence overshoots the budget.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.budget import BudgetLedger, budget_for_tau, tau_for_budget
+
+SETTINGS = dict(max_examples=100, deadline=None)
+
+#: Feasible cost shapes: neighbor text strictly cheaper than the full query.
+cost_shapes = st.tuples(
+    st.integers(min_value=1, max_value=10_000),          # num_queries
+    st.floats(min_value=1.0, max_value=5_000.0),         # avg_tokens_full
+    st.floats(min_value=0.01, max_value=0.99),           # neighbor fraction of full
+)
+
+charges = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=100_000),                  # tokens
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),    # usd
+    ),
+    max_size=50,
+)
+
+
+def unpack(shape):
+    n, full, fraction = shape
+    return n, full, full * fraction
+
+
+class TestBudgetTauAlgebra:
+    @given(shape=cost_shapes, tau=st.floats(min_value=0.0, max_value=1.0))
+    @settings(**SETTINGS)
+    def test_tau_round_trips_through_budget(self, shape, tau):
+        n, full, neighbor = unpack(shape)
+        budget = budget_for_tau(n, full, neighbor, tau)
+        recovered = tau_for_budget(n, full, neighbor, budget)
+        assert math.isclose(recovered, tau, rel_tol=1e-6, abs_tol=1e-6)
+
+    @given(shape=cost_shapes, tau=st.floats(min_value=0.0, max_value=1.0))
+    @settings(**SETTINGS)
+    def test_budget_decreases_as_pruning_increases(self, shape, tau):
+        n, full, neighbor = unpack(shape)
+        assert budget_for_tau(n, full, neighbor, tau) <= budget_for_tau(
+            n, full, neighbor, 0.0
+        )
+        assert budget_for_tau(n, full, neighbor, 1.0) <= budget_for_tau(
+            n, full, neighbor, tau
+        )
+
+    @given(shape=cost_shapes, slack=st.floats(min_value=0.0, max_value=10.0))
+    @settings(**SETTINGS)
+    def test_generous_budgets_need_no_pruning(self, shape, slack):
+        n, full, neighbor = unpack(shape)
+        budget = n * full * (1.0 + slack)
+        assert tau_for_budget(n, full, neighbor, budget) == 0.0
+
+    @given(shape=cost_shapes, budget_fraction=st.floats(min_value=0.0, max_value=1.0))
+    @settings(**SETTINGS)
+    def test_recovered_tau_is_always_a_fraction(self, shape, budget_fraction):
+        n, full, neighbor = unpack(shape)
+        lo = budget_for_tau(n, full, neighbor, 1.0)
+        hi = budget_for_tau(n, full, neighbor, 0.0)
+        budget = lo + budget_fraction * (hi - lo)
+        if budget <= 0:
+            return  # check_positive guards zero budgets; nothing to invert
+        tau = tau_for_budget(n, full, neighbor, budget)
+        assert 0.0 <= tau <= 1.0
+
+
+class TestLedgerProperties:
+    @given(seq=charges)
+    @settings(**SETTINGS)
+    def test_spend_is_monotone_and_exact(self, seq):
+        ledger = BudgetLedger()
+        tokens_so_far, usd_so_far = 0, 0.0
+        for tokens, usd in seq:
+            prev_tokens, prev_usd = ledger.spent, ledger.spent_usd
+            ledger.charge(tokens, usd=usd)
+            assert ledger.spent >= prev_tokens
+            assert ledger.spent_usd >= prev_usd
+            tokens_so_far += tokens
+            usd_so_far += usd
+        assert ledger.spent == tokens_so_far
+        assert math.isclose(ledger.spent_usd, usd_so_far, rel_tol=1e-9, abs_tol=1e-9)
+        assert ledger.charges == len(seq)
+
+    @given(
+        seq=charges,
+        budget=st.integers(min_value=1, max_value=10_000),
+        cost_budget=st.floats(min_value=0.01, max_value=100.0),
+    )
+    @settings(**SETTINGS)
+    def test_remaining_never_negative(self, seq, budget, cost_budget):
+        ledger = BudgetLedger(budget=float(budget), cost_budget_usd=cost_budget)
+        assert ledger.remaining == budget
+        assert ledger.remaining_usd == cost_budget
+        for tokens, usd in seq:
+            ledger.charge(tokens, usd=usd)
+            assert ledger.remaining >= 0.0
+            assert ledger.remaining_usd >= 0.0
+
+    @given(seq=charges)
+    @settings(**SETTINGS)
+    def test_unlimited_ledger_always_has_room(self, seq):
+        ledger = BudgetLedger()
+        for tokens, usd in seq:
+            assert not ledger.would_exceed(tokens, usd=usd)
+            ledger.charge(tokens, usd=usd)
+        assert ledger.remaining == float("inf")
+        assert ledger.remaining_usd == float("inf")
+
+    @given(
+        seq=charges,
+        budget=st.integers(min_value=1, max_value=10_000),
+        cost_budget=st.floats(min_value=0.01, max_value=100.0),
+    )
+    @settings(**SETTINGS)
+    def test_would_exceed_predicts_the_charge(self, seq, budget, cost_budget):
+        ledger = BudgetLedger(budget=float(budget), cost_budget_usd=cost_budget)
+        for tokens, usd in seq:
+            predicted = ledger.would_exceed(tokens, usd=usd)
+            over_tokens = ledger.spent + tokens > budget
+            over_usd = ledger.spent_usd + usd > cost_budget
+            assert predicted == (over_tokens or over_usd)
+            ledger.charge(tokens, usd=usd)

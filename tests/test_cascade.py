@@ -1,0 +1,84 @@
+"""Cascade frontier experiment: the router's headline cost/accuracy claim.
+
+The acceptance bar for the cascade: on at least one dataset, a routed
+configuration lands within one accuracy point of the strong-model-only
+baseline while paying at least 30% fewer simulated dollars.  The reduced
+cora replica (80 queries, scale 0.15) runs the whole frontier in seconds;
+every stage — D(t_i) fitting, entry routing, confidence escalation,
+per-tier pricing — feeds the measured numbers, so this doubles as an
+end-to-end integration test of the routed stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.cascade import (
+    format_cascade,
+    inadequacy_map,
+    quantile_threshold,
+    run_cascade,
+)
+
+
+@pytest.fixture(scope="module")
+def frontier():
+    return run_cascade(
+        dataset="cora",
+        num_queries=80,
+        scale=0.15,
+        confidence_thresholds=(0.5, 0.6),
+    )
+
+
+class TestCascadeFrontier:
+    def test_routed_matches_strong_accuracy_at_30pct_lower_cost(self, frontier):
+        best = frontier.best_routed()
+        assert best.accuracy >= frontier.strong_only.accuracy - 0.01, (
+            f"best routed point {best.label} lost more than 1 accuracy point: "
+            f"{best.accuracy:.3f} vs strong-only {frontier.strong_only.accuracy:.3f}"
+        )
+        saving = 1.0 - best.cost_usd / frontier.strong_only.cost_usd
+        assert saving >= 0.30, (
+            f"best routed point {best.label} saved only {saving:.0%} vs the "
+            f"strong-only baseline (needs >= 30%)"
+        )
+
+    def test_baselines_bracket_the_cascade(self, frontier):
+        assert frontier.cheap_only.cost_usd < frontier.strong_only.cost_usd
+        for point in frontier.routed:
+            assert point.cost_usd <= frontier.strong_only.cost_usd * 1.05
+            assert point.cost_usd >= frontier.cheap_only.cost_usd * 0.95
+
+    def test_routed_points_account_every_query(self, frontier):
+        n = frontier.cheap_only.tier_counts["gpt-4o-mini"]
+        for point in frontier.routed:
+            assert sum(point.tier_counts.values()) == n
+            assert 0.0 <= point.escalated_fraction <= 1.0
+
+    def test_format_renders_all_points(self, frontier):
+        table = format_cascade(frontier)
+        assert "Cascade frontier" in table
+        assert "gpt-4o-mini only" in table
+        assert "gpt-3.5 only" in table
+        for point in frontier.routed:
+            assert point.label in table
+
+
+class TestHelpers:
+    def test_quantile_threshold_bounds(self):
+        scores = {i: i / 10 for i in range(11)}
+        assert quantile_threshold(scores, 0.0) == 0.0
+        assert quantile_threshold(scores, 1.0) == 1.0
+        with pytest.raises(ValueError):
+            quantile_threshold(scores, 1.5)
+
+    def test_inadequacy_map_keys_are_plain_ints(self):
+        class FakeScorer:
+            def score(self, nodes):
+                return np.asarray(nodes, dtype=np.float64) / 100.0
+
+        mapping = inadequacy_map(FakeScorer(), np.array([3, 7], dtype=np.int64))
+        assert mapping == {3: 0.03, 7: 0.07}
+        assert all(type(k) is int for k in mapping)

@@ -1,0 +1,65 @@
+"""Backward compatibility: v2-format checkpoints load and resume today.
+
+``tests/data/checkpoint_v2.json`` is a committed mid-run snapshot written
+by the format-2 era (pre ``latency_seconds``, pre cascade provenance) over
+the tiny fixture graph (generator seed 42, split seed 3, first 6 queries,
+1-hop, gpt-3.5 seed 5).  The current reader must load it, default the
+missing fields, and resume the run without re-issuing the 6 completed
+LLM calls.  Regenerate only on a deliberate fixture-graph change — any
+rewrite under the *current* format would defeat the test.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+from repro.io.runs import RunCheckpointer, load_checkpoint
+
+FIXTURE = Path(__file__).parent / "data" / "checkpoint_v2.json"
+
+
+def test_fixture_really_is_v2():
+    payload = json.loads(FIXTURE.read_text())
+    assert payload["format_version"] == 2
+    assert not payload["completed"]
+    assert all("latency_seconds" not in r for r in payload["records"])
+    assert all("tier" not in r for r in payload["records"])
+
+
+def test_v2_checkpoint_loads_with_defaulted_fields():
+    state = load_checkpoint(FIXTURE)
+    assert len(state.records) == 6
+    assert not state.completed
+    for record in state.records:
+        assert record.latency_seconds is None
+        assert record.tier is None
+        assert record.escalations == 0
+        assert record.cost_usd is None
+        assert record.outcome == "ok"
+
+
+def test_v2_checkpoint_resumes_under_current_writer(
+    make_tiny_engine, tiny_split, tmp_path
+):
+    # Work on a copy: resuming rewrites the file in the current format.
+    path = tmp_path / "ckpt.json"
+    shutil.copy(FIXTURE, path)
+
+    checkpointer = RunCheckpointer(path)
+    assert checkpointer.resumed_records == 6
+
+    engine = make_tiny_engine()
+    result = engine.run(tiny_split.queries[:12], checkpointer=checkpointer)
+    assert result.num_queries == 12
+
+    # The 6 checkpointed queries replayed: only 6 fresh LLM calls were paid.
+    assert engine.llm.usage.num_queries == 6
+
+    # The rewritten file is a completed current-format checkpoint carrying
+    # the union of replayed and fresh records.
+    rewritten = json.loads(path.read_text())
+    assert rewritten["format_version"] == 4
+    assert rewritten["completed"]
+    assert len(rewritten["records"]) == 12

@@ -25,6 +25,14 @@ class TestParser:
         assert args.dataset == "cora"
         assert args.strategy == "none"
         assert args.tau == 0.2
+        assert args.models is None
+        assert args.escalate_on == "both"
+        assert args.confidence_threshold == 0.6
+        assert args.inadequacy_quantile == 0.8
+
+    def test_classify_rejects_unknown_escalation_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["classify", "--escalate-on", "sometimes"])
 
 
 class TestCommands:
@@ -75,6 +83,42 @@ class TestCommands:
         )
         assert code == 0
         assert "w/ N_i" in capsys.readouterr().out
+
+    def test_classify_routed_cascade(self, capsys, tmp_path):
+        run_path = tmp_path / "routed.json"
+        code = main(
+            [
+                "classify",
+                "--dataset", "cora",
+                "--scale", "0.15",
+                "--queries", "24",
+                "--models", "gpt-4o-mini,gpt-3.5",
+                "--escalate-on", "confidence",
+                "--confidence-threshold", "0.6",
+                "--save-run", str(run_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "model=gpt-4o-mini,gpt-3.5" in out
+        assert "cascade" in out
+        assert "Cascade tiers" in out
+        assert "gpt-4o-mini" in out and "gpt-3.5" in out
+        assert run_path.exists()
+
+    def test_classify_routed_rejects_failure_injection(self, capsys):
+        code = main(
+            [
+                "classify",
+                "--dataset", "cora",
+                "--scale", "0.15",
+                "--queries", "8",
+                "--models", "gpt-4o-mini,gpt-3.5",
+                "--failure-rate", "0.1",
+            ]
+        )
+        assert code == 2
+        assert "--models" in capsys.readouterr().err
 
     def test_classify_traced(self, capsys, tmp_path):
         trace_path = tmp_path / "trace.jsonl"

@@ -1,0 +1,58 @@
+"""Golden-file regression test for the Table X link-prediction experiment.
+
+``tests/data/golden_table10.txt`` is the rendered Table X output of one
+reduced-scale run (cora only, 40 queries, scale 0.15) — every stage of the
+link-prediction pipeline (query sampling, link inadequacy scoring, the five
+strategies, table formatting) feeds the bytes, so any unintended numeric or
+formatting drift anywhere in that stack shows up as a diff against this
+file.
+
+Regenerate after an *intended* change with::
+
+    PYTHONPATH=src python -m tests.test_golden_table10
+
+and review the diff like any other golden-file update.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.table10 import format_table10, run_table10
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_table10.txt"
+
+#: Reduced-scale knobs so the regression runs in seconds, not minutes.
+GOLDEN_KWARGS = dict(datasets=("cora",), num_queries=40, tau=0.2, scale=0.15)
+
+
+def _render() -> str:
+    return format_table10(run_table10(**GOLDEN_KWARGS)) + "\n"
+
+
+class TestGoldenTable10:
+    def test_output_matches_golden_file(self):
+        fresh = _render()
+        golden = GOLDEN_PATH.read_text()
+        assert fresh == golden, (
+            "Table X output diverged from tests/data/golden_table10.txt; if "
+            "the change is intended, regenerate with "
+            "`PYTHONPATH=src python -m tests.test_golden_table10` and review "
+            "the diff"
+        )
+
+    def test_golden_file_has_expected_shape(self):
+        lines = GOLDEN_PATH.read_text().splitlines()
+        assert lines[0].startswith("Table X")
+        assert any(line.lstrip("|").strip().startswith("cora") for line in lines)
+
+
+def regenerate() -> Path:
+    """Rewrite the golden file from the current implementation."""
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(_render())
+    return GOLDEN_PATH
+
+
+if __name__ == "__main__":
+    print(f"rewrote {regenerate()}")

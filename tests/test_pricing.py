@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.llm.pricing import PRICES_PER_1K_TOKENS, cost_usd
+from repro.llm.pricing import PRICES_PER_1K_TOKENS, UnknownModelError, cost_usd, known_models
 
 
 class TestCost:
@@ -31,6 +31,23 @@ class TestCost:
     def test_unknown_model(self):
         with pytest.raises(KeyError):
             cost_usd("claude-9", 10)
+
+    def test_unknown_model_error_names_the_known_models(self):
+        with pytest.raises(UnknownModelError) as excinfo:
+            cost_usd("claude-9", 10)
+        message = str(excinfo.value)
+        assert "claude-9" in message
+        for name in known_models():
+            assert name in message
+        assert excinfo.value.model == "claude-9"
+
+    def test_unknown_model_error_is_a_key_error(self):
+        # Pre-existing callers catch KeyError; the richer error must still land.
+        with pytest.raises(KeyError):
+            cost_usd("claude-9", 10)
+
+    def test_known_models_is_sorted_and_complete(self):
+        assert known_models() == tuple(sorted(PRICES_PER_1K_TOKENS))
 
     def test_negative_tokens(self):
         with pytest.raises(ValueError):

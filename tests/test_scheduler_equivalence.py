@@ -141,6 +141,53 @@ class TestBoostedRunEquivalence:
         assert_equivalent(serial, batched)
 
 
+class TestRoutedRunEquivalence:
+    @given(
+        n=st.integers(min_value=1, max_value=20),
+        strategy=st.sampled_from(["none", "boost"]),
+        batch=batch_sizes,
+        workers=worker_counts,
+        observe=st.booleans(),
+    )
+    @settings(**SETTINGS)
+    def test_cascade_decisions_match(
+        self, tiny_tag, tiny_split, tiny_builder, n, strategy, batch, workers, observe
+    ):
+        # Routing is a pure function of (node, prompt): the cascade's tier
+        # choices, escalations, per-tier spend and aggregate records must be
+        # bit-identical however dispatch batches the queries.
+        scenario = Scenario(strategy=strategy, num_queries=n, route=True, observe=observe)
+        serial = run_scenario(scenario, tiny_tag, tiny_split, tiny_builder)
+        batched = run_scenario(
+            scenario, tiny_tag, tiny_split, tiny_builder,
+            scheduler=scheduler_from(batch, workers),
+        )
+        assert_equivalent(serial, batched)
+        assert serial.router_stats is not None
+        assert sum(serial.router_stats["resolved_by_tier"].values()) >= n
+
+    @given(
+        n=st.integers(min_value=2, max_value=14),
+        batch=batch_sizes,
+        workers=worker_counts,
+    )
+    @settings(**SETTINGS)
+    def test_routed_thread_dispatch_merges_canonically(
+        self, tiny_tag, tiny_split, tiny_builder, n, batch, workers
+    ):
+        # Thread dispatch runs each query's full cascade on a worker; records
+        # and router stats still merge identically (traces legitimately differ).
+        scenario = Scenario(strategy="none", num_queries=n, route=True)
+        serial = run_scenario(scenario, tiny_tag, tiny_split, tiny_builder)
+        threaded = run_scenario(
+            scenario, tiny_tag, tiny_split, tiny_builder,
+            scheduler=QueryScheduler(
+                max_batch_size=batch, max_concurrency=workers, mode="threads"
+            ),
+        )
+        assert_equivalent(serial, threaded, compare_traces=False)
+
+
 class TestCheckpointEquivalence:
     @given(
         n=st.integers(min_value=2, max_value=14),
