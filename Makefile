@@ -1,6 +1,10 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test test-parallel test-equivalence coverage bench bench-tables report examples trace-smoke clean
+# bash (not the default sh) so tee-piped targets can use pipefail — without
+# it `pytest | tee` reports tee's exit status and swallows test failures.
+SHELL := /bin/bash
+
+.PHONY: install test test-parallel test-equivalence coverage bench bench-check bench-tables report examples trace-smoke clean
 
 # Line-coverage floor enforced by `make coverage` (and CI).
 COVERAGE_FLOOR := 80
@@ -30,19 +34,26 @@ coverage:
 	pytest tests/ --cov=repro --cov-report=term-missing \
 		--cov-fail-under=$(COVERAGE_FLOOR)
 
-# The batched-vs-serial equivalence suite (scheduler determinism contract).
+# The batched-vs-serial equivalence suite (scheduler + serving-layer
+# determinism contracts).
 test-equivalence:
 	pytest tests/test_scheduler.py tests/test_scheduler_equivalence.py \
-		tests/test_golden_trace.py tests/test_concurrency_stress.py
+		tests/test_golden_trace.py tests/test_concurrency_stress.py \
+		tests/test_serve_equivalence.py tests/test_serve_properties.py
 
 test-output:
-	pytest tests/ 2>&1 | tee test_output.txt
+	set -o pipefail; pytest tests/ 2>&1 | tee test_output.txt
 
 bench:
 	pytest benchmarks/ --benchmark-only -s
 
 bench-output:
-	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+	set -o pipefail; pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+# Re-measure the scheduler benchmark and fail if throughput or overlap
+# regressed >20% against the committed BENCH_scheduler.json baseline.
+bench-check:
+	PYTHONPATH=src python benchmarks/check_regression.py
 
 report:
 	python -m repro.cli report --output reproduction_report.md

@@ -1,0 +1,115 @@
+"""Benchmark regression gate for the batched scheduler.
+
+Re-measures the scheduler-throughput workload (same configuration as
+``benchmarks/test_scheduler_throughput.py``) and compares it against the
+committed ``BENCH_scheduler.json`` baseline **without overwriting it**:
+
+- throughput (``speedup``) must not regress more than ``--tolerance``
+  (default 20%) below the baseline;
+- overlap (``overlapped_seconds`` makespan) must not regress more than
+  ``--tolerance`` above the baseline;
+- the batched run must not issue more LLM calls than the baseline.
+
+Exits 1 with one line per violation, 0 with a summary otherwise.  Run as
+``make bench-check`` (CI's ``bench-regression`` job) or directly::
+
+    PYTHONPATH=src python benchmarks/check_regression.py [--tolerance 0.2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+DEFAULT_BASELINE = HERE.parent / "BENCH_scheduler.json"
+
+
+def measure() -> dict:
+    """Run the benchmark workload once and return its headline numbers."""
+    sys.path.insert(0, str(HERE))
+    import test_scheduler_throughput as bench
+
+    from repro.experiments.common import load_setup
+    from repro.runtime.scheduler import QueryScheduler
+
+    setup = load_setup("cora", num_queries=bench.NUM_QUERIES)
+    scheduler = QueryScheduler(
+        max_batch_size=bench.MAX_BATCH_SIZE, max_concurrency=bench.MAX_CONCURRENCY
+    )
+    engine, inner, _clock = bench._make_engine(setup, scheduler)
+    engine.run(setup.queries)
+    report = scheduler.report
+    return {
+        "speedup": report.speedup,
+        "overlapped_seconds": report.overlapped_seconds,
+        "serial_seconds": report.serial_seconds,
+        "llm_calls_batched": inner.usage.num_queries,
+    }
+
+
+def evaluate(baseline: dict, current: dict, tolerance: float) -> list[str]:
+    """Return one message per regression beyond ``tolerance`` (empty = pass)."""
+    problems = []
+    speedup_floor = baseline["speedup"] * (1.0 - tolerance)
+    if current["speedup"] < speedup_floor:
+        problems.append(
+            f"speedup regressed: {current['speedup']:.2f}x < "
+            f"{speedup_floor:.2f}x ({baseline['speedup']:.2f}x baseline "
+            f"- {tolerance:.0%})"
+        )
+    overlap_ceiling = baseline["overlapped_seconds"] * (1.0 + tolerance)
+    if current["overlapped_seconds"] > overlap_ceiling:
+        problems.append(
+            f"overlap regressed: {current['overlapped_seconds']:.1f}s makespan > "
+            f"{overlap_ceiling:.1f}s ({baseline['overlapped_seconds']:.1f}s "
+            f"baseline + {tolerance:.0%})"
+        )
+    if current["llm_calls_batched"] > baseline["llm_calls_batched"]:
+        problems.append(
+            f"extra LLM calls: {current['llm_calls_batched']} > "
+            f"{baseline['llm_calls_batched']} baseline"
+        )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help=f"committed benchmark artifact (default {DEFAULT_BASELINE.name})",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed fractional regression before failing (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+    if not args.baseline.exists():
+        print(f"FAIL: no baseline at {args.baseline}", file=sys.stderr)
+        return 1
+    baseline = json.loads(args.baseline.read_text())
+    current = measure()
+    problems = evaluate(baseline, current, args.tolerance)
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: speedup {current['speedup']:.2f}x "
+        f"(baseline {baseline['speedup']:.2f}x), "
+        f"overlap {current['overlapped_seconds']:.1f}s "
+        f"(baseline {baseline['overlapped_seconds']:.1f}s), "
+        f"{current['llm_calls_batched']} LLM calls "
+        f"— within {args.tolerance:.0%} of {args.baseline.name}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,6 +5,7 @@ Subcommands::
     repro datasets                 list the dataset replicas (Table II stats)
     repro info DATASET             generate a replica and print measured stats
     repro classify ...             run a query set under a strategy
+    repro serve ...                replay a multi-tenant request stream
     repro trace FILE               validate + summarize a JSONL query trace
     repro experiment NAME          reproduce one paper table/figure
     repro report [--quick]        reproduce everything into a markdown report
@@ -37,6 +38,7 @@ EXPERIMENT_NAMES = (
     "distillation",
     "resilience",
     "cascade",
+    "overload",
 )
 
 
@@ -298,6 +300,192 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_tenant_specs(text: str):
+    """Parse ``name:weight[:token_budget[:usd_budget]]`` comma-separated specs.
+
+    ``-`` (or an empty field) leaves that budget unlimited, e.g.
+    ``alpha:2:20000,beta:1:-:0.05,gamma:1``.
+    """
+    from repro.runtime.serve import TenantSpec
+
+    def _number(field: str) -> float | None:
+        field = field.strip()
+        if field in ("", "-"):
+            return None
+        return float(field)
+
+    specs = []
+    for chunk in text.split(","):
+        parts = chunk.strip().split(":")
+        if not parts[0]:
+            raise ValueError(f"bad tenant spec {chunk!r}")
+        specs.append(
+            TenantSpec(
+                name=parts[0],
+                weight=int(parts[1]) if len(parts) > 1 and parts[1] else 1,
+                token_budget=_number(parts[2]) if len(parts) > 2 else None,
+                usd_budget=_number(parts[3]) if len(parts) > 3 else None,
+            )
+        )
+    return specs
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.experiments.common import load_setup
+    from repro.experiments.report import render_table
+    from repro.experiments.table4 import fit_scorer
+    from repro.llm.reliability import LatencyLLM, SimulatedClock
+    from repro.runtime.fallback import DegradationLadder
+    from repro.runtime.scheduler import QueryScheduler
+    from repro.runtime.serve import (
+        AdmissionPolicy,
+        ServingLayer,
+        load_requests,
+        save_requests,
+        synthetic_stream,
+    )
+
+    if (args.requests is None) == (args.synthetic is None):
+        print("serve needs exactly one of --requests FILE or --synthetic N", file=sys.stderr)
+        return 2
+    setup = load_setup(args.dataset, num_queries=args.queries, scale=args.scale)
+    try:
+        tenants = _parse_tenant_specs(args.tenants)
+    except ValueError as error:
+        print(f"bad --tenants: {error}", file=sys.stderr)
+        return 2
+
+    if args.requests is not None:
+        stream = load_requests(args.requests)
+    else:
+        stream = synthetic_stream(
+            tenants,
+            setup.queries,
+            args.synthetic,
+            arrival_window=args.arrival_window,
+            seed=args.seed,
+        )
+    if args.save_requests:
+        print(f"request stream : {save_requests(stream, args.save_requests)}")
+
+    instr = None
+    clock = SimulatedClock()
+    if args.trace or args.metrics:
+        from uuid import uuid4
+
+        from repro.obs import Instrumentation
+
+        instr = Instrumentation(
+            run_id=uuid4().hex[:12],
+            clock=clock,
+            labels={
+                "dataset": args.dataset,
+                "method": args.method,
+                "strategy": "serve",
+                "model": args.model,
+            },
+        )
+    llm = setup.make_llm(args.model)
+    if args.seconds_per_call > 0:
+        llm = LatencyLLM(llm, clock=clock, seconds_per_call=args.seconds_per_call)
+    scheduler = None
+    if args.batch_size is not None or args.workers > 1:
+        scheduler = QueryScheduler(
+            max_batch_size=args.batch_size,
+            max_concurrency=args.workers,
+            mode=args.dispatch,
+        )
+    surrogate = fit_scorer(setup, model=args.model) if args.surrogate else None
+    engine = setup.make_engine(
+        args.method,
+        model=args.model,
+        llm=llm,
+        clock=clock,
+        scheduler=scheduler,
+        ladder=DegradationLadder(surrogate=surrogate),
+        observer=instr,
+    )
+    layer = ServingLayer(
+        engine,
+        tenants,
+        policy=AdmissionPolicy(
+            degrade_watermark=args.degrade_watermark,
+            shed_watermark=args.shed_watermark,
+            wave_quota=args.wave_quota,
+        ),
+        global_budget=args.global_budget,
+        global_usd_budget=args.global_usd_budget,
+        price_model=args.model,
+    )
+    report = layer.replay(stream)
+
+    print(
+        f"dataset={args.dataset} method={args.method} model={args.model} "
+        f"tenants={len(tenants)}"
+    )
+    statuses = report.status_counts
+    print(f"  requests  : {report.num_requests} over {report.cycles} cycles")
+    print(
+        f"  outcomes  : {statuses['served']} served / {statuses['degraded']} degraded / "
+        f"{statuses['rejected']} rejected (goodput {report.goodput})"
+    )
+    mix = ", ".join(f"{tier}={n}" for tier, n in sorted(report.tier_counts.items()))
+    print(f"  tiers     : {mix}")
+    print(
+        f"  latency   : p50 {report.latency_percentile(50):.2f}s / "
+        f"p99 {report.latency_percentile(99):.2f}s "
+        f"(makespan {report.makespan_seconds:.1f}s simulated)"
+    )
+    rows = []
+    summaries = report.tenant_summaries()
+    for spec in tenants:
+        summary = summaries.get(spec.name)
+        ledger = layer.book.ledger(spec.name)
+        if summary is None:
+            rows.append([spec.name, 0, 0, 0, 0, "0", "$0.0000", "-", "-"])
+            continue
+        rows.append(
+            [
+                spec.name,
+                summary.submitted,
+                summary.served,
+                summary.degraded,
+                summary.rejected,
+                f"{ledger.spent:,}",
+                f"${ledger.spent_usd:.4f}",
+                f"{summary.percentile(50):.2f}",
+                f"{summary.percentile(99):.2f}",
+            ]
+        )
+    print(
+        render_table(
+            ["Tenant", "Requests", "Served", "Degraded", "Rejected",
+             "Tokens", "USD", "p50 (s)", "p99 (s)"],
+            rows,
+            title="Per-tenant serving summary",
+        )
+    )
+    if instr is not None:
+        from pathlib import Path
+
+        from repro.obs import render_trace_summary
+
+        if args.trace:
+            path = instr.write_trace(args.trace)
+            print(f"  trace     : {path} ({len(instr.tracer.spans)} spans)")
+        if args.metrics:
+            path = Path(args.metrics)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            if path.suffix == ".json":
+                path.write_text(instr.registry.to_json(indent=2) + "\n")
+            else:
+                path.write_text(instr.registry.to_prometheus())
+            print(f"  metrics   : {path}")
+        print()
+        print(render_trace_summary(instr.trace_lines()))
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs import TraceSchemaError, read_trace, render_trace_summary, validate_trace_lines
 
@@ -447,6 +635,113 @@ def build_parser() -> argparse.ArgumentParser:
         "text, or JSON when the path ends in .json)",
     )
     sub.set_defaults(func=_cmd_classify)
+
+    sub = subparsers.add_parser(
+        "serve",
+        help="replay a multi-tenant request stream through the serving layer",
+    )
+    sub.add_argument("--dataset", default="cora")
+    sub.add_argument("--method", default="1-hop", choices=["vanilla", "1-hop", "2-hop", "sns"])
+    sub.add_argument("--model", default="gpt-3.5", choices=["gpt-3.5", "gpt-4o-mini"])
+    sub.add_argument("--queries", type=int, default=1000)
+    sub.add_argument("--scale", type=float, default=None)
+    sub.add_argument(
+        "--requests",
+        default=None,
+        help="JSONL request stream to replay (one "
+        '{"tenant", "node", "arrival"} object per line)',
+    )
+    sub.add_argument(
+        "--synthetic",
+        type=int,
+        default=None,
+        help="generate this many synthetic requests instead of --requests",
+    )
+    sub.add_argument(
+        "--arrival-window",
+        type=float,
+        default=0.0,
+        help="synthetic arrivals spread uniformly over this many simulated "
+        "seconds (0: all arrive at t=0)",
+    )
+    sub.add_argument(
+        "--save-requests",
+        default=None,
+        help="write the (synthetic) stream as JSONL for later replay",
+    )
+    sub.add_argument(
+        "--tenants",
+        default="alpha:2,beta:1,gamma:1",
+        help="comma-separated name:weight[:token_budget[:usd_budget]] specs "
+        "('-' leaves a budget unlimited)",
+    )
+    sub.add_argument(
+        "--global-budget",
+        type=float,
+        default=None,
+        help="global token ceiling shared by every tenant",
+    )
+    sub.add_argument(
+        "--global-usd-budget",
+        type=float,
+        default=None,
+        help="global dollar ceiling shared by every tenant",
+    )
+    sub.add_argument(
+        "--degrade-watermark",
+        type=int,
+        default=None,
+        help="total queued requests at which new arrivals degrade to the "
+        "zero-shot prompt",
+    )
+    sub.add_argument(
+        "--shed-watermark",
+        type=int,
+        default=None,
+        help="total queued requests at which new arrivals are rejected",
+    )
+    sub.add_argument(
+        "--wave-quota", type=int, default=8,
+        help="max requests per dispatch cycle (one scheduler wave)",
+    )
+    sub.add_argument(
+        "--batch-size", type=int, default=None,
+        help="dispatch each cycle through the batched scheduler in batches "
+        "of this size",
+    )
+    sub.add_argument(
+        "--workers", type=int, default=1,
+        help="scheduler concurrency (virtual workers under simulated dispatch)",
+    )
+    sub.add_argument(
+        "--dispatch", default="simulated", choices=["simulated", "threads"],
+        help="scheduler dispatch mode; 'simulated' keeps serve replays "
+        "bit-reproducible",
+    )
+    sub.add_argument(
+        "--seconds-per-call",
+        type=float,
+        default=0.5,
+        help="simulated LLM service latency per call (0 disables latency "
+        "modelling; latencies and p99s then read 0)",
+    )
+    sub.add_argument(
+        "--surrogate",
+        action="store_true",
+        help="fit the inadequacy surrogate so budget-starved requests get "
+        "MLP answers instead of abstentions",
+    )
+    sub.add_argument("--seed", type=int, default=0, help="synthetic stream seed")
+    sub.add_argument(
+        "--trace", default=None,
+        help="instrument the run and write its span trace (JSONL) here",
+    )
+    sub.add_argument(
+        "--metrics", default=None,
+        help="instrument the run and write its metrics here (Prometheus "
+        "text, or JSON when the path ends in .json)",
+    )
+    sub.set_defaults(func=_cmd_serve)
 
     sub = subparsers.add_parser("trace", help="validate + summarize a JSONL query trace")
     sub.add_argument("path", help="trace file written by classify --trace")

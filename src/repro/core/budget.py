@@ -131,3 +131,74 @@ class BudgetLedger:
         if self.cost_budget_usd is None:
             return float("inf")
         return max(0.0, self.cost_budget_usd - self.spent_usd)
+
+
+class LedgerBook:
+    """Per-tenant :class:`BudgetLedger`\\ s behind one optional global ceiling.
+
+    The serving layer (:mod:`repro.runtime.serve`) accounts every tenant's
+    spend separately *and* against a shared global ledger: a request is
+    affordable only if **both** its tenant's ledger and the global ledger can
+    cover it, and a charge lands on both.  Each ledger keeps the
+    token-plus-dollar dual-currency semantics of :class:`BudgetLedger`.
+
+    Tenants are fixed at construction — an unknown tenant name raises
+    ``KeyError`` naming the known tenants, so a typo in a request stream
+    cannot silently open an unlimited account.
+    """
+
+    def __init__(
+        self,
+        tenants: "dict[str, BudgetLedger]",
+        global_ledger: BudgetLedger | None = None,
+    ):
+        if not tenants:
+            raise ValueError("a ledger book needs at least one tenant")
+        self.tenants = dict(tenants)
+        self.global_ledger = global_ledger
+
+    def ledger(self, tenant: str) -> BudgetLedger:
+        try:
+            return self.tenants[tenant]
+        except KeyError:
+            raise KeyError(
+                f"unknown tenant {tenant!r}; known tenants: "
+                + ", ".join(sorted(self.tenants))
+            ) from None
+
+    def would_exceed(self, tenant: str, tokens: int, usd: float = 0.0) -> bool:
+        """Whether charging ``tenant`` would overshoot its or the global budget."""
+        if self.ledger(tenant).would_exceed(tokens, usd):
+            return True
+        return self.global_ledger is not None and self.global_ledger.would_exceed(
+            tokens, usd
+        )
+
+    def exhausted(self, tenant: str) -> bool:
+        """Whether ``tenant`` (or the global ceiling) has nothing left to spend."""
+        ledger = self.ledger(tenant)
+        if ledger.remaining <= 0 or ledger.remaining_usd <= 0:
+            return True
+        return self.global_ledger is not None and (
+            self.global_ledger.remaining <= 0 or self.global_ledger.remaining_usd <= 0
+        )
+
+    def charge(self, tenant: str, tokens: int, usd: float = 0.0) -> None:
+        """Record spending on the tenant's ledger and the global ledger."""
+        self.ledger(tenant).charge(tokens, usd=usd)
+        if self.global_ledger is not None:
+            self.global_ledger.charge(tokens, usd=usd)
+
+    def snapshot(self) -> dict:
+        """Replay-comparable state: every ledger's spend, charge count, dollars."""
+        state = {
+            name: (ledger.spent, ledger.charges, ledger.spent_usd)
+            for name, ledger in sorted(self.tenants.items())
+        }
+        if self.global_ledger is not None:
+            state["__global__"] = (
+                self.global_ledger.spent,
+                self.global_ledger.charges,
+                self.global_ledger.spent_usd,
+            )
+        return state

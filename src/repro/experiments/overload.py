@@ -1,0 +1,230 @@
+"""Overload sweep — goodput and latency of the serving layer under pressure.
+
+An extension beyond the paper's evaluation: Sec. V optimizes how much
+classification a fixed token budget buys for *one* offline job; a deployment
+serving many tenants must also decide what happens when the offered traffic
+exceeds what the budgets (and queues) can absorb.  This experiment drives
+the multi-tenant serving layer (:mod:`repro.runtime.serve`) with synthetic
+request streams at swept multiples of the *admissible load* — the request
+count the configured token budgets can answer at full fidelity — and
+measures how service degrades.
+
+Expected shapes: below 1× every request is served at full fidelity; past 1×
+goodput **plateaus at the admissible capacity instead of collapsing**,
+because the admission ladder converts the excess into cheaper rungs (pruned
+prompts, surrogate answers) and explicit rejections rather than letting any
+tenant overdraw its ledger; p99 latency and the degraded/rejected mix grow
+with load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.common import ExperimentSetup, load_setup
+from repro.experiments.report import render_table
+from repro.experiments.table4 import fit_scorer
+from repro.llm.reliability import LatencyLLM, SimulatedClock
+from repro.runtime.fallback import DegradationLadder
+from repro.runtime.scheduler import QueryScheduler
+from repro.runtime.serve import (
+    AdmissionPolicy,
+    ServeReport,
+    ServingLayer,
+    TenantSpec,
+    synthetic_stream,
+)
+
+LOAD_MULTIPLIERS = (0.5, 1.0, 2.0, 4.0)
+
+#: Per-request simulated service latency (the LatencyLLM profile).
+SECONDS_PER_CALL = 0.5
+
+STREAM_SEED = 23
+
+
+@dataclass(frozen=True)
+class OverloadCell:
+    """One operating point of the offered-load sweep."""
+
+    multiplier: float
+    offered: int
+    goodput: int
+    served_full: int
+    degraded: int
+    rejected: int
+    tier_counts: dict[str, int]
+    p50_seconds: float
+    p99_seconds: float
+    total_tokens: int
+    budget_utilization: float
+
+
+@dataclass
+class OverloadResult:
+    dataset: str
+    admissible: int
+    cells: list[OverloadCell]
+
+    def cell(self, multiplier: float) -> OverloadCell:
+        for cell in self.cells:
+            if cell.multiplier == multiplier:
+                return cell
+        raise KeyError(f"no cell at multiplier {multiplier}")
+
+
+def default_tenants(token_budget_per_tenant: float) -> list[TenantSpec]:
+    """Three tenants with unequal weights and a deliberately tight queue."""
+    return [
+        TenantSpec("alpha", weight=2, max_queue_depth=48,
+                   token_budget=2.0 * token_budget_per_tenant),
+        TenantSpec("beta", weight=1, max_queue_depth=32,
+                   token_budget=token_budget_per_tenant),
+        TenantSpec("gamma", weight=1, max_queue_depth=32,
+                   token_budget=token_budget_per_tenant),
+    ]
+
+
+def estimate_full_cost(
+    setup: ExperimentSetup, sample: int = 32, completion_reserve: int = 32
+) -> float:
+    """Average full-prompt token cost over a query sample (tokenizer only)."""
+    engine = setup.make_engine("1-hop")
+    nodes = [int(v) for v in setup.queries[:sample]]
+    costs = []
+    for node in nodes:
+        prompt, _ = engine.build_prompt(node, include_neighbors=True)
+        costs.append(engine.llm.tokenizer.count(prompt) + completion_reserve)
+    return float(np.mean(costs))
+
+
+def run_overload(
+    dataset: str = "cora",
+    num_queries: int = 200,
+    multipliers: tuple[float, ...] = LOAD_MULTIPLIERS,
+    admissible: int = 48,
+    use_surrogate: bool = True,
+    batch_size: int | None = 8,
+    workers: int = 4,
+    scale: float | None = None,
+) -> OverloadResult:
+    """Sweep offered load against a budget sized for ``admissible`` requests."""
+    setup = load_setup(dataset, num_queries=num_queries, scale=scale)
+    avg_full = estimate_full_cost(setup)
+    # Budgets sized so the three tenants together afford exactly
+    # ``admissible`` full-fidelity requests (alpha holds half the capacity).
+    per_tenant = admissible * avg_full / 4.0
+    surrogate = fit_scorer(setup) if use_surrogate else None
+    cells = []
+    for multiplier in multipliers:
+        tenants = default_tenants(per_tenant)
+        offered = max(1, int(round(multiplier * admissible)))
+        # Constant arrival rate: the window grows with the offered count, so
+        # each multiplier stresses capacity, not burstiness.
+        stream = synthetic_stream(
+            tenants,
+            setup.queries,
+            offered,
+            arrival_window=offered * SECONDS_PER_CALL,
+            seed=STREAM_SEED,
+        )
+        clock = SimulatedClock()
+        llm = LatencyLLM(
+            setup.make_llm("gpt-3.5"), clock=clock, seconds_per_call=SECONDS_PER_CALL
+        )
+        scheduler = (
+            QueryScheduler(max_batch_size=batch_size, max_concurrency=workers)
+            if batch_size is not None
+            else None
+        )
+        engine = setup.make_engine(
+            "1-hop",
+            llm=llm,
+            clock=clock,
+            scheduler=scheduler,
+            ladder=DegradationLadder(surrogate=surrogate),
+        )
+        layer = ServingLayer(
+            engine,
+            tenants,
+            policy=AdmissionPolicy(
+                degrade_watermark=24, shed_watermark=64, wave_quota=8
+            ),
+            price_model="gpt-3.5",
+        )
+        report = layer.replay(stream)
+        cells.append(_cell(multiplier, report, tenants))
+    return OverloadResult(dataset=dataset, admissible=admissible, cells=cells)
+
+
+def _cell(
+    multiplier: float, report: ServeReport, tenants: list[TenantSpec]
+) -> OverloadCell:
+    statuses = report.status_counts
+    tiers = report.tier_counts
+    spent = sum(report.book.ledger(t.name).spent for t in tenants)
+    budget = sum(t.token_budget for t in tenants)
+    return OverloadCell(
+        multiplier=multiplier,
+        offered=report.num_requests,
+        goodput=report.goodput,
+        served_full=statuses["served"],
+        degraded=statuses["degraded"],
+        rejected=statuses["rejected"],
+        tier_counts=tiers,
+        p50_seconds=report.latency_percentile(50),
+        p99_seconds=report.latency_percentile(99),
+        total_tokens=spent,
+        budget_utilization=spent / budget if budget else 0.0,
+    )
+
+
+def format_overload(result: OverloadResult) -> str:
+    rows = []
+    for cell in result.cells:
+        mix = ", ".join(
+            f"{tier}={count}" for tier, count in sorted(cell.tier_counts.items())
+        )
+        rows.append(
+            (
+                f"{cell.multiplier:g}x",
+                cell.offered,
+                cell.goodput,
+                cell.served_full,
+                cell.degraded,
+                cell.rejected,
+                f"{cell.p50_seconds:.1f}",
+                f"{cell.p99_seconds:.1f}",
+                f"{cell.budget_utilization:.0%}",
+                mix,
+            )
+        )
+    return render_table(
+        [
+            "Load",
+            "Offered",
+            "Goodput",
+            "Full",
+            "Degraded",
+            "Rejected",
+            "p50 (s)",
+            "p99 (s)",
+            "Budget",
+            "Outcome mix",
+        ],
+        rows,
+        title=(
+            f"Overload sweep on {result.dataset} "
+            f"(admissible capacity {result.admissible} requests)"
+        ),
+    )
+
+
+def main() -> None:
+    print(format_overload(run_overload()))
+
+
+if __name__ == "__main__":
+    main()

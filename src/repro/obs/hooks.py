@@ -79,6 +79,30 @@ class RunObserver:
         (discarded cheap answers included).
         """
 
+    # ---------------------------------------------------------------- serving
+
+    def on_serve_admission(self, tenant: str, decision: str, queue_depth: int) -> None:
+        """The serving layer ruled on one arrival.
+
+        ``decision`` is one of :data:`~repro.runtime.serve.ADMISSION_DECISIONS`;
+        ``queue_depth`` is the total queued requests across tenants after the
+        ruling.  Fires in arrival order, identically with or without a
+        batched scheduler, so serve traces stay replay-exact.
+        """
+
+    def on_serve_cycle(self, cycle_index: int, queue_depth: int, dispatched: int) -> None:
+        """A dispatch cycle drained ``dispatched`` requests from the queues."""
+
+    def on_serve_complete(
+        self, tenant: str, status: str, tier: str, latency_seconds: float
+    ) -> None:
+        """One request reached a terminal :class:`~repro.runtime.serve.ServeOutcome`.
+
+        ``status`` is served/degraded/rejected; ``tier`` the explicit outcome
+        rung (a record outcome tier or a ``rejected_*`` decision);
+        ``latency_seconds`` the arrival-to-completion simulated time.
+        """
+
     # ------------------------------------------------------------- scheduling
 
     def on_wave_start(self, wave_index: int, num_queries: int, num_batches: int) -> None:

@@ -161,6 +161,54 @@ class Instrumentation(RunObserver):
             **labels,
         ).inc(cost_usd)
 
+    # ---------------------------------------------------------------- serving
+
+    def on_serve_admission(self, tenant: str, decision: str, queue_depth: int) -> None:
+        self.registry.counter(
+            "repro_serve_admissions_total",
+            "Serving-layer admission rulings, by tenant and decision",
+            **{**self.labels, "tenant": tenant, "decision": decision},
+        ).inc()
+        self.registry.gauge(
+            "repro_serve_queue_depth",
+            "Total queued requests across tenants after the latest ruling",
+            **self.labels,
+        ).set(queue_depth)
+        self.tracer.event(
+            "admission", tenant=tenant, decision=decision, queue_depth=queue_depth
+        )
+
+    def on_serve_cycle(self, cycle_index: int, queue_depth: int, dispatched: int) -> None:
+        self.registry.counter(
+            "repro_serve_cycles_total", "Serving-layer dispatch cycles", **self.labels
+        ).inc()
+        self.registry.histogram(
+            "repro_serve_cycle_requests",
+            "Requests drained per dispatch cycle",
+            buckets=ROUND_BUCKETS,
+            **self.labels,
+        ).observe(dispatched)
+        self.registry.gauge(
+            "repro_serve_queue_depth",
+            "Total queued requests across tenants after the latest ruling",
+            **self.labels,
+        ).set(queue_depth)
+
+    def on_serve_complete(
+        self, tenant: str, status: str, tier: str, latency_seconds: float
+    ) -> None:
+        self.registry.counter(
+            "repro_serve_requests_total",
+            "Completed serve requests, by tenant, status and outcome tier",
+            **{**self.labels, "tenant": tenant, "status": status, "tier": tier},
+        ).inc()
+        self.registry.histogram(
+            "repro_serve_latency_seconds",
+            "Arrival-to-completion simulated seconds per request",
+            buckets=LATENCY_BUCKETS,
+            **{**self.labels, "tenant": tenant},
+        ).observe(latency_seconds)
+
     # ------------------------------------------------------------- scheduling
 
     def on_wave_start(self, wave_index: int, num_queries: int, num_batches: int) -> None:

@@ -1,8 +1,21 @@
-"""Multi-query execution runtime: engine, results, fallback, baselines, router."""
+"""Multi-query execution runtime: engine, results, fallback, baselines, router, serving."""
 
 from repro.runtime.results import OUTCOME_TIERS, QueryRecord, RunResult
 from repro.runtime.fallback import DegradationLadder, FeatureSurrogate, SurrogatePredictor
 from repro.runtime.engine import MultiQueryEngine
+from repro.runtime.serve import (
+    ADMISSION_DECISIONS,
+    SERVE_STATUSES,
+    AdmissionPolicy,
+    ServeOutcome,
+    ServeReport,
+    ServeRequest,
+    ServingLayer,
+    TenantSpec,
+    load_requests,
+    save_requests,
+    synthetic_stream,
+)
 from repro.runtime.router import (
     ESCALATION_MODES,
     CascadeRouter,
@@ -36,4 +49,15 @@ __all__ = [
     "random_prune_set",
     "random_round_schedule",
     "run_unscheduled_boosting",
+    "ADMISSION_DECISIONS",
+    "SERVE_STATUSES",
+    "AdmissionPolicy",
+    "ServeOutcome",
+    "ServeReport",
+    "ServeRequest",
+    "ServingLayer",
+    "TenantSpec",
+    "load_requests",
+    "save_requests",
+    "synthetic_stream",
 ]

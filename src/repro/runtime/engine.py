@@ -479,6 +479,54 @@ class MultiQueryEngine:
                 self.observer.on_query_end(record)
             return record
 
+    def surrogate_query(self, node: int, round_index: int | None = None) -> QueryRecord:
+        """Answer one query from the degradation ladder without touching the LLM.
+
+        The serving layer's budget gate uses this as the zero-token rung of
+        its overload ladder: when a tenant cannot afford even the pruned
+        prompt, the surrogate MLP (then abstention) still produces a record.
+        Emits the same ``query`` span / ``on_query_end`` lifecycle as an
+        executed query, in call order, so serve traces stay replay-exact.
+        """
+        if self.ladder is None:
+            raise ValueError("surrogate_query requires an engine degradation ladder")
+        node = int(node)
+        started_at = self.clock.now if self.clock is not None else None
+        with self.span(
+            "query", node=node, round_index=round_index, zero_shot=True, surrogate=True
+        ) as qspan:
+            if self.ladder.surrogate is not None:
+                with self.span("degrade_surrogate", node=node):
+                    label, confidence = self.ladder.surrogate_prediction(node)
+                outcome = "degraded_surrogate"
+            else:
+                with self.span("abstain", node=node):
+                    label, confidence = None, None
+                outcome = "abstained"
+            record = QueryRecord(
+                node=node,
+                true_label=int(self.graph.labels[node]),
+                predicted_label=label,
+                prompt_tokens=0,
+                completion_tokens=0,
+                num_neighbors=0,
+                num_neighbor_labels=0,
+                num_pseudo_labels=0,
+                pruned=True,
+                round_index=round_index,
+                confidence=confidence,
+                outcome=outcome,
+            )
+            if started_at is not None:
+                record = replace(
+                    record, latency_seconds=float(self.clock.now - started_at)
+                )
+            if qspan is not None:
+                qspan.set(outcome=record.outcome, prompt_tokens=0, completion_tokens=0)
+            if self.observer is not None:
+                self.observer.on_query_end(record)
+            return record
+
     def observe_replay(self, record: QueryRecord) -> None:
         """Report one checkpoint-cached record: a ``replayed`` span, zero
         paid tokens (its spend happened in the pre-crash run)."""

@@ -44,7 +44,7 @@ from repro.graph.generators import GeneratedTag
 from repro.graph.splits import LabeledSplit
 from repro.io.runs import RunCheckpointer
 from repro.llm.caching import CachingLLM
-from repro.llm.reliability import FlakyLLM, SimulatedClock, resilient
+from repro.llm.reliability import FlakyLLM, LatencyLLM, SimulatedClock, resilient
 from repro.llm.simulated import SimulatedLLM
 from repro.obs import Instrumentation, instrument_stack
 from repro.prompts.builder import PromptBuilder
@@ -53,6 +53,13 @@ from repro.runtime.engine import MultiQueryEngine
 from repro.runtime.fallback import DegradationLadder
 from repro.runtime.router import CascadeRouter, EscalationPolicy, RouterTier
 from repro.runtime.scheduler import QueryScheduler
+from repro.runtime.serve import (
+    AdmissionPolicy,
+    ServeReport,
+    ServingLayer,
+    TenantSpec,
+    synthetic_stream,
+)
 from repro.selection.registry import make_selector
 
 #: Metric families emitted only by the scheduler; stripped before comparing
@@ -325,6 +332,187 @@ def assert_equivalent(
         )
     if not compare_traces:
         return
+    assert batched.clock_now == serial.clock_now, "simulated clocks diverged"
+    if serial.trace is not None and batched.trace is not None:
+        serial_spans = [line for line in serial.trace if line.get("kind") != "metrics"]
+        batched_spans = [line for line in batched.trace if line.get("kind") != "metrics"]
+        assert batched_spans == serial_spans, "trace spans diverged"
+    if serial.metrics is not None and batched.metrics is not None:
+        assert strip_scheduler_metrics(batched.metrics) == strip_scheduler_metrics(
+            serial.metrics
+        ), "metrics snapshots diverged (beyond repro_scheduler_*)"
+
+
+# --------------------------------------------------------------------- serving
+
+#: Tenant roster the serve scenarios draw from, widest weight spread first so
+#: even two-tenant scenarios exercise weighted (not uniform) round-robin.
+SERVE_TENANTS = (("alpha", 2), ("beta", 1), ("gamma", 3), ("delta", 1))
+
+
+@dataclass(frozen=True)
+class ServeScenario:
+    """One serving-layer configuration, as drawable plain data.
+
+    ``token_budget``/``usd_budget`` apply to every tenant alike (``None``
+    disables that currency); the admission knobs mirror
+    :class:`~repro.runtime.serve.AdmissionPolicy`.  ``seconds_per_call > 0``
+    wraps the model in a :class:`LatencyLLM` so outcomes carry non-trivial
+    simulated latencies — set it to 0 for thread-mode comparisons, whose
+    interleaved calls would otherwise stamp different clock readings.
+    """
+
+    num_requests: int = 16
+    num_tenants: int = 3
+    arrival_window: float = 0.0
+    token_budget: float | None = None
+    usd_budget: float | None = None
+    global_budget: float | None = None
+    degrade_watermark: int | None = None
+    shed_watermark: int | None = None
+    max_queue_depth: int = 64
+    wave_quota: int = 4
+    use_ladder: bool = True
+    seconds_per_call: float = 0.25
+    observe: bool = True
+    seed: int = 0
+
+    def __post_init__(self):
+        if not 1 <= self.num_tenants <= len(SERVE_TENANTS):
+            raise ValueError(f"num_tenants must be in [1, {len(SERVE_TENANTS)}]")
+        if self.num_requests < 1:
+            raise ValueError("num_requests must be >= 1")
+
+    def make_tenants(self) -> list[TenantSpec]:
+        return [
+            TenantSpec(
+                name,
+                weight=weight,
+                max_queue_depth=self.max_queue_depth,
+                token_budget=self.token_budget,
+                usd_budget=self.usd_budget,
+            )
+            for name, weight in SERVE_TENANTS[: self.num_tenants]
+        ]
+
+
+@dataclass
+class ServeCapture:
+    """Every comparable artifact of one executed serve scenario.
+
+    ``report`` and ``tenants`` are live objects for invariant checks (ledger
+    inspection, fairness timelines); :func:`assert_serve_equivalent` compares
+    only the serialized fields.
+    """
+
+    outcomes: list[dict]
+    cycles: int
+    makespan_seconds: float
+    book: dict
+    usage: tuple[int, int, int]
+    clock_now: float
+    trace: list[dict] | None
+    metrics: dict | None
+    report: ServeReport
+    tenants: list[TenantSpec]
+
+
+def run_serve_scenario(
+    scenario: ServeScenario,
+    tag: GeneratedTag,
+    split: LabeledSplit,
+    builder: PromptBuilder,
+    scheduler: QueryScheduler | None = None,
+    run_id: str = "serve-equivalence",
+) -> ServeCapture:
+    """Build the scenario's serving stack on the tiny graph and replay it.
+
+    Same seeding discipline as :func:`run_scenario`: two invocations differ
+    only in the ``scheduler`` argument.
+    """
+    clock = SimulatedClock()
+    base = SimulatedLLM(tag.vocabulary, name="gpt-3.5", seed=5)
+    llm = base
+    if scenario.seconds_per_call > 0:
+        llm = LatencyLLM(base, clock=clock, seconds_per_call=scenario.seconds_per_call)
+    instr = None
+    if scenario.observe:
+        instr = Instrumentation(
+            run_id=run_id,
+            clock=clock,
+            labels={"dataset": "tiny", "strategy": "serve", "model": "gpt-3.5"},
+        )
+        instrument_stack(llm, instr)
+    engine = MultiQueryEngine(
+        graph=tag.graph,
+        llm=llm,
+        selector=make_selector("1-hop"),
+        builder=builder,
+        labeled=split.labeled,
+        max_neighbors=4,
+        seed=9,
+        ladder=DegradationLadder() if scenario.use_ladder else None,
+        observer=instr,
+        clock=clock,
+        scheduler=scheduler,
+    )
+    tenants = scenario.make_tenants()
+    layer = ServingLayer(
+        engine,
+        tenants,
+        policy=AdmissionPolicy(
+            degrade_watermark=scenario.degrade_watermark,
+            shed_watermark=scenario.shed_watermark,
+            wave_quota=scenario.wave_quota,
+        ),
+        global_budget=scenario.global_budget,
+        price_model="gpt-3.5",
+        observer=instr,
+    )
+    stream = synthetic_stream(
+        tenants,
+        split.queries,
+        scenario.num_requests,
+        arrival_window=scenario.arrival_window,
+        seed=scenario.seed,
+    )
+    report = layer.replay(stream)
+    return ServeCapture(
+        outcomes=[asdict(o) for o in report.outcomes],
+        cycles=report.cycles,
+        makespan_seconds=report.makespan_seconds,
+        book=report.book.snapshot(),
+        usage=(
+            base.usage.num_queries,
+            base.usage.prompt_tokens,
+            base.usage.completion_tokens,
+        ),
+        clock_now=clock.now,
+        trace=_normalize_trace(instr.trace_lines()) if instr is not None else None,
+        metrics=instr.registry.snapshot() if instr is not None else None,
+        report=report,
+        tenants=tenants,
+    )
+
+
+def assert_serve_equivalent(
+    serial: ServeCapture, batched: ServeCapture, compare_traces: bool = True
+) -> None:
+    """Assert two serve captures describe the same run, artifact by artifact.
+
+    As with :func:`assert_equivalent`, ``compare_traces=False`` relaxes the
+    check to outcomes/ledgers/usage for thread-mode dispatch.
+    """
+    serial_keys = [(o["request"]["tenant"], o["request"]["node"]) for o in serial.outcomes]
+    batched_keys = [(o["request"]["tenant"], o["request"]["node"]) for o in batched.outcomes]
+    assert batched_keys == serial_keys, "outcome order diverged"
+    assert batched.outcomes == serial.outcomes, "serve outcomes diverged"
+    assert batched.cycles == serial.cycles, "dispatch cycle counts diverged"
+    assert batched.book == serial.book, "ledger book diverged"
+    assert batched.usage == serial.usage, "base-model usage diverged"
+    if not compare_traces:
+        return
+    assert batched.makespan_seconds == serial.makespan_seconds, "makespans diverged"
     assert batched.clock_now == serial.clock_now, "simulated clocks diverged"
     if serial.trace is not None and batched.trace is not None:
         serial_spans = [line for line in serial.trace if line.get("kind") != "metrics"]

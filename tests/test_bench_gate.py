@@ -1,0 +1,80 @@
+"""Tests for the benchmark regression gate's comparison logic.
+
+The gate's measurement side is exercised by CI's ``bench-regression`` job
+(it runs the real 48-query workload); here we pin the pure comparison
+semantics: what counts as a >tolerance regression, and that the committed
+baseline artifact actually passes its own gate shape.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "check_regression", REPO / "benchmarks" / "check_regression.py"
+)
+check_regression = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_regression)
+
+BASELINE = {
+    "speedup": 4.0,
+    "overlapped_seconds": 12.0,
+    "llm_calls_batched": 48,
+}
+
+
+def current(**overrides) -> dict:
+    state = dict(BASELINE)
+    state.update(overrides)
+    return state
+
+
+class TestEvaluate:
+    def test_identical_run_passes(self):
+        assert check_regression.evaluate(BASELINE, current(), 0.2) == []
+
+    def test_within_tolerance_passes(self):
+        ok = current(speedup=3.3, overlapped_seconds=14.0)
+        assert check_regression.evaluate(BASELINE, ok, 0.2) == []
+
+    def test_speedup_regression_fails(self):
+        problems = check_regression.evaluate(BASELINE, current(speedup=3.1), 0.2)
+        assert len(problems) == 1 and "speedup regressed" in problems[0]
+
+    def test_overlap_regression_fails(self):
+        problems = check_regression.evaluate(
+            BASELINE, current(overlapped_seconds=14.5), 0.2
+        )
+        assert len(problems) == 1 and "overlap regressed" in problems[0]
+
+    def test_extra_llm_calls_fail_at_any_tolerance(self):
+        problems = check_regression.evaluate(
+            BASELINE, current(llm_calls_batched=49), 0.5
+        )
+        assert len(problems) == 1 and "extra LLM calls" in problems[0]
+
+    def test_multiple_regressions_all_reported(self):
+        bad = current(speedup=1.0, overlapped_seconds=48.0, llm_calls_batched=96)
+        assert len(check_regression.evaluate(BASELINE, bad, 0.2)) == 3
+
+    def test_tighter_tolerance_catches_smaller_slips(self):
+        slipped = current(speedup=3.7)
+        assert check_regression.evaluate(BASELINE, slipped, 0.2) == []
+        assert check_regression.evaluate(BASELINE, slipped, 0.05) != []
+
+
+class TestGateWiring:
+    def test_missing_baseline_fails_without_measuring(self, tmp_path, capsys):
+        code = check_regression.main(["--baseline", str(tmp_path / "nope.json")])
+        assert code == 1
+        assert "no baseline" in capsys.readouterr().err
+
+    def test_committed_baseline_has_gate_fields(self):
+        baseline = json.loads((REPO / "BENCH_scheduler.json").read_text())
+        for field in ("speedup", "overlapped_seconds", "llm_calls_batched"):
+            assert field in baseline
+        assert check_regression.evaluate(baseline, baseline, 0.2) == []

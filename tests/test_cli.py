@@ -176,3 +176,100 @@ class TestCommands:
         bad.write_text('{"kind": "span"}\n')
         assert main(["trace", str(bad)]) == 1
         assert "INVALID" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "--synthetic", "10"])
+        assert args.tenants == "alpha:2,beta:1,gamma:1"
+        assert args.wave_quota == 8
+        assert args.dispatch == "simulated"
+        assert args.seconds_per_call == 0.5
+
+    def test_requires_exactly_one_stream_source(self, capsys, tmp_path):
+        assert main(["serve", "--dataset", "cora", "--scale", "0.15"]) == 2
+        stream = tmp_path / "s.jsonl"
+        stream.write_text('{"tenant": "alpha", "node": 1}\n')
+        assert (
+            main(
+                [
+                    "serve",
+                    "--dataset", "cora",
+                    "--scale", "0.15",
+                    "--requests", str(stream),
+                    "--synthetic", "5",
+                ]
+            )
+            == 2
+        )
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_rejects_bad_tenant_spec(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--dataset", "cora",
+                "--scale", "0.15",
+                "--queries", "10",
+                "--synthetic", "5",
+                "--tenants", ":2",
+            ]
+        )
+        assert code == 2
+        assert "bad --tenants" in capsys.readouterr().err
+
+    def test_serve_synthetic_quick(self, capsys, tmp_path):
+        stream_path = tmp_path / "stream.jsonl"
+        trace_path = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "serve",
+                "--dataset", "cora",
+                "--scale", "0.15",
+                "--queries", "30",
+                "--synthetic", "12",
+                "--tenants", "alpha:2:9000,beta:1:-:0.05",
+                "--batch-size", "4",
+                "--workers", "2",
+                "--seconds-per-call", "0.25",
+                "--save-requests", str(stream_path),
+                "--trace", str(trace_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Per-tenant serving summary" in out
+        assert "goodput" in out
+        assert stream_path.exists()
+        # The written trace is schema-valid and carries admission events.
+        from repro.obs.schema import validate_trace_file
+
+        stats = validate_trace_file(trace_path)
+        assert stats["num_spans"] > 0
+        from repro.obs.tracing import read_trace
+
+        events = [
+            x for x in read_trace(trace_path)
+            if x.get("kind") == "span" and x["name"] == "admission"
+        ]
+        assert len(events) == 12
+
+    def test_serve_replays_saved_stream(self, capsys, tmp_path):
+        from repro.runtime.serve import ServeRequest, save_requests
+
+        stream_path = tmp_path / "stream.jsonl"
+        save_requests(
+            [ServeRequest("alpha", 3), ServeRequest("beta", 5, arrival=1.0)],
+            stream_path,
+        )
+        code = main(
+            [
+                "serve",
+                "--dataset", "cora",
+                "--scale", "0.15",
+                "--queries", "10",
+                "--requests", str(stream_path),
+            ]
+        )
+        assert code == 0
+        assert "requests  : 2" in capsys.readouterr().out

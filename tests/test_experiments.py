@@ -135,3 +135,31 @@ class TestTable10:
         assert abs(row.prune - row.base) < 8.0
         assert row.vanilla > 55.0
         assert "Table X" in table10.format_table10(result)
+
+
+class TestOverload:
+    def test_goodput_plateaus_not_collapses(self):
+        from repro.experiments import overload
+
+        result = overload.run_overload(
+            "cora",
+            num_queries=60,
+            multipliers=(1.0, 2.0),
+            admissible=12,
+            use_surrogate=False,
+            batch_size=4,
+            workers=2,
+            scale=0.15,
+        )
+        base, over = result.cell(1.0), result.cell(2.0)
+        assert over.offered == 2 * base.offered
+        # Past saturation goodput holds instead of collapsing...
+        assert over.goodput >= base.goodput
+        # ...because the excess lands on explicit cheaper rungs.
+        assert over.degraded + over.rejected > 0
+        assert over.p99_seconds >= base.p99_seconds
+        # No cell overdraws the configured budgets.
+        assert base.budget_utilization <= 1.0
+        assert over.budget_utilization <= 1.0
+        out = overload.format_overload(result)
+        assert "Overload sweep" in out and "Goodput" in out

@@ -1,0 +1,99 @@
+"""Serving-layer serial-vs-scheduled equivalence.
+
+The serving layer inherits the scheduler's contract: with simulated
+dispatch, a batched wave must be **bit-identical** to serial execution —
+same outcomes, same ledger book, same trace spans, same metrics (minus the
+``repro_scheduler_*`` families).  Thread dispatch is outcomes/ledger-equal
+only.  Replays of the same stream on a fresh identical stack must also be
+bit-identical (the replay-exactness acceptance criterion).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.scheduler import QueryScheduler
+
+from tests.equivalence import (
+    ServeScenario,
+    assert_serve_equivalent,
+    run_serve_scenario,
+)
+
+SCENARIOS = {
+    "plain": ServeScenario(),
+    "single-tenant": ServeScenario(num_tenants=1, num_requests=10),
+    "budgeted": ServeScenario(token_budget=1200.0, num_requests=20),
+    "usd-budgeted": ServeScenario(usd_budget=0.003, num_requests=14),
+    "global-ceiling": ServeScenario(global_budget=2500.0, num_requests=20),
+    "watermarked": ServeScenario(
+        degrade_watermark=4, shed_watermark=8, num_requests=24
+    ),
+    "arrival-window": ServeScenario(arrival_window=6.0, num_requests=20),
+    "no-ladder": ServeScenario(use_ladder=False, token_budget=900.0),
+    "tight-waves": ServeScenario(wave_quota=1, num_requests=12),
+    "everything": ServeScenario(
+        num_tenants=4,
+        num_requests=28,
+        arrival_window=4.0,
+        token_budget=900.0,
+        global_budget=2600.0,
+        degrade_watermark=5,
+        shed_watermark=12,
+        seed=3,
+    ),
+}
+
+
+def batched_scheduler() -> QueryScheduler:
+    return QueryScheduler(max_batch_size=4, max_concurrency=3)
+
+
+class TestSimulatedDispatchBitIdentical:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_scheduled_serve_matches_serial(
+        self, name, tiny_tag, tiny_split, tiny_builder
+    ):
+        scenario = SCENARIOS[name]
+        serial = run_serve_scenario(scenario, tiny_tag, tiny_split, tiny_builder)
+        batched = run_serve_scenario(
+            scenario, tiny_tag, tiny_split, tiny_builder, scheduler=batched_scheduler()
+        )
+        assert_serve_equivalent(serial, batched)
+
+    def test_replay_exactness_same_stream_same_bits(
+        self, tiny_tag, tiny_split, tiny_builder
+    ):
+        scenario = SCENARIOS["everything"]
+        first = run_serve_scenario(
+            scenario, tiny_tag, tiny_split, tiny_builder, scheduler=batched_scheduler()
+        )
+        second = run_serve_scenario(
+            scenario, tiny_tag, tiny_split, tiny_builder, scheduler=batched_scheduler()
+        )
+        assert_serve_equivalent(first, second)
+        # Bit-for-bit including the scheduler's own metric families.
+        assert second.metrics == first.metrics
+        assert second.trace == first.trace
+
+
+class TestThreadDispatchOutcomeEqual:
+    def test_thread_serve_matches_serial_outcomes(
+        self, tiny_tag, tiny_split, tiny_builder
+    ):
+        # Thread-mode calls interleave on the shared simulated clock, so the
+        # scenario drops per-call latency to keep outcome stamps comparable.
+        scenario = ServeScenario(
+            num_requests=20, token_budget=1500.0, seconds_per_call=0.0
+        )
+        serial = run_serve_scenario(scenario, tiny_tag, tiny_split, tiny_builder)
+        threaded = run_serve_scenario(
+            scenario,
+            tiny_tag,
+            tiny_split,
+            tiny_builder,
+            scheduler=QueryScheduler(
+                max_batch_size=4, max_concurrency=3, mode="threads"
+            ),
+        )
+        assert_serve_equivalent(serial, threaded, compare_traces=False)
