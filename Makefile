@@ -4,7 +4,7 @@
 # it `pytest | tee` reports tee's exit status and swallows test failures.
 SHELL := /bin/bash
 
-.PHONY: install test test-parallel test-equivalence coverage bench bench-check bench-tables report examples trace-smoke clean
+.PHONY: install test test-parallel test-equivalence coverage bench bench-check bench-tables report examples trace-smoke chaos-smoke clean
 
 # Line-coverage floor enforced by `make coverage` (and CI).
 COVERAGE_FLOOR := 80
@@ -65,6 +65,15 @@ trace-smoke:
 		--queries 8 --strategy boost --cache --trace .smoke/trace.jsonl \
 		--metrics .smoke/metrics.prom
 	PYTHONPATH=src python -m repro.obs.schema .smoke/trace.jsonl
+
+# Chaos smoke: run the combined-incident and checkpoint-crash presets
+# end-to-end (fault injection, invariant audit, crash/resume replay
+# exactness); the CLI exits non-zero if any chaos check fails.
+chaos-smoke:
+	PYTHONPATH=src python -m repro.cli chaos --dataset cora --scale 0.15 \
+		--queries 60 --requests 18 --preset everything
+	PYTHONPATH=src python -m repro.cli chaos --dataset cora --scale 0.15 \
+		--queries 60 --requests 18 --preset checkpoint-crash
 
 examples:
 	python examples/quickstart.py

@@ -6,6 +6,7 @@ Subcommands::
     repro info DATASET             generate a replica and print measured stats
     repro classify ...             run a query set under a strategy
     repro serve ...                replay a multi-tenant request stream
+    repro chaos ...                run a fault plan against the stack and audit it
     repro trace FILE               validate + summarize a JSONL query trace
     repro experiment NAME          reproduce one paper table/figure
     repro report [--quick]        reproduce everything into a markdown report
@@ -39,6 +40,7 @@ EXPERIMENT_NAMES = (
     "resilience",
     "cascade",
     "overload",
+    "chaos",
 )
 
 
@@ -339,6 +341,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.runtime.scheduler import QueryScheduler
     from repro.runtime.serve import (
         AdmissionPolicy,
+        JournalError,
+        ServeJournal,
         ServingLayer,
         load_requests,
         save_requests,
@@ -417,12 +421,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         global_usd_budget=args.global_usd_budget,
         price_model=args.model,
     )
-    report = layer.replay(stream)
+    journal = None
+    replayed_cycles = 0
+    if args.journal:
+        try:
+            journal = ServeJournal(args.journal)
+        except JournalError as error:
+            print(f"bad --journal: {error}", file=sys.stderr)
+            return 2
+        replayed_cycles = len(journal.cycles)
+    try:
+        report = layer.replay(stream, journal=journal)
+    except JournalError as error:
+        print(f"journal resume failed: {error}", file=sys.stderr)
+        return 1
 
     print(
         f"dataset={args.dataset} method={args.method} model={args.model} "
         f"tenants={len(tenants)}"
     )
+    if journal is not None:
+        print(
+            f"  journal   : {journal.path} ({len(journal.cycles)} cycles "
+            f"committed, {replayed_cycles} replayed without re-issuing calls)"
+        )
     statuses = report.status_counts
     print(f"  requests  : {report.num_requests} over {report.cycles} cycles")
     print(
@@ -486,6 +508,133 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run one fault plan against the full serving stack and audit it."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.experiments.chaos import (
+        build_stack,
+        default_tenants,
+        make_stream,
+        outcome_signature,
+        run_checkpoint_demo,
+        SECONDS_PER_CALL,
+    )
+    from repro.experiments.common import load_setup
+    from repro.runtime.chaos import (
+        ChaosInvariantViolation,
+        CheckpointCrash,
+        FaultPlan,
+        preset,
+    )
+    from repro.runtime.serve import ServeJournal
+
+    if args.plan is not None:
+        try:
+            plan = FaultPlan.from_json(Path(args.plan).read_text())
+        except (OSError, ValueError) as error:
+            print(f"bad --plan: {error}", file=sys.stderr)
+            return 2
+    else:
+        plan = preset(args.preset, seed=args.seed, tenant=args.victim)
+    if args.show_plan:
+        print(plan.to_json())
+        return 0
+
+    setup = load_setup(args.dataset, num_queries=args.queries, scale=args.scale)
+    tenants = default_tenants()
+    if args.victim not in {t.name for t in tenants}:
+        print(f"--victim must be one of {[t.name for t in tenants]}", file=sys.stderr)
+        return 2
+    base_stream = make_stream(
+        tenants, setup, args.requests, arrival_window=args.requests * SECONDS_PER_CALL
+    )
+    # Flood traffic requests nodes disjoint from the base stream: a flood
+    # duplicating a base node's prompt would warm the response cache, and
+    # that warmth is run-scoped state a crash/resume legitimately loses.
+    flood_pool = [int(v) for v in setup.queries[args.requests : 2 * args.requests]]
+    failures = 0
+
+    with tempfile.TemporaryDirectory() as tmp:
+        journal_path = Path(args.journal) if args.journal else Path(tmp) / "serve.journal"
+
+        stack = build_stack(setup, plan, tenants=tenants, workers=args.workers)
+        stream = stack.chaos.apply_floods(base_stream, nodes=flood_pool)
+        report = stack.layer.replay(stream, journal=ServeJournal(journal_path))
+
+        flooded = len(stream) - len(base_stream)
+        statuses = report.status_counts
+        print(f"fault plan : {plan.name} (seed {plan.seed}, {len(plan.faults)} faults)")
+        print(
+            f"requests   : {len(base_stream)} base + {flooded} flood "
+            f"over {report.cycles} cycles"
+        )
+        print(
+            f"outcomes   : {statuses['served']} served / {statuses['degraded']} "
+            f"degraded / {statuses['rejected']} rejected "
+            f"(goodput {report.goodput}/{report.num_requests})"
+        )
+        mix = ", ".join(f"{tier}={n}" for tier, n in sorted(report.tier_counts.items()))
+        print(f"tiers      : {mix}")
+        counts = stack.chaos.fault_counts()
+        injected = ", ".join(f"{k}={v}" for k, v in sorted(counts.items())) or "none"
+        print(f"injected   : {injected}")
+        print(
+            f"latency    : p50 {report.latency_percentile(50):.2f}s / "
+            f"p99 {report.latency_percentile(99):.2f}s "
+            f"(makespan {report.makespan_seconds:.1f}s simulated)"
+        )
+
+        try:
+            stack.checker.verify(
+                report=report, book=stack.layer.book, num_submitted=len(stream)
+            )
+            print("invariants : OK (admissions, tiers, chronology, ledgers)")
+        except ChaosInvariantViolation as error:
+            failures += 1
+            print("invariants : FAILED", file=sys.stderr)
+            for violation in error.violations:
+                print(f"  - {violation}", file=sys.stderr)
+
+        if not args.skip_resume:
+            # Crash/resume proof: drop the journal's second half (what a
+            # mid-run crash leaves) and finish on a fresh stack.
+            half = ServeJournal(journal_path)
+            keep = len(half.cycles) // 2
+            half.truncate(keep)
+            resumed = build_stack(setup, plan, tenants=tenants, workers=args.workers)
+            resumed_stream = resumed.chaos.apply_floods(base_stream, nodes=flood_pool)
+            resumed_report = resumed.layer.replay(resumed_stream, journal=half)
+            exact = outcome_signature(resumed_report) == outcome_signature(report)
+            verdict = "replay-exact" if exact else "DIVERGED"
+            print(
+                f"resume     : crash after cycle {keep}/{report.cycles} -> "
+                f"{verdict}, {resumed.base_llm.usage.num_queries} LLM calls "
+                f"re-issued (journaled work: 0)"
+            )
+            if not exact:
+                failures += 1
+
+        if plan.of_type(CheckpointCrash):
+            demo = run_checkpoint_demo(setup, plan, Path(tmp) / "checkpoint.json")
+            status = "identical to baseline" if demo.identical else "DIVERGED"
+            print(
+                f"checkpoint : crashed mid-flush with {demo.records_at_crash} "
+                f"records written, recovered {demo.recovered_records} from .bak "
+                f"({demo.recovery_reason}), {demo.duplicate_calls} duplicate "
+                f"calls, final run {status}"
+            )
+            if not (demo.crashed and demo.identical and demo.duplicate_calls == 0):
+                failures += 1
+
+    if failures:
+        print(f"\nCHAOS RUN FAILED: {failures} check(s) did not hold", file=sys.stderr)
+        return 1
+    print("\nall chaos checks held")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs import TraceSchemaError, read_trace, render_trace_summary, validate_trace_lines
 
@@ -529,6 +678,7 @@ def _cmd_prices(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.runtime.chaos import PRESET_NAMES
     from repro.runtime.router import ESCALATION_MODES
 
     parser = argparse.ArgumentParser(prog="repro", description=__doc__.splitlines()[0])
@@ -733,6 +883,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub.add_argument("--seed", type=int, default=0, help="synthetic stream seed")
     sub.add_argument(
+        "--journal",
+        default=None,
+        help="write-ahead journal file: every settled cycle is durably "
+        "committed there, and re-running against an existing journal "
+        "resumes replay-exact without re-issuing journaled LLM calls",
+    )
+    sub.add_argument(
         "--trace", default=None,
         help="instrument the run and write its span trace (JSONL) here",
     )
@@ -742,6 +899,61 @@ def build_parser() -> argparse.ArgumentParser:
         "text, or JSON when the path ends in .json)",
     )
     sub.set_defaults(func=_cmd_serve)
+
+    sub = subparsers.add_parser(
+        "chaos",
+        help="inject a deterministic fault plan into the serving stack and "
+        "audit the invariants",
+    )
+    sub.add_argument("--dataset", default="cora")
+    sub.add_argument("--queries", type=int, default=120)
+    sub.add_argument("--scale", type=float, default=None)
+    sub.add_argument(
+        "--preset",
+        default="everything",
+        choices=list(PRESET_NAMES),
+        help="named fault plan to run (ignored when --plan is given)",
+    )
+    sub.add_argument(
+        "--plan",
+        default=None,
+        help="JSON fault-plan file (see FaultPlan.to_json / docs/chaos.md)",
+    )
+    sub.add_argument(
+        "--show-plan",
+        action="store_true",
+        help="print the resolved plan as JSON and exit",
+    )
+    sub.add_argument("--seed", type=int, default=0, help="fault plan seed")
+    sub.add_argument(
+        "--requests",
+        type=int,
+        default=36,
+        help="base synthetic requests (tenant floods add on top)",
+    )
+    sub.add_argument(
+        "--victim",
+        default="alpha",
+        help="tenant targeted by tenant-scoped presets",
+    )
+    sub.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="threads-mode scheduler concurrency (default: auto — threads "
+        "only when the plan carries worker faults)",
+    )
+    sub.add_argument(
+        "--journal",
+        default=None,
+        help="keep the serve journal at this path instead of a temp file",
+    )
+    sub.add_argument(
+        "--skip-resume",
+        action="store_true",
+        help="skip the crash/resume replay-exactness proof",
+    )
+    sub.set_defaults(func=_cmd_chaos)
 
     sub = subparsers.add_parser("trace", help="validate + summarize a JSONL query trace")
     sub.add_argument("path", help="trace file written by classify --trace")

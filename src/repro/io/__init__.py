@@ -1,9 +1,12 @@
 """Persistence: save/load graphs and run results, export reports."""
 
+from repro.io.atomic import append_line_durable, atomic_write_text, fsync_dir
 from repro.io.graphs import load_graph, save_graph
 from repro.io.runs import (
+    CheckpointCorruptionError,
     CheckpointState,
     RunCheckpointer,
+    backup_path,
     load_checkpoint,
     load_run,
     run_to_rows,
@@ -19,8 +22,13 @@ __all__ = [
     "load_run",
     "run_to_rows",
     "write_csv",
+    "CheckpointCorruptionError",
     "CheckpointState",
     "RunCheckpointer",
+    "backup_path",
     "save_checkpoint",
     "load_checkpoint",
+    "atomic_write_text",
+    "append_line_durable",
+    "fsync_dir",
 ]

@@ -1,0 +1,108 @@
+"""Crash-safe file writes: tmp + fsync + atomic rename.
+
+The repo's durability story (checkpoints, serve request streams, journals)
+rests on one primitive: *either the old bytes or the new bytes, never a
+torn mixture*.  ``os.replace`` gives atomicity of the rename itself, but a
+rename alone is not durable — on most filesystems a crash shortly after
+``os.replace`` can surface a **zero-length "committed" file**, because the
+tmp file's data blocks were never forced to disk before the rename made it
+visible.  The fix is the classic three-step dance:
+
+1. write the tmp file and ``fsync`` its file descriptor (data durable),
+2. ``os.replace(tmp, path)`` (atomic visibility flip),
+3. ``fsync`` the containing directory (the rename itself durable).
+
+:func:`atomic_write_text` packages that dance; every persistent artifact in
+the repo writes through it.  The ``before_replace`` hook exists for the
+chaos-injection subsystem (:mod:`repro.runtime.chaos`), which simulates a
+process dying *between* the tmp write and the rename to prove recovery
+works; production callers never pass it.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable
+
+
+def fsync_dir(path: str | Path) -> None:
+    """Flush a directory's metadata (its entries) to stable storage.
+
+    Needed after ``os.replace`` so the rename survives power loss.  Silently
+    skipped on platforms whose directories cannot be opened for fsync.
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:  # pragma: no cover - non-POSIX directory semantics
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - e.g. fsync on dirs unsupported
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(
+    path: str | Path,
+    text: str,
+    durable: bool = True,
+    before_replace: "Callable[[Path], None] | None" = None,
+) -> Path:
+    """Write ``text`` at ``path`` atomically: tmp + fsync + rename + dir fsync.
+
+    A reader (or a post-crash restart) observes either the previous content
+    or the full new content — never a truncated or empty file.
+
+    Parameters
+    ----------
+    path:
+        Destination; parent directories are created.
+    text:
+        Full new content.
+    durable:
+        When True (default), fsync the tmp file before the rename and the
+        directory after it.  False skips both syncs — atomic visibility
+        without crash durability — for write-heavy artifacts where the OS
+        page cache is an acceptable risk.
+    before_replace:
+        Test/chaos hook invoked with the flushed tmp path just before
+        ``os.replace``; raising from it models a crash at the narrowest
+        window (tmp durable, rename never happened).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        if durable:
+            handle.flush()
+            os.fsync(handle.fileno())
+    if before_replace is not None:
+        before_replace(tmp)
+    os.replace(tmp, path)
+    if durable:
+        fsync_dir(path.parent)
+    return path
+
+
+def append_line_durable(path: str | Path, line: str) -> None:
+    """Append one newline-terminated line and fsync the file.
+
+    The journal primitive: an append either lands completely or leaves a
+    torn tail that a CRC-checking reader detects and truncates away.  The
+    containing directory is synced only by the journal's creation path (the
+    first append), not per line.
+    """
+    path = Path(path)
+    existed = path.exists()
+    if not line.endswith("\n"):
+        line += "\n"
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(line)
+        handle.flush()
+        os.fsync(handle.fileno())
+    if not existed:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fsync_dir(path.parent)

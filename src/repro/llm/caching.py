@@ -43,6 +43,12 @@ class CachingLLM(LLMClient):
         sets of the paper's experiments).
     observer:
         Optional run observer; hits, misses and LRU evictions report to it.
+    corruptor:
+        Optional hook applied to the *text of cache hits* only (never to a
+        freshly paid response): the chaos subsystem's cache-read-corruption
+        injection point (:meth:`repro.runtime.chaos.ChaosController.
+        attach_cache`).  ``None`` — the default and the production setting —
+        means hits return exactly the stored bytes.
     """
 
     def __init__(
@@ -50,6 +56,7 @@ class CachingLLM(LLMClient):
         inner: LLMClient,
         max_entries: int | None = 10_000,
         observer: "RunObserver | None" = None,
+        corruptor=None,
     ):
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be >= 1 or None")
@@ -57,6 +64,7 @@ class CachingLLM(LLMClient):
         self.inner = inner
         self.max_entries = max_entries
         self.observer = observer
+        self.corruptor = corruptor
         self._cache: OrderedDict[str, tuple[str, float | None]] = OrderedDict()
         self._lock = threading.Lock()
         self._inflight: dict[str, threading.Event] = {}
@@ -128,6 +136,8 @@ class CachingLLM(LLMClient):
         if not prompt:
             raise ValueError("prompt must be non-empty")
         (text, confidence), paid = self._lookup(prompt)
+        if not paid and self.corruptor is not None:
+            text = self.corruptor(text)
         if paid:
             response = LLMResponse(
                 text=text,

@@ -44,6 +44,15 @@ class TransientLLMError(RuntimeError):
     """A retryable failure (rate limit, transient server error)."""
 
 
+class InjectedFaultError(TransientLLMError):
+    """A transient provider failure injected by the chaos subsystem.
+
+    Subclasses :class:`TransientLLMError` so the production retry/breaker/
+    degradation machinery handles it exactly like a real brownout — chaos
+    runs exercise the same code paths an incident would.
+    """
+
+
 class CircuitOpenError(TransientLLMError):
     """Fail-fast rejection from an open circuit breaker.
 

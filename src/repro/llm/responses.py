@@ -37,27 +37,44 @@ def parse_category_response(text: str, class_names: list[str]) -> int | None:
     normalized whole-response match, then the first class name appearing as a
     normalized substring.  Malformed input — a non-string, an empty or
     whitespace-only completion, or garbage naming no known class — returns
-    the :data:`ABSTAIN` sentinel instead of raising, so real-API noise never
-    aborts a run (callers count an abstain as an incorrect prediction, as
-    the paper's protocol implies).
+    the :data:`ABSTAIN` sentinel instead of raising.
+
+    **Contract (fuzz-locked): no completion value can raise.**  Real APIs
+    and the chaos subsystem's malformed-payload faults produce truncated,
+    mojibake and outright binary-garbage completions; every one of them must
+    parse or abstain, never abort a run.  Only a misconfigured
+    ``class_names`` (empty, or holding non-strings) raises — that is a
+    programming error, not response noise.
     """
     if not class_names:
         raise ValueError("class_names must be non-empty")
-    if not isinstance(text, str) or not text.strip():
+    normalized = {}
+    for i, name in enumerate(class_names):
+        key = _normalize(name)
+        # A name that normalizes away entirely can never be matched — and an
+        # empty key would spuriously match symbol-only completions.
+        if key and key not in normalized:
+            normalized[key] = i
+    if not isinstance(text, str):
         return ABSTAIN
-    normalized = {_normalize(name): i for i, name in enumerate(class_names)}
-
-    match = _CATEGORY_RE.search(text)
-    candidates = []
-    if match:
-        candidates.append(match.group(1))
-    candidates.append(text.strip())
-    for candidate in candidates:
-        idx = normalized.get(_normalize(candidate))
-        if idx is not None:
-            return idx
-    blob = _normalize(text)
-    for key, idx in normalized.items():
-        if key and key in blob:
-            return idx
-    return ABSTAIN
+    try:
+        if not text.strip():
+            return ABSTAIN
+        match = _CATEGORY_RE.search(text)
+        candidates = []
+        if match:
+            candidates.append(match.group(1))
+        candidates.append(text.strip())
+        for candidate in candidates:
+            idx = normalized.get(_normalize(candidate))
+            if idx is not None:
+                return idx
+        blob = _normalize(text)
+        for key, idx in normalized.items():
+            if key in blob:
+                return idx
+        return ABSTAIN
+    except (ValueError, TypeError, re.error):  # pragma: no cover - belt and
+        # braces for exotic string subclasses; the contract is abstain, not
+        # abort.
+        return ABSTAIN

@@ -155,3 +155,11 @@ class RunObserver:
 
     def on_checkpoint_flush(self, num_records: int) -> None:
         """The checkpoint file was (re)written with ``num_records`` records."""
+
+    def on_checkpoint_recovered(self, num_records: int, reason: str) -> None:
+        """A corrupt/lost checkpoint was recovered from its ``.bak`` backup."""
+
+    # ------------------------------------------------------------------ chaos
+
+    def on_chaos_fault(self, kind: str, target: str, detail: str) -> None:
+        """The chaos subsystem injected one fault (``kind``) at ``target``."""

@@ -331,6 +331,28 @@ class Instrumentation(RunObserver):
             "repro_checkpoint_flushes_total", "Checkpoint file writes", **self.labels
         ).inc()
 
+    def on_checkpoint_recovered(self, num_records: int, reason: str) -> None:
+        self.registry.counter(
+            "repro_checkpoint_recoveries_total",
+            "Checkpoint loads recovered from the .bak generation",
+            **self.labels,
+        ).inc()
+        self.tracer.event(
+            "checkpoint_recovered", num_records=num_records, reason=reason
+        )
+
+    # ------------------------------------------------------------------ chaos
+
+    def on_chaos_fault(self, kind: str, target: str, detail: str) -> None:
+        self.registry.counter(
+            "repro_chaos_faults_total",
+            "Faults injected by the chaos subsystem",
+            kind=kind,
+            target=target,
+            **self.labels,
+        ).inc()
+        self.tracer.event("chaos_fault", fault=kind, target=target, detail=detail)
+
     # ------------------------------------------------------------ serialization
 
     def trace_lines(self) -> list[dict]:

@@ -56,6 +56,16 @@ if TYPE_CHECKING:
 DISPATCH_MODES = ("simulated", "threads")
 
 
+class WorkerCrashError(RuntimeError):
+    """A dispatch worker "died" mid-wave (chaos-injected).
+
+    Deliberately *not* a :class:`~repro.llm.reliability.TransientLLMError`:
+    a crashed worker is a scheduler-level loss, not a provider error, and
+    the merge phase recovers it by re-executing the item serially rather
+    than by retry/degradation.
+    """
+
+
 @dataclass(frozen=True)
 class WorkItem:
     """One query of a wave, as the engine/strategies hand it to dispatch.
@@ -165,6 +175,15 @@ class QueryScheduler:
         ``"simulated"`` mode, real threads in ``"threads"`` mode.
     mode:
         One of :data:`DISPATCH_MODES`; see the module docstring.
+    fault_injector:
+        Optional chaos hook (see :class:`repro.runtime.chaos.
+        SchedulerFaultInjector`) consulted before each threads-mode phase-1
+        item with ``before_item(wave_index, item_index)``.  It may sleep (a
+        worker stall) or raise :class:`WorkerCrashError` (the worker dies
+        *before* issuing the LLM call); crashed items are recovered by
+        serial re-execution in the merge phase, so no LLM call is ever
+        duplicated.  Ignored by simulated dispatch, which has no workers to
+        kill.
     """
 
     def __init__(
@@ -172,6 +191,7 @@ class QueryScheduler:
         max_batch_size: int | None = None,
         max_concurrency: int = 1,
         mode: str = "simulated",
+        fault_injector: object | None = None,
     ):
         if max_batch_size is not None and max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1 or None")
@@ -182,6 +202,7 @@ class QueryScheduler:
         self.max_batch_size = max_batch_size
         self.max_concurrency = max_concurrency
         self.mode = mode
+        self.fault_injector = fault_injector
         self.report = SchedulerReport()
         self._next_wave = 0
 
@@ -316,7 +337,8 @@ class QueryScheduler:
             batch_started = time.perf_counter()
             with ThreadPoolExecutor(max_workers=min(self.max_concurrency, len(batch))) as pool:
                 futures = {
-                    index: pool.submit(self._phase1, engine, item) for index, item in batch
+                    index: pool.submit(self._phase1, engine, item, wave_index, index)
+                    for index, item in batch
                 }
                 for index, future in futures.items():
                     phase1[index] = future.result()
@@ -336,20 +358,27 @@ class QueryScheduler:
         )
         return WaveOutcome(records=records, deferred=deferred, stats=stats)
 
-    @staticmethod
-    def _phase1(engine: "MultiQueryEngine", item: WorkItem) -> tuple:
+    def _phase1(
+        self, engine: "MultiQueryEngine", item: WorkItem, wave_index: int, index: int
+    ) -> tuple:
         """The parallel-safe slice of one query: build prompt, call the LLM.
 
         The node id rides along so a routed engine runs its full cascade
         (entry tier + escalations) here on the worker thread; the merge
-        phase only finalizes the already-aggregated response.
+        phase only finalizes the already-aggregated response.  A
+        ``fault_injector`` crash fires *before* any work, so a "dead"
+        worker's query is lost without ever reaching the LLM.
         """
         started = time.perf_counter()
         try:
+            if self.fault_injector is not None:
+                self.fault_injector.before_item(wave_index, index)
             prompt, selected = engine.build_prompt(
                 item.node, include_neighbors=item.include_neighbors
             )
             response, call_retries = engine.call_llm(prompt, node=item.node)
+        except WorkerCrashError as error:
+            return ("crashed", error, time.perf_counter() - started)
         except TransientLLMError as error:
             return ("error", error, time.perf_counter() - started)
         return ("ok", (response, selected, call_retries), time.perf_counter() - started)
@@ -369,6 +398,31 @@ class QueryScheduler:
                 continue
             kind, payload, elapsed = phase1[index]
             serial_seconds += elapsed
+            if kind == "crashed":
+                # The worker died before its LLM call: recover by re-running
+                # the item on the canonical serial path.  Nothing reached the
+                # provider in phase 1, so the re-execution duplicates no call.
+                started = time.perf_counter()
+                try:
+                    record = engine.execute_query(
+                        item.node,
+                        include_neighbors=item.include_neighbors,
+                        round_index=item.round_index,
+                        on_failure=item.on_failure,
+                    )
+                except TransientLLMError:
+                    serial_seconds += time.perf_counter() - started
+                    if item.on_failure != "raise":
+                        raise
+                    deferred.append(item.node)
+                    if item.on_defer is not None:
+                        item.on_defer()
+                    continue
+                serial_seconds += time.perf_counter() - started
+                records.append(record)
+                if item.after_execute is not None:
+                    item.after_execute(record)
+                continue
             if kind == "ok":
                 response, selected, call_retries = payload
                 record = engine.finalize_prepared(

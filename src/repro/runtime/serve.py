@@ -44,20 +44,23 @@ See ``docs/serving.md`` for the full contract and knobs.
 from __future__ import annotations
 
 import json
+import zlib
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.budget import BudgetLedger, LedgerBook
+from repro.io.atomic import append_line_durable, atomic_write_text
 from repro.llm.pricing import PRICES_PER_1K_TOKENS, cost_usd
 from repro.runtime.results import QueryRecord
 from repro.runtime.scheduler import WorkItem
 from repro.utils.rng import spawn_rng
 
 if TYPE_CHECKING:
+    from repro.runtime.chaos import ChaosController
     from repro.runtime.engine import MultiQueryEngine
 
 #: Admission decisions, best to worst.  ``admitted`` enters the queue at
@@ -274,6 +277,163 @@ class ServeReport:
         return summaries
 
 
+class JournalError(ValueError):
+    """A serve request journal cannot be used for the attempted resume.
+
+    Raised for header/stream mismatches (the journal was recorded for a
+    different request stream) and for entries that disagree with the
+    re-simulated dispatch — never for a torn tail, which
+    :class:`ServeJournal` repairs silently on load.
+    """
+
+
+_JOURNAL_VERSION = 1
+
+
+def _stream_crc(requests: "list[ServeRequest]") -> int:
+    """CRC32 identity of a request stream (order-sensitive, content-exact)."""
+    blob = json.dumps(
+        [[r.tenant, r.node, r.arrival, r.include_neighbors] for r in requests],
+        separators=(",", ":"),
+    )
+    return zlib.crc32(blob.encode("utf-8"))
+
+
+class ServeJournal:
+    """Crash-safe write-ahead journal of a serve run's settled cycles.
+
+    Each completed dispatch cycle appends one fsync'd JSONL line (CRC-
+    enveloped) carrying the cycle's outcomes — records included — plus the
+    clock value after the cycle.  On resume, :meth:`ServingLayer.replay`
+    re-simulates admission/fairness/gating deterministically but replays
+    every journaled cycle from disk: the journaled requests' LLM calls are
+    **never re-issued**, their charges land on the reconstructed ledgers
+    identically, and the clock is advanced to the journaled timeline — so a
+    crashed-and-resumed run finishes bit-identical to the uninterrupted
+    one, minus only the duplicate spend.
+
+    Durability: appends go through :func:`repro.io.atomic.
+    append_line_durable` (write + fsync), so a crash can tear at most the
+    final line.  On load, the first line that fails JSON or CRC validation
+    marks the torn tail: it and everything after it are truncated away
+    (work past the tail was committed by a process that died before its
+    fsync returned — it must be re-executed, conservatively).
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.header: dict | None = None
+        self.cycles: list[dict] = []
+        self.dropped_lines = 0
+        if self.path.exists():
+            self._load()
+
+    # ---------------------------------------------------------------- loading
+
+    def _load(self) -> None:
+        text = self.path.read_text(encoding="utf-8", errors="replace")
+        good_chars = 0
+        entries: list[dict] = []
+        torn = False
+        for line in text.splitlines(keepends=True):
+            entry = self._decode(line)
+            if entry is None:
+                torn = True
+                break
+            entries.append(entry)
+            good_chars += len(line)
+        if torn:
+            remainder = text[good_chars:]
+            self.dropped_lines = sum(1 for l in remainder.splitlines() if l.strip())
+            with open(self.path, "r+", encoding="utf-8") as handle:
+                handle.truncate(len(text[:good_chars].encode("utf-8")))
+        if not entries:
+            return
+        header = entries[0]
+        if header.get("kind") != "serve_journal":
+            raise JournalError(f"{self.path} is not a serve journal")
+        version = header.get("format_version")
+        if version != _JOURNAL_VERSION:
+            raise JournalError(f"unsupported journal format version {version!r}")
+        self.header = header
+        for entry in entries[1:]:
+            if entry.get("kind") != "cycle":
+                raise JournalError(
+                    f"{self.path}: unexpected journal entry kind {entry.get('kind')!r}"
+                )
+            self.cycles.append(entry)
+
+    @staticmethod
+    def _decode(line: str) -> dict | None:
+        line = line.strip()
+        if not line:
+            return None
+        try:
+            envelope = json.loads(line)
+            entry = envelope["entry"]
+            stored = envelope["crc"]
+        except (json.JSONDecodeError, KeyError, TypeError):
+            return None
+        blob = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+        if zlib.crc32(blob.encode("utf-8")) != stored:
+            return None
+        return entry
+
+    # ---------------------------------------------------------------- writing
+
+    def _append(self, entry: dict) -> None:
+        blob = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+        envelope = {"crc": zlib.crc32(blob.encode("utf-8")), "entry": entry}
+        append_line_durable(self.path, json.dumps(envelope, separators=(",", ":")))
+
+    def begin(self, requests: "list[ServeRequest]") -> None:
+        """Bind the journal to ``requests`` (write or verify the header)."""
+        crc = _stream_crc(requests)
+        if self.header is None:
+            self.header = {
+                "kind": "serve_journal",
+                "format_version": _JOURNAL_VERSION,
+                "num_requests": len(requests),
+                "stream_crc": crc,
+            }
+            self._append(self.header)
+            return
+        if (
+            self.header.get("num_requests") != len(requests)
+            or self.header.get("stream_crc") != crc
+        ):
+            raise JournalError(
+                f"{self.path} was recorded for a different request stream "
+                f"({self.header.get('num_requests')} requests, "
+                f"crc {self.header.get('stream_crc')}); refusing to resume "
+                f"against {len(requests)} requests, crc {crc}"
+            )
+
+    def append_cycle(self, entry: dict) -> None:
+        """Durably commit one settled cycle."""
+        self.cycles.append(entry)
+        self._append({"kind": "cycle", **entry})
+
+    def truncate(self, keep_cycles: int) -> None:
+        """Drop every journaled cycle past the first ``keep_cycles``.
+
+        Rewrites the file as header + kept cycles — the on-disk state a
+        crash at that point would have left.  The chaos CLI and tests use
+        it to stage crash/resume scenarios against a real journal file.
+        """
+        if keep_cycles < 0:
+            raise ValueError("keep_cycles must be >= 0")
+        if self.header is None:
+            raise JournalError("cannot truncate a journal with no header")
+        self.cycles = self.cycles[:keep_cycles]
+        lines = []
+        for entry in [self.header] + [{"kind": "cycle", **c} for c in self.cycles]:
+            blob = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+            envelope = {"crc": zlib.crc32(blob.encode("utf-8")), "entry": entry}
+            lines.append(json.dumps(envelope, separators=(",", ":")))
+        atomic_write_text(self.path, "\n".join(lines) + "\n")
+
+
 class _TenantState:
     """Queue + deficit-round-robin bookkeeping for one tenant."""
 
@@ -314,6 +474,17 @@ class ServingLayer:
         Optional :class:`~repro.obs.hooks.RunObserver`; admissions,
         dispatch cycles and completions report through the ``on_serve_*``
         hooks (metrics + an ``admission`` trace event per arrival).
+    chaos:
+        Optional :class:`~repro.runtime.chaos.ChaosController`.  Attaching
+        it makes the layer drive time-triggered faults (``chaos.poll`` each
+        cycle) and, when the plan carries *tenant-scoped* LLM faults, tag
+        each dispatched request's tenant on the controller so a
+        :class:`~repro.runtime.chaos.ChaosLLM` downstream can scope its
+        faults.  Tenant tagging requires per-request serial dispatch, so
+        tenant-scoped plans bypass a batched scheduler for the wave — the
+        scheduler's serial-equivalence contract keeps the records
+        identical, only wave-overlap timing differs.  A ``None`` plan or a
+        tenant-unscoped plan leaves the dispatch path untouched.
     """
 
     def __init__(
@@ -325,6 +496,7 @@ class ServingLayer:
         global_usd_budget: float | None = None,
         price_model: str | None = None,
         observer: object | None = None,
+        chaos: "ChaosController | None" = None,
     ):
         if not tenants:
             raise ValueError("a serving layer needs at least one tenant")
@@ -349,6 +521,7 @@ class ServingLayer:
         )
         self.price_model = price_model
         self.observer = observer if observer is not None else engine.observer
+        self.chaos = chaos
         self._rr_index = 0
         self._cycles = 0
 
@@ -543,8 +716,40 @@ class ServingLayer:
                 )
         self.book.charge(tenant, record.total_tokens, usd=usd)
 
+    def _execute_items(
+        self, items: list[WorkItem], item_tenants: list[str]
+    ) -> list[QueryRecord]:
+        """Run a gated wave, honoring an attached chaos controller.
+
+        Tenant-scoped fault plans need the requesting tenant visible to the
+        LLM stack at call time, which only per-request serial dispatch can
+        provide race-free; by the scheduler's serial-equivalence contract
+        the records are identical either way.
+        """
+        engine = self.engine
+        chaos = self.chaos
+        serial_for_chaos = chaos is not None and chaos.plan.has_tenant_scoped_faults
+        if items and engine.scheduler is not None and not serial_for_chaos:
+            return engine.scheduler.run_wave(engine, items).records
+        records: list[QueryRecord] = []
+        for item, tenant in zip(items, item_tenants):
+            if chaos is not None:
+                chaos.current_tenant = tenant
+            try:
+                records.append(
+                    engine.execute_query(
+                        item.node, include_neighbors=item.include_neighbors
+                    )
+                )
+            finally:
+                if chaos is not None:
+                    chaos.current_tenant = None
+        return records
+
     def _cycle(self) -> list[ServeOutcome]:
         """One dispatch cycle: pick a wave fairly, gate it, execute, charge."""
+        if self.chaos is not None:
+            self.chaos.poll(self.now)
         picked = self._pick_wave()
         if not picked:
             return []
@@ -554,6 +759,7 @@ class ServingLayer:
         engine = self.engine
         plan: list[tuple[ServeRequest, float, bool, str]] = []
         items: list[WorkItem] = []
+        item_tenants: list[str] = []
         pending: dict = {}
         for request, queued_at, degraded, in picked:
             rung = self._gate(request, degraded, pending)
@@ -564,17 +770,8 @@ class ServingLayer:
             plan.append((request, queued_at, degraded, tier))
             if tier != "surrogate":
                 items.append(WorkItem(node=request.node, include_neighbors=include))
-        if items and engine.scheduler is not None:
-            records = iter(engine.scheduler.run_wave(engine, items).records)
-        else:
-            records = iter(
-                [
-                    engine.execute_query(
-                        item.node, include_neighbors=item.include_neighbors
-                    )
-                    for item in items
-                ]
-            )
+                item_tenants.append(request.tenant)
+        records = iter(self._execute_items(items, item_tenants))
         outcomes = []
         for request, queued_at, degraded, tier in plan:
             if tier == "rejected_budget":
@@ -630,7 +827,99 @@ class ServingLayer:
 
     # ----------------------------------------------------------------- replay
 
-    def replay(self, requests: "list[ServeRequest]") -> ServeReport:
+    def _cycle_entry(self, cycle_index: int, outcomes: list[ServeOutcome]) -> dict:
+        """The journal payload committing one settled cycle."""
+        return {
+            "cycle": cycle_index,
+            "now_after": self.now,
+            "outcomes": [
+                {
+                    "tenant": o.request.tenant,
+                    "node": o.request.node,
+                    "arrival": o.request.arrival,
+                    "status": o.status,
+                    "tier": o.tier,
+                    "record": asdict(o.record) if o.record is not None else None,
+                    "queued_at": o.queued_at,
+                    "dispatched_at": o.dispatched_at,
+                    "completed_at": o.completed_at,
+                }
+                for o in outcomes
+            ],
+        }
+
+    def _replay_cycle(self, entry: dict) -> list[ServeOutcome]:
+        """Settle one journaled cycle without touching the LLM.
+
+        The wave is still *picked* by the live DRR machinery (so queue and
+        deficit state evolve exactly as in the original run) and every
+        journaled record still *charges* the ledgers; only the execution is
+        replaced by the journal's outcomes, and the clock jumps to the
+        journaled post-cycle time.  Any disagreement between the journal
+        and the re-simulated wave raises :class:`JournalError` — resuming
+        against a drifted stream must fail loudly, not serve stale answers.
+        """
+        if self.chaos is not None:
+            self.chaos.poll(self.now)
+        picked = self._pick_wave()
+        cycle_index = self._cycles
+        self._cycles += 1
+        if entry.get("cycle") != cycle_index:
+            raise JournalError(
+                f"journal cycle {entry.get('cycle')!r} arrived at re-simulated "
+                f"cycle {cycle_index}"
+            )
+        specs = entry.get("outcomes", [])
+        if len(specs) != len(picked):
+            raise JournalError(
+                f"cycle {cycle_index}: journal settled {len(specs)} requests but "
+                f"the re-simulated wave picked {len(picked)}"
+            )
+        outcomes: list[ServeOutcome] = []
+        for (request, _queued_at, _degraded), spec in zip(picked, specs):
+            if (
+                spec.get("tenant") != request.tenant
+                or spec.get("node") != request.node
+                or spec.get("arrival") != request.arrival
+            ):
+                raise JournalError(
+                    f"cycle {cycle_index}: journal entry for "
+                    f"{spec.get('tenant')}/{spec.get('node')} does not match the "
+                    f"re-simulated pick {request.tenant}/{request.node}"
+                )
+            record = (
+                QueryRecord(**spec["record"]) if spec.get("record") is not None else None
+            )
+            if record is not None:
+                self._charge(request.tenant, record)
+                self.engine.observe_replay(record)
+            outcomes.append(
+                ServeOutcome(
+                    request=request,
+                    status=spec["status"],
+                    tier=spec["tier"],
+                    record=record,
+                    queued_at=spec["queued_at"],
+                    dispatched_at=spec["dispatched_at"],
+                    completed_at=spec["completed_at"],
+                    cycle=cycle_index,
+                )
+            )
+        self._advance_to(float(entry["now_after"]))
+        if self.observer is not None:
+            self.observer.on_serve_cycle(cycle_index, self.total_queued, len(picked))
+            for outcome in outcomes:
+                self.observer.on_serve_complete(
+                    outcome.request.tenant,
+                    outcome.status,
+                    outcome.tier,
+                    outcome.latency_seconds,
+                )
+        return outcomes
+
+    def replay(
+        self, requests: "list[ServeRequest]", journal: "ServeJournal | None" = None
+    ) -> ServeReport:
         """Serve a whole recorded request stream (batch-replay mode).
 
         Arrivals are ingested in ``(arrival, submission-order)`` order on
@@ -639,8 +928,16 @@ class ServingLayer:
         passes only through the engine's simulated latencies).  The result
         is bit-reproducible: same stream + same engine seedings ⇒ identical
         outcomes, ledgers, and trace.
+
+        With a :class:`ServeJournal`, every settled cycle is durably
+        committed as it completes, and a journal carrying prior cycles
+        replays them instead of re-executing: an interrupted run resumed on
+        a fresh layer finishes with identical outcomes and ledgers while
+        re-issuing **zero** LLM calls for journaled work.
         """
         started = self.now
+        if journal is not None:
+            journal.begin(requests)
         pending = sorted(
             enumerate(requests), key=lambda pair: (pair[1].arrival, pair[0])
         )
@@ -661,7 +958,14 @@ class ServingLayer:
                 if rejected is not None:
                     outcomes.append(rejected)
             if self.total_queued:
-                outcomes.extend(self._cycle())
+                if journal is not None and self._cycles < len(journal.cycles):
+                    outcomes.extend(self._replay_cycle(journal.cycles[self._cycles]))
+                    continue
+                before = self._cycles
+                cycle_outcomes = self._cycle()
+                if journal is not None and self._cycles > before:
+                    journal.append_cycle(self._cycle_entry(before, cycle_outcomes))
+                outcomes.extend(cycle_outcomes)
         return ServeReport(
             outcomes=outcomes,
             cycles=self._cycles,
@@ -670,38 +974,53 @@ class ServingLayer:
         )
 
 
-def load_requests(path: str | Path) -> list[ServeRequest]:
+def load_requests(path: str | Path, on_error: str = "raise") -> list[ServeRequest]:
     """Read a JSONL request stream (one ``{"tenant", "node", ...}`` per line).
 
     ``arrival`` (simulated seconds) and ``include_neighbors`` are optional
-    per line; unknown keys raise so a malformed stream fails loudly.
+    per line.  A malformed line — broken JSON, unknown or missing fields,
+    out-of-domain values — is *detected* and either raises a ``ValueError``
+    naming the exact line (``on_error="raise"``, the default) or is skipped
+    while the valid remainder loads (``on_error="skip"``, the recovery mode
+    for streams damaged by a partial write).
     """
+    if on_error not in ("raise", "skip"):
+        raise ValueError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
     requests = []
     known = {"tenant", "node", "arrival", "include_neighbors"}
     for line_no, line in enumerate(Path(path).read_text().splitlines(), start=1):
         if not line.strip():
             continue
-        payload = json.loads(line)
-        extra = set(payload) - known
-        if extra:
-            raise ValueError(
-                f"{path}:{line_no}: unknown request fields {sorted(extra)}"
-            )
-        requests.append(
-            ServeRequest(
+        try:
+            payload = json.loads(line)
+            if not isinstance(payload, dict):
+                raise ValueError("request line is not a JSON object")
+            extra = set(payload) - known
+            if extra:
+                raise ValueError(f"unknown request fields {sorted(extra)}")
+            request = ServeRequest(
                 tenant=payload["tenant"],
                 node=int(payload["node"]),
                 arrival=float(payload.get("arrival", 0.0)),
                 include_neighbors=bool(payload.get("include_neighbors", True)),
             )
-        )
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
+            if on_error == "skip":
+                continue
+            raise ValueError(
+                f"{path}:{line_no}: malformed request line: {error}"
+            ) from error
+        requests.append(request)
     return requests
 
 
 def save_requests(requests: "list[ServeRequest]", path: str | Path) -> Path:
-    """Write a request stream as JSONL readable by :func:`load_requests`."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
+    """Write a request stream as JSONL readable by :func:`load_requests`.
+
+    Uses the same atomic tmp + fsync + rename path as every other persistent
+    artifact (:func:`repro.io.atomic.atomic_write_text`), so a crash cannot
+    leave a truncated stream behind.
+    """
     lines = [
         json.dumps(
             {
@@ -713,8 +1032,7 @@ def save_requests(requests: "list[ServeRequest]", path: str | Path) -> Path:
         )
         for r in requests
     ]
-    path.write_text("\n".join(lines) + "\n")
-    return path
+    return atomic_write_text(path, "\n".join(lines) + "\n")
 
 
 def synthetic_stream(

@@ -49,12 +49,14 @@ from repro.llm.simulated import SimulatedLLM
 from repro.obs import Instrumentation, instrument_stack
 from repro.prompts.builder import PromptBuilder
 from repro.llm.profiles import make_model
+from repro.runtime.chaos import ChaosController, FaultPlan
 from repro.runtime.engine import MultiQueryEngine
 from repro.runtime.fallback import DegradationLadder
 from repro.runtime.router import CascadeRouter, EscalationPolicy, RouterTier
 from repro.runtime.scheduler import QueryScheduler
 from repro.runtime.serve import (
     AdmissionPolicy,
+    ServeJournal,
     ServeReport,
     ServingLayer,
     TenantSpec,
@@ -178,12 +180,16 @@ def run_scenario(
     scheduler: QueryScheduler | None = None,
     checkpoint_path: str | Path | None = None,
     run_id: str = "equivalence",
+    chaos_plan: FaultPlan | None = None,
 ) -> Capture:
     """Build the scenario's full stack on the tiny graph and execute it.
 
     Every piece of randomness is seeded identically across calls, so two
     invocations differ only in the ``scheduler`` argument — exactly the
-    variable under test.
+    variable under test.  ``chaos_plan`` inserts a
+    :class:`~repro.runtime.chaos.ChaosLLM` at the base of the stack; the
+    chaos transparency contract says an **empty** plan must leave every
+    captured artifact bit-identical to the unwrapped baseline.
     """
     if scenario.checkpoint and checkpoint_path is None:
         raise ValueError("scenario.checkpoint requires a checkpoint_path")
@@ -194,6 +200,9 @@ def run_scenario(
     clock = SimulatedClock()
     base = SimulatedLLM(tag.vocabulary, name="gpt-3.5", seed=5)
     llm = base
+    if chaos_plan is not None:
+        controller = ChaosController(chaos_plan, clock=clock)
+        llm = controller.wrap_llm(llm, model="gpt-3.5")
     flaky = None
     if scenario.failure_rate > 0:
         flaky = FlakyLLM(
@@ -424,17 +433,27 @@ def run_serve_scenario(
     builder: PromptBuilder,
     scheduler: QueryScheduler | None = None,
     run_id: str = "serve-equivalence",
+    chaos_plan: FaultPlan | None = None,
+    journal_path: str | Path | None = None,
 ) -> ServeCapture:
     """Build the scenario's serving stack on the tiny graph and replay it.
 
     Same seeding discipline as :func:`run_scenario`: two invocations differ
-    only in the ``scheduler`` argument.
+    only in the ``scheduler`` argument.  ``chaos_plan`` threads a
+    :class:`~repro.runtime.chaos.ChaosController` through the stack (wrapping
+    the LLM and observing the serving layer); an **empty** plan must be fully
+    transparent.  ``journal_path`` writes a request journal during the
+    replay, which must likewise leave every captured artifact unchanged.
     """
     clock = SimulatedClock()
     base = SimulatedLLM(tag.vocabulary, name="gpt-3.5", seed=5)
     llm = base
     if scenario.seconds_per_call > 0:
         llm = LatencyLLM(base, clock=clock, seconds_per_call=scenario.seconds_per_call)
+    chaos = None
+    if chaos_plan is not None:
+        chaos = ChaosController(chaos_plan, clock=clock)
+        llm = chaos.wrap_llm(llm, model="gpt-3.5")
     instr = None
     if scenario.observe:
         instr = Instrumentation(
@@ -468,6 +487,7 @@ def run_serve_scenario(
         global_budget=scenario.global_budget,
         price_model="gpt-3.5",
         observer=instr,
+        chaos=chaos,
     )
     stream = synthetic_stream(
         tenants,
@@ -476,7 +496,8 @@ def run_serve_scenario(
         arrival_window=scenario.arrival_window,
         seed=scenario.seed,
     )
-    report = layer.replay(stream)
+    journal = ServeJournal(journal_path) if journal_path is not None else None
+    report = layer.replay(stream, journal=journal)
     return ServeCapture(
         outcomes=[asdict(o) for o in report.outcomes],
         cycles=report.cycles,

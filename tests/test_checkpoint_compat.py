@@ -60,6 +60,6 @@ def test_v2_checkpoint_resumes_under_current_writer(
     # The rewritten file is a completed current-format checkpoint carrying
     # the union of replayed and fresh records.
     rewritten = json.loads(path.read_text())
-    assert rewritten["format_version"] == 4
+    assert rewritten["format_version"] == 5
     assert rewritten["completed"]
     assert len(rewritten["records"]) == 12

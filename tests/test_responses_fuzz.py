@@ -1,0 +1,92 @@
+"""Hypothesis fuzz lock on the response parser's never-raise contract.
+
+:func:`repro.llm.responses.parse_category_response` promises that *no*
+completion value can raise — arbitrary unicode, truncated canonical
+responses, mojibake-mangled bytes, binary garbage: every one must parse to
+a valid class index or abstain.  The chaos subsystem's malformed-payload
+faults feed the parser exactly these shapes mid-run, so this contract is
+what keeps an injected corruption from aborting a run.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llm.responses import (
+    ABSTAIN,
+    format_category_response,
+    parse_category_response,
+)
+from repro.runtime.chaos import MUTATION_MODES, mutate_text
+from repro.utils.rng import spawn_rng
+
+CLASS_NAMES = ["Theory", "Neural_Networks", "Rule Learning", "Case Based"]
+
+completions = st.one_of(
+    st.text(max_size=300),
+    st.text(alphabet=st.characters(min_codepoint=0, max_codepoint=0x10FFFF), max_size=120),
+    st.binary(max_size=120).map(lambda b: b.decode("utf-8", errors="replace")),
+)
+
+
+def assert_parses_or_abstains(text: str, class_names=None) -> int | None:
+    result = parse_category_response(text, class_names or CLASS_NAMES)
+    names = class_names or CLASS_NAMES
+    assert result is ABSTAIN or 0 <= result < len(names)
+    return result
+
+
+@given(text=completions)
+@settings(max_examples=300, deadline=None)
+def test_arbitrary_completions_never_raise(text):
+    assert_parses_or_abstains(text)
+
+
+@given(
+    index=st.integers(min_value=0, max_value=len(CLASS_NAMES) - 1),
+    cut=st.integers(min_value=0, max_value=40),
+)
+@settings(max_examples=100, deadline=None)
+def test_truncated_canonical_responses_never_raise(index, cut):
+    canonical = format_category_response(CLASS_NAMES[index])
+    truncated = canonical[: max(0, len(canonical) - cut)]
+    assert_parses_or_abstains(truncated)
+
+
+@given(
+    index=st.integers(min_value=0, max_value=len(CLASS_NAMES) - 1),
+    mode=st.sampled_from(MUTATION_MODES),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=150, deadline=None)
+def test_chaos_mutated_responses_never_raise(index, mode, seed):
+    """The exact corruption shapes MalformedPayload injects mid-run."""
+    canonical = format_category_response(CLASS_NAMES[index])
+    mutated = mutate_text(canonical, mode, spawn_rng(seed, "fuzz", mode))
+    assert_parses_or_abstains(mutated)
+
+
+@given(
+    text=completions,
+    class_names=st.lists(st.text(min_size=1, max_size=20), min_size=1, max_size=6),
+)
+@settings(max_examples=150, deadline=None)
+def test_arbitrary_class_rosters_never_raise(text, class_names):
+    """Even rosters whose names normalize away must parse-or-abstain."""
+    assert_parses_or_abstains(text, class_names)
+
+
+@given(index=st.integers(min_value=0, max_value=len(CLASS_NAMES) - 1))
+@settings(max_examples=20, deadline=None)
+def test_canonical_round_trip_still_parses(index):
+    """The fuzz lock must not come at the cost of the happy path."""
+    canonical = format_category_response(CLASS_NAMES[index])
+    assert parse_category_response(canonical, CLASS_NAMES) == index
+
+
+def test_non_string_and_empty_abstain():
+    assert parse_category_response(None, CLASS_NAMES) is ABSTAIN
+    assert parse_category_response(b"Category: ['Theory']", CLASS_NAMES) is ABSTAIN
+    assert parse_category_response("", CLASS_NAMES) is ABSTAIN
+    assert parse_category_response("   \n\t", CLASS_NAMES) is ABSTAIN
