@@ -4,7 +4,7 @@
 # it `pytest | tee` reports tee's exit status and swallows test failures.
 SHELL := /bin/bash
 
-.PHONY: install test test-parallel test-equivalence coverage bench bench-check bench-tables report examples trace-smoke chaos-smoke clean
+.PHONY: install test test-parallel test-equivalence coverage bench bench-check bench-tables report examples trace-smoke chaos-smoke analyze-smoke clean
 
 # Line-coverage floor enforced by `make coverage` (and CI).
 COVERAGE_FLOOR := 80
@@ -50,8 +50,10 @@ bench:
 bench-output:
 	set -o pipefail; pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
-# Re-measure the scheduler benchmark and fail if throughput or overlap
-# regressed >20% against the committed BENCH_scheduler.json baseline.
+# Re-measure the scheduler and serve benchmarks and fail if either
+# regressed >20% against its committed baseline (BENCH_scheduler.json /
+# BENCH_serve.json); the serve comparison is the direction-aware diff from
+# repro.obs.insight.
 bench-check:
 	PYTHONPATH=src python benchmarks/check_regression.py
 
@@ -74,6 +76,38 @@ chaos-smoke:
 		--queries 60 --requests 18 --preset everything
 	PYTHONPATH=src python -m repro.cli chaos --dataset cora --scale 0.15 \
 		--queries 60 --requests 18 --preset checkpoint-crash
+
+# Analysis smoke: trace two identical classify runs and one serve run, then
+# drive all four `repro analyze` subcommands over them.  Asserts the
+# determinism contract (critical-path reports byte-identical across the two
+# replays, diff verdict "identical") and that every report is non-empty.
+analyze-smoke:
+	mkdir -p .smoke
+	PYTHONPATH=src python -m repro.cli classify --dataset cora --scale 0.15 \
+		--queries 8 --strategy boost --cache --trace .smoke/analyze_a.jsonl
+	PYTHONPATH=src python -m repro.cli classify --dataset cora --scale 0.15 \
+		--queries 8 --strategy boost --cache --trace .smoke/analyze_b.jsonl
+	PYTHONPATH=src python -m repro.cli serve --dataset cora --scale 0.15 \
+		--queries 120 --synthetic 24 --trace .smoke/analyze_serve.jsonl
+	PYTHONPATH=src python -m repro.cli analyze critical-path \
+		.smoke/analyze_a.jsonl > .smoke/analyze_cp_a.txt
+	PYTHONPATH=src python -m repro.cli analyze critical-path \
+		.smoke/analyze_b.jsonl > .smoke/analyze_cp_b.txt
+	cmp .smoke/analyze_cp_a.txt .smoke/analyze_cp_b.txt
+	test -s .smoke/analyze_cp_a.txt
+	PYTHONPATH=src python -m repro.cli analyze critical-path \
+		BENCH_scheduler.json > .smoke/analyze_cp_bench.txt
+	test -s .smoke/analyze_cp_bench.txt
+	PYTHONPATH=src python -m repro.cli analyze diff \
+		.smoke/analyze_a.jsonl .smoke/analyze_b.jsonl --format json \
+		> .smoke/analyze_diff.json
+	grep -q '"verdict": "identical"' .smoke/analyze_diff.json
+	PYTHONPATH=src python -m repro.cli analyze costs \
+		.smoke/analyze_serve.jsonl > .smoke/analyze_costs.txt
+	test -s .smoke/analyze_costs.txt
+	PYTHONPATH=src python -m repro.cli analyze slo \
+		.smoke/analyze_serve.jsonl --fail-on-breach > .smoke/analyze_slo.txt
+	test -s .smoke/analyze_slo.txt
 
 examples:
 	python examples/quickstart.py

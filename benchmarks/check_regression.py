@@ -1,19 +1,24 @@
-"""Benchmark regression gate for the batched scheduler.
+"""Benchmark regression gate for the batched scheduler and serving layer.
 
-Re-measures the scheduler-throughput workload (same configuration as
-``benchmarks/test_scheduler_throughput.py``) and compares it against the
-committed ``BENCH_scheduler.json`` baseline **without overwriting it**:
+Re-measures two workloads and compares each against its committed baseline
+**without overwriting it**:
 
-- throughput (``speedup``) must not regress more than ``--tolerance``
-  (default 20%) below the baseline;
-- overlap (``overlapped_seconds`` makespan) must not regress more than
-  ``--tolerance`` above the baseline;
-- the batched run must not issue more LLM calls than the baseline.
+- **scheduler** (``BENCH_scheduler.json``, same configuration as
+  ``benchmarks/test_scheduler_throughput.py``): throughput (``speedup``)
+  must not regress more than ``--tolerance`` (default 20%) below the
+  baseline, overlap (``overlapped_seconds`` makespan) not more than
+  ``--tolerance`` above it, and the batched run must not issue more LLM
+  calls than the baseline;
+- **serve** (``BENCH_serve.json``, same configuration as
+  ``benchmarks/test_serve_throughput.py``): goodput/p99/shed-rate compared
+  direction-aware through :func:`repro.obs.insight.diff.diff_summaries` —
+  the gate fails exactly when the diff verdict is ``regression``.
 
 Exits 1 with one line per violation, 0 with a summary otherwise.  Run as
 ``make bench-check`` (CI's ``bench-regression`` job) or directly::
 
     PYTHONPATH=src python benchmarks/check_regression.py [--tolerance 0.2]
+    PYTHONPATH=src python benchmarks/check_regression.py --suite serve
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from pathlib import Path
 
 HERE = Path(__file__).resolve().parent
 DEFAULT_BASELINE = HERE.parent / "BENCH_scheduler.json"
+DEFAULT_SERVE_BASELINE = HERE.parent / "BENCH_serve.json"
 
 
 def measure() -> dict:
@@ -75,13 +81,90 @@ def evaluate(baseline: dict, current: dict, tolerance: float) -> list[str]:
     return problems
 
 
+def measure_serve() -> dict:
+    """Run the serve benchmark workload once (see test_serve_throughput)."""
+    sys.path.insert(0, str(HERE))
+    import test_serve_throughput as bench
+
+    return bench.measure_serve()
+
+
+def evaluate_serve(baseline: dict, current: dict, tolerance: float) -> list[str]:
+    """Direction-aware serve diff; one message per regressed indicator."""
+    sys.path.insert(0, str(HERE))
+    import test_serve_throughput as bench
+
+    from repro.obs.insight.diff import diff_summaries
+
+    scored = {k: v for k, v in baseline.items() if isinstance(v, (int, float))}
+    report = diff_summaries(
+        scored,
+        {k: current[k] for k in scored if k in current},
+        tolerance=tolerance,
+        directions=bench.SERVE_DIRECTIONS,
+    )
+    return [
+        f"serve {d.name} regressed: {d.baseline:g} -> {d.current:g} "
+        f"({d.rel_delta:+.0%}, tolerance {tolerance:.0%})"
+        for d in report.regressions
+    ]
+
+
+def _check_scheduler(baseline_path: Path, tolerance: float) -> list[str]:
+    if not baseline_path.exists():
+        return [f"no baseline at {baseline_path}"]
+    baseline = json.loads(baseline_path.read_text())
+    current = measure()
+    problems = evaluate(baseline, current, tolerance)
+    if not problems:
+        print(
+            f"OK: speedup {current['speedup']:.2f}x "
+            f"(baseline {baseline['speedup']:.2f}x), "
+            f"overlap {current['overlapped_seconds']:.1f}s "
+            f"(baseline {baseline['overlapped_seconds']:.1f}s), "
+            f"{current['llm_calls_batched']} LLM calls "
+            f"— within {tolerance:.0%} of {baseline_path.name}"
+        )
+    return problems
+
+
+def _check_serve(baseline_path: Path, tolerance: float) -> list[str]:
+    if not baseline_path.exists():
+        return [f"no baseline at {baseline_path}"]
+    baseline = json.loads(baseline_path.read_text())
+    current = measure_serve()
+    problems = evaluate_serve(baseline, current, tolerance)
+    if not problems:
+        print(
+            f"OK: serve goodput {current['goodput_ratio']:.0%} "
+            f"(baseline {baseline['goodput_ratio']:.0%}), "
+            f"p99 {current['p99_seconds']:.1f}s "
+            f"(baseline {baseline['p99_seconds']:.1f}s), "
+            f"shed {current['shed_ratio']:.0%} "
+            f"— within {tolerance:.0%} of {baseline_path.name}"
+        )
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--suite",
+        choices=["scheduler", "serve", "all"],
+        default="all",
+        help="which benchmark gate(s) to run (default all)",
+    )
     parser.add_argument(
         "--baseline",
         type=Path,
         default=DEFAULT_BASELINE,
-        help=f"committed benchmark artifact (default {DEFAULT_BASELINE.name})",
+        help=f"committed scheduler artifact (default {DEFAULT_BASELINE.name})",
+    )
+    parser.add_argument(
+        "--serve-baseline",
+        type=Path,
+        default=DEFAULT_SERVE_BASELINE,
+        help=f"committed serve artifact (default {DEFAULT_SERVE_BASELINE.name})",
     )
     parser.add_argument(
         "--tolerance",
@@ -90,24 +173,15 @@ def main(argv: list[str] | None = None) -> int:
         help="allowed fractional regression before failing (default 0.20)",
     )
     args = parser.parse_args(argv)
-    if not args.baseline.exists():
-        print(f"FAIL: no baseline at {args.baseline}", file=sys.stderr)
-        return 1
-    baseline = json.loads(args.baseline.read_text())
-    current = measure()
-    problems = evaluate(baseline, current, args.tolerance)
+    problems = []
+    if args.suite in ("scheduler", "all"):
+        problems += _check_scheduler(args.baseline, args.tolerance)
+    if args.suite in ("serve", "all"):
+        problems += _check_serve(args.serve_baseline, args.tolerance)
     if problems:
         for problem in problems:
             print(f"FAIL: {problem}", file=sys.stderr)
         return 1
-    print(
-        f"OK: speedup {current['speedup']:.2f}x "
-        f"(baseline {baseline['speedup']:.2f}x), "
-        f"overlap {current['overlapped_seconds']:.1f}s "
-        f"(baseline {baseline['overlapped_seconds']:.1f}s), "
-        f"{current['llm_calls_batched']} LLM calls "
-        f"— within {args.tolerance:.0%} of {args.baseline.name}"
-    )
     return 0
 
 

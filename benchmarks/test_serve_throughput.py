@@ -1,0 +1,98 @@
+"""Benchmark — serving-layer goodput and tail latency under overload.
+
+Drives the multi-tenant serving layer at 2× its admissible load (the same
+workload as the ``overload`` experiment's stress cell: three tenants,
+degradation ladder with a fitted surrogate, batched dispatch) and records
+the service indicators that matter under pressure: goodput ratio, p50/p99
+latency, shed ratio, and total tokens charged.
+
+The measured numbers land in ``BENCH_serve.json`` next to the scheduler
+artifact; ``benchmarks/check_regression.py`` re-measures the same workload
+and diffs against that baseline direction-aware (goodput up is good, p99
+up is bad) via :mod:`repro.obs.insight.diff`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: Workload shape — shared with the regression gate so baseline and
+#: re-measurement always describe the same operating point.
+DATASET = "cora"
+NUM_QUERIES = 120
+ADMISSIBLE = 48
+LOAD_MULTIPLIER = 2.0
+BATCH_SIZE = 8
+WORKERS = 4
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+#: How each artifact key may move before the gate flags a regression.
+SERVE_DIRECTIONS = {
+    "offered": "neutral",
+    "goodput": "higher_better",
+    "goodput_ratio": "higher_better",
+    "served_full": "higher_better",
+    "degraded": "neutral",
+    "rejected": "lower_better",
+    "shed_ratio": "lower_better",
+    "p50_seconds": "lower_better",
+    "p99_seconds": "lower_better",
+    "total_tokens": "neutral",
+    "budget_utilization": "neutral",
+}
+
+
+def measure_serve() -> dict:
+    """Run the overload stress cell once and flatten it to artifact keys."""
+    from repro.experiments.overload import run_overload
+
+    result = run_overload(
+        dataset=DATASET,
+        num_queries=NUM_QUERIES,
+        multipliers=(LOAD_MULTIPLIER,),
+        admissible=ADMISSIBLE,
+        batch_size=BATCH_SIZE,
+        workers=WORKERS,
+    )
+    cell = result.cell(LOAD_MULTIPLIER)
+    return {
+        "dataset": DATASET,
+        "num_queries": NUM_QUERIES,
+        "admissible": ADMISSIBLE,
+        "load_multiplier": LOAD_MULTIPLIER,
+        "offered": cell.offered,
+        "goodput": cell.goodput,
+        "goodput_ratio": cell.goodput / cell.offered if cell.offered else 0.0,
+        "served_full": cell.served_full,
+        "degraded": cell.degraded,
+        "rejected": cell.rejected,
+        "shed_ratio": cell.rejected / cell.offered if cell.offered else 0.0,
+        "p50_seconds": cell.p50_seconds,
+        "p99_seconds": cell.p99_seconds,
+        "total_tokens": cell.total_tokens,
+        "budget_utilization": cell.budget_utilization,
+    }
+
+
+def test_serve_throughput(run_once, bench_budget):
+    with bench_budget(max_seconds=120.0):
+        payload = run_once(measure_serve)
+
+    # At 2x load the layer must keep serving (plateau, not collapse) while
+    # converting the excess into degradation/shedding rather than overdraw.
+    assert payload["offered"] == int(LOAD_MULTIPLIER * ADMISSIBLE)
+    assert payload["goodput"] > 0
+    assert payload["goodput_ratio"] >= 0.25
+    assert payload["p99_seconds"] >= payload["p50_seconds"]
+    assert payload["budget_utilization"] <= 1.0 + 1e-9
+
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print(
+        f"serve throughput @ {LOAD_MULTIPLIER:g}x: "
+        f"{payload['goodput']}/{payload['offered']} goodput "
+        f"({payload['goodput_ratio']:.0%}), p99 {payload['p99_seconds']:.1f}s, "
+        f"shed {payload['shed_ratio']:.0%}, artifact at {BENCH_PATH.name}"
+    )

@@ -8,6 +8,10 @@ Subcommands::
     repro serve ...                replay a multi-tenant request stream
     repro chaos ...                run a fault plan against the stack and audit it
     repro trace FILE               validate + summarize a JSONL query trace
+    repro analyze critical-path    wave makespan decomposition + barrier-stall idle
+    repro analyze costs            token/dollar attribution, ledger-reconciled
+    repro analyze slo              latency/goodput/error-rate objectives + burn rates
+    repro analyze diff             cross-run regression diff with verdict
     repro experiment NAME          reproduce one paper table/figure
     repro report [--quick]        reproduce everything into a markdown report
     repro prices                  show the token pricing table
@@ -648,6 +652,129 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_bundle(path: str):
+    from repro.obs import TraceSchemaError
+    from repro.obs.insight import RunBundle
+
+    try:
+        return RunBundle.load(path)
+    except (TraceSchemaError, ValueError, OSError) as error:
+        print(f"INVALID trace: {error}", file=sys.stderr)
+        return None
+
+
+def _emit(title: str, section_list, payload: dict, fmt: str) -> None:
+    from repro.obs.insight import render_json, render_sections
+
+    if fmt == "json":
+        print(render_json(payload), end="")
+    else:
+        print(render_sections(title, section_list, fmt), end="")
+
+
+def _cmd_analyze_critical_path(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs.insight import analyze_bench, analyze_trace
+    from repro.obs.insight import critical_path as cp
+
+    # A BENCH_scheduler.json artifact is a single JSON object with a
+    # "waves" key; anything else is treated as a JSONL trace.
+    payload = None
+    try:
+        payload = _json.loads(open(args.path).read())
+    except (ValueError, OSError):
+        payload = None
+    if isinstance(payload, dict) and "waves" in payload:
+        report = analyze_bench(payload)
+        title = "Critical-path analysis (bench artifact)"
+    else:
+        bundle = _load_bundle(args.path)
+        if bundle is None:
+            return 1
+        report = analyze_trace(
+            bundle, concurrency=args.concurrency, batch_size=args.batch_size
+        )
+        context = bundle.context()
+        title = f"Critical-path analysis ({context})" if context else "Critical-path analysis"
+    _emit(title, cp.sections(report), report.to_dict(), args.format)
+    return 0
+
+
+def _cmd_analyze_costs(args: argparse.Namespace) -> int:
+    from repro.obs.insight import attribute, verify
+    from repro.obs.insight import attribution as am
+
+    bundle = _load_bundle(args.path)
+    if bundle is None:
+        return 1
+    report = attribute(bundle)
+    context = bundle.context()
+    title = f"Cost attribution ({context})" if context else "Cost attribution"
+    section_list = am.sections(report, top_nodes=args.top)
+    problems = verify(bundle, report)
+    if problems:
+        section_list.append(
+            am.Section(
+                title="RECONCILIATION FAILURES",
+                notes=[f"FAIL: {p}" for p in problems],
+            )
+        )
+    payload = report.to_dict()
+    payload["reconciliation_problems"] = problems
+    _emit(title, section_list, payload, args.format)
+    if problems:
+        for problem in problems:
+            print(f"RECONCILIATION FAIL: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_analyze_slo(args: argparse.Namespace) -> int:
+    from repro.obs.insight import DEFAULT_OBJECTIVES, evaluate, load_objectives
+    from repro.obs.insight import slo as sm
+
+    bundle = _load_bundle(args.path)
+    if bundle is None:
+        return 1
+    try:
+        objectives = (
+            load_objectives(args.objectives)
+            if args.objectives
+            else DEFAULT_OBJECTIVES
+        )
+    except (ValueError, KeyError, OSError) as error:
+        print(f"INVALID objectives: {error}", file=sys.stderr)
+        return 1
+    report = evaluate(bundle, objectives=objectives, windows=args.windows)
+    context = bundle.context()
+    title = f"SLO attainment ({context})" if context else "SLO attainment"
+    _emit(title, sm.sections(report), report.to_dict(), args.format)
+    if args.fail_on_breach and not report.all_met:
+        breached = [r.objective.name for r in report.results if not r.met]
+        print(f"SLO BREACHED: {', '.join(breached)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_analyze_diff(args: argparse.Namespace) -> int:
+    from repro.obs.insight import diff_bundles
+    from repro.obs.insight import diff as dm
+
+    baseline = _load_bundle(args.baseline)
+    current = _load_bundle(args.current)
+    if baseline is None or current is None:
+        return 1
+    report = diff_bundles(baseline, current, tolerance=args.tolerance)
+    _emit(
+        "Cross-run diff (baseline -> current)",
+        dm.sections(report),
+        report.to_dict(),
+        args.format,
+    )
+    return 1 if report.verdict == "regression" else 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     import importlib
 
@@ -958,6 +1085,74 @@ def build_parser() -> argparse.ArgumentParser:
     sub = subparsers.add_parser("trace", help="validate + summarize a JSONL query trace")
     sub.add_argument("path", help="trace file written by classify --trace")
     sub.set_defaults(func=_cmd_trace)
+
+    analyze = subparsers.add_parser(
+        "analyze", help="offline performance analysis of run telemetry"
+    )
+    analyze_sub = analyze.add_subparsers(dest="analysis", required=True)
+
+    def _add_format(p):
+        p.add_argument(
+            "--format", default="text", choices=["text", "json", "md"],
+            help="report rendering (default: text)",
+        )
+
+    sub = analyze_sub.add_parser(
+        "critical-path",
+        help="wave makespan decomposition: compute vs barrier-stall idle",
+    )
+    sub.add_argument("path", help="JSONL trace, or a BENCH_scheduler.json artifact")
+    sub.add_argument(
+        "--concurrency", type=int, default=4,
+        help="virtual workers for trace packing (default: 4)",
+    )
+    sub.add_argument(
+        "--batch-size", type=int, default=None,
+        help="batch barrier width (default: whole wave)",
+    )
+    _add_format(sub)
+    sub.set_defaults(func=_cmd_analyze_critical_path)
+
+    sub = analyze_sub.add_parser(
+        "costs", help="token/dollar attribution, reconciled against metrics"
+    )
+    sub.add_argument("path", help="JSONL trace written by classify/serve --trace")
+    sub.add_argument(
+        "--top", type=int, default=10, help="node spenders to list (default: 10)"
+    )
+    _add_format(sub)
+    sub.set_defaults(func=_cmd_analyze_costs)
+
+    sub = analyze_sub.add_parser(
+        "slo", help="latency/goodput/error-rate objectives + burn rates"
+    )
+    sub.add_argument("path", help="JSONL trace written by classify/serve --trace")
+    sub.add_argument(
+        "--objectives", default=None,
+        help="JSON file of objectives (default: built-in serve SLOs)",
+    )
+    sub.add_argument(
+        "--windows", type=int, default=6,
+        help="equal time slices for burn rates (default: 6)",
+    )
+    sub.add_argument(
+        "--fail-on-breach", action="store_true",
+        help="exit 1 if any objective is breached",
+    )
+    _add_format(sub)
+    sub.set_defaults(func=_cmd_analyze_slo)
+
+    sub = analyze_sub.add_parser(
+        "diff", help="cross-run regression diff (exit 1 on regression verdict)"
+    )
+    sub.add_argument("baseline", help="baseline JSONL trace")
+    sub.add_argument("current", help="current JSONL trace")
+    sub.add_argument(
+        "--tolerance", type=float, default=0.1,
+        help="relative movement treated as noise (default: 0.1)",
+    )
+    _add_format(sub)
+    sub.set_defaults(func=_cmd_analyze_diff)
 
     sub = subparsers.add_parser("experiment", help="reproduce one paper table/figure")
     sub.add_argument("name", choices=EXPERIMENT_NAMES)

@@ -103,6 +103,16 @@ class RunObserver:
         ``latency_seconds`` the arrival-to-completion simulated time.
         """
 
+    def on_serve_charge(self, tenant: str, tokens: int, usd: float) -> None:
+        """One record's spend was charged to ``tenant``'s ledger.
+
+        Fires from :meth:`~repro.runtime.serve.ServingLayer._charge` on both
+        live execution and journal replay — the ledgers re-accumulate either
+        way, so observer-side per-tenant spend totals reconcile with the
+        :class:`~repro.core.budget.LedgerBook` exactly, resumed runs
+        included.
+        """
+
     # ------------------------------------------------------------- scheduling
 
     def on_wave_start(self, wave_index: int, num_queries: int, num_batches: int) -> None:

@@ -1,0 +1,356 @@
+"""Critical-path analysis of scheduler waves from a trace (or bench artifact).
+
+ROADMAP item 1 blames the wave barrier for the scheduler's speedup ceiling;
+this module turns that hunch into numbers.  From a trace it reconstructs the
+dependency waves (each boosting ``round`` span is one wave, top-level query
+runs form ``plain`` waves), replays each wave's measured per-query latencies
+through the *same* greedy next-free-worker packing the scheduler's
+simulated dispatch uses (:meth:`repro.runtime.scheduler.QueryScheduler.
+_overlap`), and decomposes every wave's makespan into compute vs
+barrier-stall idle:
+
+``stall = concurrency × makespan − Σ latencies``
+
+i.e. the worker-seconds spent parked at batch/wave barriers while one
+straggler finishes.  Each wave also names its **blocking query** — the
+query whose completion sets the dominant batch's makespan — and the report
+ends with a *what-if-barrier-removed* lower bound: the makespan a
+barrier-free dispatcher could reach, ``max(Σ latency / c, longest single
+query)``, which bounds the attainable speedup from above.
+
+The same decomposition also runs directly on a committed
+``BENCH_scheduler.json`` artifact (wave aggregates only — no per-query
+blocking attribution there, the artifact never had per-query latencies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.obs.insight.bundle import RunBundle
+from repro.obs.insight.report import Section, fmt_ratio, fmt_seconds
+
+
+@dataclass(frozen=True)
+class WaveQuery:
+    """One query of a reconstructed wave (canonical trace order)."""
+
+    name: str
+    latency: float
+
+
+@dataclass(frozen=True)
+class WavePath:
+    """One wave's makespan decomposition under the virtual packing."""
+
+    index: int
+    label: str
+    num_queries: int
+    num_batches: int
+    serial_seconds: float
+    makespan_seconds: float
+    stall_seconds: float
+    utilization: float
+    blocking_query: str | None
+    longest_query_seconds: float
+    worker_busy: tuple[float, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "label": self.label,
+            "num_queries": self.num_queries,
+            "num_batches": self.num_batches,
+            "serial_seconds": self.serial_seconds,
+            "makespan_seconds": self.makespan_seconds,
+            "stall_seconds": self.stall_seconds,
+            "utilization": self.utilization,
+            "blocking_query": self.blocking_query,
+            "longest_query_seconds": self.longest_query_seconds,
+            "worker_busy": list(self.worker_busy),
+        }
+
+
+@dataclass(frozen=True)
+class CriticalPathReport:
+    """Whole-run critical path: per-wave decomposition plus the what-if bound."""
+
+    source: str  # "trace" | "bench"
+    concurrency: int
+    batch_size: int | None
+    waves: tuple[WavePath, ...]
+
+    @property
+    def serial_seconds(self) -> float:
+        return sum(w.serial_seconds for w in self.waves)
+
+    @property
+    def makespan_seconds(self) -> float:
+        return sum(w.makespan_seconds for w in self.waves)
+
+    @property
+    def stall_seconds(self) -> float:
+        return sum(w.stall_seconds for w in self.waves)
+
+    @property
+    def speedup(self) -> float:
+        if self.makespan_seconds <= 0.0:
+            return 1.0
+        return self.serial_seconds / self.makespan_seconds
+
+    @property
+    def what_if_no_barrier_seconds(self) -> float:
+        """Lower-bound makespan with every barrier removed.
+
+        A barrier-free dispatcher still cannot beat perfect work
+        conservation (total work / workers) nor finish before its single
+        longest query — per wave the bound is the max of the two; waves
+        remain ordered (pseudo-label dependencies), so bounds sum.
+        """
+        total = 0.0
+        for wave in self.waves:
+            total += max(
+                wave.serial_seconds / self.concurrency,
+                wave.longest_query_seconds,
+            )
+        return total
+
+    @property
+    def what_if_speedup(self) -> float:
+        bound = self.what_if_no_barrier_seconds
+        if bound <= 0.0:
+            return 1.0
+        return self.serial_seconds / bound
+
+    def to_dict(self) -> dict:
+        return {
+            "source": self.source,
+            "concurrency": self.concurrency,
+            "batch_size": self.batch_size,
+            "serial_seconds": self.serial_seconds,
+            "makespan_seconds": self.makespan_seconds,
+            "stall_seconds": self.stall_seconds,
+            "speedup": self.speedup,
+            "what_if_no_barrier_seconds": self.what_if_no_barrier_seconds,
+            "what_if_speedup": self.what_if_speedup,
+            "waves": [w.to_dict() for w in self.waves],
+        }
+
+
+# ------------------------------------------------------------ wave packing
+
+
+def _chunks(items: list, size: int | None) -> list[list]:
+    if not items:
+        return []
+    if size is None or size >= len(items):
+        return [items]
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
+def pack_wave(
+    index: int,
+    label: str,
+    queries: Sequence[WaveQuery],
+    concurrency: int,
+    batch_size: int | None,
+) -> WavePath:
+    """Replay one wave's latencies through the scheduler's virtual packing.
+
+    Mirrors ``QueryScheduler._overlap`` exactly (greedy next-free worker,
+    batch barriers) but additionally tracks which query finishes each batch
+    — the blocking query — and per-worker busy time for the utilization
+    timeline.
+    """
+    if concurrency < 1:
+        raise ValueError("concurrency must be >= 1")
+    serial = sum(q.latency for q in queries)
+    makespan = 0.0
+    worker_busy = [0.0] * concurrency
+    blocking: tuple[float, str, float] | None = None  # (batch makespan, name, latency)
+    for batch in _chunks(list(queries), batch_size):
+        workers = [0.0] * min(concurrency, len(batch))
+        batch_blocker: tuple[str, float] | None = None
+        for query in batch:
+            slot = workers.index(min(workers))
+            workers[slot] += query.latency
+            worker_busy[slot] += query.latency
+            if batch_blocker is None or workers[slot] >= max(workers):
+                batch_blocker = (query.name, query.latency)
+        batch_makespan = max(workers, default=0.0)
+        makespan += batch_makespan
+        if batch_blocker is not None and (
+            blocking is None or batch_makespan > blocking[0]
+        ):
+            blocking = (batch_makespan, batch_blocker[0], batch_blocker[1])
+    stall = max(0.0, concurrency * makespan - serial)
+    utilization = serial / (concurrency * makespan) if makespan > 0 else 1.0
+    longest = max((q.latency for q in queries), default=0.0)
+    return WavePath(
+        index=index,
+        label=label,
+        num_queries=len(queries),
+        num_batches=len(_chunks(list(queries), batch_size)),
+        serial_seconds=serial,
+        makespan_seconds=makespan,
+        stall_seconds=stall,
+        utilization=utilization,
+        blocking_query=blocking[1] if blocking is not None else None,
+        longest_query_seconds=longest,
+        worker_busy=tuple(worker_busy),
+    )
+
+
+# ------------------------------------------------------- wave reconstruction
+
+
+def waves_from_trace(bundle: RunBundle) -> list[tuple[str, list[WaveQuery]]]:
+    """Reconstruct dependency waves from a trace, in execution order.
+
+    Each boosting ``round`` span is one wave holding its child ``query``
+    spans; contiguous top-level query spans (plain/pruned strategies, or the
+    pruned phase of a joint run) form ``plain`` waves.  Replayed query spans
+    ride along with zero latency — they took no simulated time.
+    """
+    round_ids = {
+        s["span_id"]: int(s.get("attributes", {}).get("round_index", 0))
+        for s in bundle.spans_named("round")
+    }
+    waves: list[tuple[str, list[WaveQuery]]] = []
+    by_round: dict[str, list[WaveQuery]] = {}
+    current_plain: list[WaveQuery] | None = None
+    for span in bundle.query_spans():
+        attrs = span.get("attributes", {})
+        query = WaveQuery(
+            name=f"node {attrs.get('node', '?')}",
+            latency=0.0 if attrs.get("replayed") else float(span.get("duration", 0.0)),
+        )
+        parent = span.get("parent_id")
+        if parent in round_ids:
+            if parent not in by_round:
+                by_round[parent] = []
+                waves.append((f"round {round_ids[parent]}", by_round[parent]))
+                current_plain = None
+            by_round[parent].append(query)
+        else:
+            if current_plain is None:
+                current_plain = []
+                waves.append(("plain", current_plain))
+            current_plain.append(query)
+    return waves
+
+
+def analyze_trace(
+    bundle: RunBundle, concurrency: int = 4, batch_size: int | None = None
+) -> CriticalPathReport:
+    """Critical-path decomposition of one trace under a scheduler shape."""
+    waves = [
+        pack_wave(i, label, queries, concurrency, batch_size)
+        for i, (label, queries) in enumerate(waves_from_trace(bundle))
+    ]
+    return CriticalPathReport(
+        source="trace",
+        concurrency=concurrency,
+        batch_size=batch_size,
+        waves=tuple(waves),
+    )
+
+
+def analyze_bench(payload: dict) -> CriticalPathReport:
+    """Critical-path decomposition of a ``BENCH_scheduler.json`` artifact.
+
+    The artifact records wave aggregates only, so blocking-query
+    attribution is unavailable; the stall decomposition and what-if bound
+    use the artifact's own concurrency/batch configuration.  The per-wave
+    longest-query bound falls back to ``seconds_per_call`` (the bench's
+    uniform latency profile) when present.
+    """
+    concurrency = int(payload.get("max_concurrency", 1))
+    batch_size = payload.get("max_batch_size")
+    per_call = float(payload.get("seconds_per_call", 0.0))
+    waves = []
+    for i, wave in enumerate(payload.get("waves", [])):
+        serial = float(wave.get("serial_seconds", 0.0))
+        makespan = float(wave.get("overlapped_seconds", 0.0))
+        waves.append(
+            WavePath(
+                index=i,
+                label=f"wave {wave.get('wave_index', i)}",
+                num_queries=int(wave.get("num_queries", 0)),
+                num_batches=int(wave.get("num_batches", 0)),
+                serial_seconds=serial,
+                makespan_seconds=makespan,
+                stall_seconds=max(0.0, concurrency * makespan - serial),
+                utilization=(
+                    serial / (concurrency * makespan) if makespan > 0 else 1.0
+                ),
+                blocking_query=None,
+                longest_query_seconds=per_call,
+                worker_busy=(),
+            )
+        )
+    return CriticalPathReport(
+        source="bench",
+        concurrency=concurrency,
+        batch_size=batch_size if batch_size is None else int(batch_size),
+        waves=tuple(waves),
+    )
+
+
+# ------------------------------------------------------------------ report
+
+
+def sections(report: CriticalPathReport) -> list[Section]:
+    rows = []
+    for wave in report.waves:
+        rows.append(
+            (
+                wave.label,
+                wave.num_queries,
+                wave.num_batches,
+                fmt_seconds(wave.serial_seconds),
+                fmt_seconds(wave.makespan_seconds),
+                fmt_seconds(wave.stall_seconds),
+                fmt_ratio(wave.utilization),
+                wave.blocking_query or "n/a (aggregate)",
+            )
+        )
+    batch = "wave" if report.batch_size is None else str(report.batch_size)
+    wave_section = Section(
+        title=(
+            f"Per-wave makespan decomposition "
+            f"(concurrency {report.concurrency}, batch {batch})"
+        ),
+        headers=[
+            "Wave", "Queries", "Batches", "Compute", "Makespan",
+            "Barrier stall", "Utilization", "Blocking query",
+        ],
+        rows=rows,
+    )
+    util_rows = []
+    for wave in report.waves:
+        if not wave.worker_busy:
+            continue
+        timeline = " ".join(
+            f"w{slot}={busy:.2f}s" for slot, busy in enumerate(wave.worker_busy)
+        )
+        util_rows.append(f"{wave.label}: {timeline}")
+    summary = Section(
+        title="Critical path",
+        notes=[
+            f"serial compute      : {fmt_seconds(report.serial_seconds)}",
+            f"barriered makespan  : {fmt_seconds(report.makespan_seconds)} "
+            f"({report.speedup:.2f}x speedup)",
+            f"barrier-stall idle  : {fmt_seconds(report.stall_seconds)} "
+            f"worker-seconds",
+            f"what-if no barrier  : >= {fmt_seconds(report.what_if_no_barrier_seconds)} "
+            f"(<= {report.what_if_speedup:.2f}x speedup bound)",
+            *(
+                ["virtual-worker busy timeline:"] + [f"  {row}" for row in util_rows]
+                if util_rows
+                else []
+            ),
+        ],
+    )
+    return [wave_section, summary]

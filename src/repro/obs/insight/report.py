@@ -1,0 +1,94 @@
+"""Deterministic rendering for analysis reports (text, markdown, JSON).
+
+Every ``repro analyze`` subcommand builds a list of :class:`Section`
+objects — a title, a table, and optional note lines — and renders them
+through one of the three formatters here.  Formatting rules exist to keep
+reports byte-identical across replays of the same run: no run ids, no
+timestamps, fixed float precision, sorted iteration everywhere upstream.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.experiments.report import render_table
+
+FORMATS = ("text", "json", "md")
+
+
+@dataclass
+class Section:
+    """One titled block of a report: a table plus free-form note lines."""
+
+    title: str
+    headers: Sequence[str] = ()
+    rows: Sequence[Sequence[object]] = ()
+    notes: Sequence[str] = ()
+
+
+def fmt_seconds(value: float) -> str:
+    return f"{value:.2f}s"
+
+
+def fmt_ratio(value: float) -> str:
+    return f"{value:.1%}"
+
+
+def fmt_usd(value: float) -> str:
+    return f"${value:.4f}"
+
+
+def render_sections(title: str, sections: Sequence[Section], fmt: str) -> str:
+    """Render a whole report in ``fmt`` (one of :data:`FORMATS`)."""
+    if fmt == "text":
+        return _render_text(title, sections)
+    if fmt == "md":
+        return _render_markdown(title, sections)
+    raise ValueError(f"format must be one of {FORMATS} (json renders from to_dict)")
+
+
+def render_json(payload: dict) -> str:
+    """Canonical JSON rendering: sorted keys, 2-space indent, newline."""
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
+def _render_text(title: str, sections: Sequence[Section]) -> str:
+    parts = [title]
+    for section in sections:
+        parts.append("")
+        if section.headers and section.rows:
+            parts.append(
+                render_table(
+                    list(section.headers),
+                    [list(r) for r in section.rows],
+                    title=section.title,
+                )
+            )
+        else:
+            parts.append(section.title)
+        parts.extend(f"  {note}" for note in section.notes)
+    return "\n".join(parts) + "\n"
+
+
+def _render_markdown(title: str, sections: Sequence[Section]) -> str:
+    parts = [f"## {title}"]
+    for section in sections:
+        parts.append("")
+        parts.append(f"### {section.title}")
+        if section.headers and section.rows:
+            parts.append("")
+            parts.append("| " + " | ".join(str(h) for h in section.headers) + " |")
+            parts.append("|" + "|".join(" --- " for _ in section.headers) + "|")
+            for row in section.rows:
+                parts.append("| " + " | ".join(_md_cell(c) for c in row) + " |")
+        if section.notes:
+            parts.append("")
+            parts.extend(f"- {note}" for note in section.notes)
+    return "\n".join(parts) + "\n"
+
+
+def _md_cell(cell: object) -> str:
+    text = f"{cell:.1f}" if isinstance(cell, float) else str(cell)
+    return text.replace("|", "\\|").replace("\n", " ")

@@ -193,6 +193,10 @@ class Instrumentation(RunObserver):
             "Total queued requests across tenants after the latest ruling",
             **self.labels,
         ).set(queue_depth)
+        self.tracer.event(
+            "serve_cycle", cycle=cycle_index, queue_depth=queue_depth,
+            dispatched=dispatched,
+        )
 
     def on_serve_complete(
         self, tenant: str, status: str, tier: str, latency_seconds: float
@@ -208,6 +212,25 @@ class Instrumentation(RunObserver):
             buckets=LATENCY_BUCKETS,
             **{**self.labels, "tenant": tenant},
         ).observe(latency_seconds)
+        # The serving layer fires this hook identically in live and journal-
+        # replay cycles (after the cycle's clock advance), so the event is
+        # replay-exact and gives SLO analysis a timestamped completion record.
+        self.tracer.event(
+            "serve_complete", tenant=tenant, status=status, tier=tier,
+            latency_seconds=latency_seconds,
+        )
+
+    def on_serve_charge(self, tenant: str, tokens: int, usd: float) -> None:
+        self.registry.counter(
+            "repro_serve_tokens_total",
+            "Tokens charged to tenant ledgers by the serving layer",
+            **{**self.labels, "tenant": tenant},
+        ).inc(tokens)
+        self.registry.counter(
+            "repro_serve_cost_usd_total",
+            "Dollars charged to tenant ledgers by the serving layer",
+            **{**self.labels, "tenant": tenant},
+        ).inc(usd)
 
     # ------------------------------------------------------------- scheduling
 

@@ -238,7 +238,7 @@ class MetricsRegistry:
         for name in sorted(self._families):
             family = self._families[name]
             if family["help"]:
-                lines.append(f"# HELP {name} {family['help']}")
+                lines.append(f"# HELP {name} {_escape_help(family['help'])}")
             lines.append(f"# TYPE {name} {family['kind']}")
             for key in sorted(family["series"]):
                 metric = family["series"][key]
@@ -266,4 +266,12 @@ def _render_labels(key: tuple[tuple[str, str], ...]) -> str:
 
 
 def _escape(value: str) -> str:
+    """Label-value escaping per the text exposition format: backslash,
+    double quote and line feed."""
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    """HELP-line escaping: only backslash and line feed (quotes stay
+    literal — HELP text is not quoted)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")

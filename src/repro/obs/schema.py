@@ -17,6 +17,13 @@ A trace file is JSONL with three line kinds:
     A :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` payload under
     ``families``, plus the ``run_id``.
 
+Version history: v1 (PR 2) defined the envelope above; v2 added the serve
+lifecycle events and cascade span attributes and — because by then every
+subsystem emitted events the v1 validator never heard of — a per-event
+attribute catalogue (:data:`EVENT_REQUIRED_ATTRS`).  The validator accepts
+both versions (:data:`SUPPORTED_FORMAT_VERSIONS`); the catalogue check
+applies from v2 on, so archived v1 traces keep validating byte-for-byte.
+
 ``python -m repro.obs.schema TRACE.jsonl`` validates a file and exits
 non-zero on the first violation — this is what ``make trace-smoke`` runs
 in CI after emitting a real instrumented run.
@@ -31,6 +38,48 @@ from repro.obs.tracing import TRACE_FORMAT_VERSION, read_trace
 
 _SPAN_STATUSES = ("ok", "error")
 _METRIC_KINDS = ("counter", "gauge", "histogram")
+
+#: Trace format versions this validator accepts (backward compatible).
+SUPPORTED_FORMAT_VERSIONS = (1, TRACE_FORMAT_VERSION)
+
+#: Required attributes per known span/event name — the audit of everything
+#: the stack actually emits today (engine lifecycle, boosting, cascade
+#: routing, serving, reliability, checkpoints, chaos).  Unknown names stay
+#: legal (the schema is open for extension); a *known* name missing a
+#: required attribute is a validation error from format v2 on.
+EVENT_REQUIRED_ATTRS: dict[str, tuple[str, ...]] = {
+    # engine query lifecycle
+    "query": ("node",),
+    "select_neighbors": ("node",),
+    "prompt_build": ("node", "num_neighbors"),
+    "llm_call": ("node",),
+    "parse": ("node",),
+    "degrade_pruned": ("node",),
+    "degrade_surrogate": ("node",),
+    "abstain": ("node",),
+    # boosting
+    "round": ("round_index", "candidates"),
+    "deferral": ("node", "attempt"),
+    "pruning_plan": ("num_pruned", "num_total", "tau"),
+    # cascade routing
+    "escalation": ("node", "from_tier", "to_tier", "reason"),
+    # serving layer
+    "admission": ("tenant", "decision", "queue_depth"),
+    "serve_cycle": ("cycle", "queue_depth", "dispatched"),
+    "serve_complete": ("tenant", "status", "tier", "latency_seconds"),
+    # scheduler (threads mode only; simulated dispatch emits no wave spans)
+    "wave": ("wave_index", "queries"),
+    # reliability
+    "retry": ("attempt", "wait_seconds"),
+    "deadline_give_up": ("attempts",),
+    "breaker_transition": ("old", "new", "at"),
+    "breaker_rejection": (),
+    # checkpoints
+    "checkpoint_loaded": ("num_records", "completed"),
+    "checkpoint_recovered": ("num_records", "reason"),
+    # chaos
+    "chaos_fault": ("fault", "target", "detail"),
+}
 
 
 class TraceSchemaError(ValueError):
@@ -54,10 +103,12 @@ def validate_trace_lines(lines: list[dict]) -> dict:
     _require(len(lines) >= 1, 1, "trace is empty")
     header = lines[0]
     _require(header.get("kind") == "run", 1, "first line must be the run header")
+    version = header.get("format_version")
     _require(
-        header.get("format_version") == TRACE_FORMAT_VERSION,
+        version in SUPPORTED_FORMAT_VERSIONS,
         1,
-        f"unsupported format_version {header.get('format_version')!r}",
+        f"unsupported format_version {version!r} "
+        f"(supported: {SUPPORTED_FORMAT_VERSIONS})",
     )
     run_id = header.get("run_id")
     _require(isinstance(run_id, str) and bool(run_id), 1, "run_id must be a non-empty string")
@@ -116,7 +167,18 @@ def validate_trace_lines(lines: list[dict]) -> dict:
             line_no,
             f"status must be one of {_SPAN_STATUSES}",
         )
-        _require(isinstance(line.get("attributes"), dict), line_no, "attributes must be an object")
+        attributes = line.get("attributes")
+        _require(isinstance(attributes, dict), line_no, "attributes must be an object")
+        if version >= 2:
+            required = EVENT_REQUIRED_ATTRS.get(line["name"])
+            if required is not None:
+                for attr in required:
+                    _require(
+                        attr in attributes,
+                        line_no,
+                        f"{line['name']!r} span is missing required "
+                        f"attribute {attr!r}",
+                    )
         num_spans += 1
 
     _require(

@@ -24,8 +24,11 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 
-#: Trace file format version (see repro/obs/schema.py).
-TRACE_FORMAT_VERSION = 1
+#: Trace file format version (see repro/obs/schema.py).  Version 2 added
+#: the serve lifecycle events (``serve_cycle``, ``serve_complete``) and the
+#: cascade attributes (``tier``, ``cost_usd``) on routed query spans; v1
+#: files remain readable and validatable.
+TRACE_FORMAT_VERSION = 2
 
 
 @dataclass

@@ -349,15 +349,30 @@ class MultiQueryEngine:
                 record = replace(
                     record, latency_seconds=float(self.clock.now - started_at)
                 )
-            if qspan is not None:
-                qspan.set(
-                    outcome=record.outcome,
-                    prompt_tokens=record.prompt_tokens,
-                    completion_tokens=record.completion_tokens,
-                )
+            self._annotate_query_span(qspan, record)
             if self.observer is not None:
                 self.observer.on_query_end(record)
             return record
+
+    @staticmethod
+    def _annotate_query_span(qspan, record: QueryRecord) -> None:
+        """Stamp a closing ``query`` span with the record's outcome facts.
+
+        Routed records additionally carry the answering cascade tier and the
+        all-attempts dollar cost, so post-hoc attribution can roll spend up
+        by tier without re-deriving pricing.
+        """
+        if qspan is None:
+            return
+        qspan.set(
+            outcome=record.outcome,
+            prompt_tokens=record.prompt_tokens,
+            completion_tokens=record.completion_tokens,
+        )
+        if record.tier is not None:
+            qspan.set(tier=record.tier)
+        if record.cost_usd is not None:
+            qspan.set(cost_usd=record.cost_usd)
 
     def _execute_inner(
         self, node: int, include_neighbors: bool, round_index: int | None, mode: str
@@ -439,12 +454,7 @@ class MultiQueryEngine:
                 record = replace(
                     record, latency_seconds=float(self.clock.now - started_at)
                 )
-            if qspan is not None:
-                qspan.set(
-                    outcome=record.outcome,
-                    prompt_tokens=record.prompt_tokens,
-                    completion_tokens=record.completion_tokens,
-                )
+            self._annotate_query_span(qspan, record)
             if self.observer is not None:
                 self.observer.on_query_end(record)
             return record
@@ -469,12 +479,7 @@ class MultiQueryEngine:
                 record = replace(
                     record, latency_seconds=float(self.clock.now - started_at)
                 )
-            if qspan is not None:
-                qspan.set(
-                    outcome=record.outcome,
-                    prompt_tokens=record.prompt_tokens,
-                    completion_tokens=record.completion_tokens,
-                )
+            self._annotate_query_span(qspan, record)
             if self.observer is not None:
                 self.observer.on_query_end(record)
             return record
@@ -521,8 +526,7 @@ class MultiQueryEngine:
                 record = replace(
                     record, latency_seconds=float(self.clock.now - started_at)
                 )
-            if qspan is not None:
-                qspan.set(outcome=record.outcome, prompt_tokens=0, completion_tokens=0)
+            self._annotate_query_span(qspan, record)
             if self.observer is not None:
                 self.observer.on_query_end(record)
             return record
@@ -534,6 +538,9 @@ class MultiQueryEngine:
             self.router.note_replayed(record.tier)
         if self.observer is None:
             return
+        attrs: dict[str, object] = {}
+        if record.tier is not None:
+            attrs["tier"] = record.tier
         with self.observer.span(
             "query",
             node=record.node,
@@ -542,6 +549,7 @@ class MultiQueryEngine:
             outcome=record.outcome,
             prompt_tokens=0,
             completion_tokens=0,
+            **attrs,
         ):
             pass
         self.observer.on_query_end(record, replayed=True)

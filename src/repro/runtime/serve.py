@@ -715,6 +715,10 @@ class ServingLayer:
                     self.price_model, record.prompt_tokens, record.completion_tokens
                 )
         self.book.charge(tenant, record.total_tokens, usd=usd)
+        if self.observer is not None:
+            # Fires on journal replay too (replayed records re-charge the
+            # ledgers), so observer-side tenant spend always matches the book.
+            self.observer.on_serve_charge(tenant, record.total_tokens, usd)
 
     def _execute_items(
         self, items: list[WorkItem], item_tenants: list[str]

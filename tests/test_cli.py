@@ -273,3 +273,96 @@ class TestServeCommand:
         )
         assert code == 0
         assert "requests  : 2" in capsys.readouterr().out
+
+
+class TestAnalyzeCommand:
+    @pytest.fixture()
+    def traced_run(self, tmp_path):
+        """One traced boosted classify run (quiet) for the analyzers."""
+        trace_path = tmp_path / "trace.jsonl"
+        args = [
+            "classify",
+            "--dataset", "cora",
+            "--scale", "0.15",
+            "--queries", "8",
+            "--strategy", "boost",
+            "--cache",
+            "--trace", str(trace_path),
+        ]
+        assert main(args) == 0
+        return trace_path, args
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["analyze", "critical-path", "t.jsonl"])
+        assert args.concurrency == 4
+        assert args.batch_size is None
+        assert args.format == "text"
+        args = build_parser().parse_args(["analyze", "diff", "a.jsonl", "b.jsonl"])
+        assert args.tolerance == 0.1
+
+    def test_requires_analysis_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze"])
+
+    def test_critical_path_on_trace(self, capsys, traced_run):
+        trace_path, _args = traced_run
+        capsys.readouterr()
+        assert main(["analyze", "critical-path", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Per-wave makespan decomposition" in out
+        assert "Blocking query" in out
+        assert "what-if no barrier" in out
+
+    def test_critical_path_detects_bench_artifact(self, capsys, tmp_path):
+        import json
+
+        bench = tmp_path / "BENCH_scheduler.json"
+        bench.write_text(json.dumps({
+            "max_concurrency": 4,
+            "max_batch_size": 16,
+            "seconds_per_call": 1.0,
+            "waves": [{"wave_index": 0, "num_queries": 5, "num_batches": 1,
+                       "serial_seconds": 5.0, "overlapped_seconds": 2.0}],
+        }))
+        assert main(["analyze", "critical-path", str(bench)]) == 0
+        out = capsys.readouterr().out
+        assert "bench artifact" in out
+        assert "n/a (aggregate)" in out
+
+    def test_costs_reports_and_exits_clean(self, capsys, traced_run):
+        trace_path, _args = traced_run
+        capsys.readouterr()
+        assert main(["analyze", "costs", str(trace_path), "--format", "md"]) == 0
+        out = capsys.readouterr().out
+        assert "### Spend by outcome tier" in out
+
+    def test_slo_json_payload(self, capsys, traced_run):
+        import json
+
+        trace_path, _args = traced_run
+        capsys.readouterr()
+        assert main(["analyze", "slo", str(trace_path), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["all_met"] is True
+
+    def test_diff_identical_runs_verdict(self, capsys, traced_run, tmp_path):
+        import json
+
+        trace_path, args = traced_run
+        second = tmp_path / "second.jsonl"
+        args = list(args)
+        args[args.index(str(trace_path))] = str(second)
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main([
+            "analyze", "diff", str(trace_path), str(second), "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verdict"] == "identical"
+        assert payload["regressions"] == []
+
+    def test_invalid_trace_exits_nonzero(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind": "span"}\n')
+        assert main(["analyze", "costs", str(bad)]) == 1
+        assert "INVALID trace" in capsys.readouterr().err

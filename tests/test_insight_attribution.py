@@ -1,0 +1,172 @@
+"""Tests for cost attribution + ledger reconciliation (repro.obs.insight)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.budget import BudgetLedger
+from repro.llm.profiles import make_model
+from repro.llm.reliability import SimulatedClock
+from repro.obs import Instrumentation, instrument_stack
+from repro.obs.insight import (
+    RunBundle,
+    attribute,
+    reconcile_with_book,
+    reconcile_with_ledger,
+    verify,
+)
+from repro.obs.insight import attribution as am
+from repro.obs.insight.report import render_sections
+from repro.runtime.router import CascadeRouter, EscalationPolicy, RouterTier
+from repro.runtime.serve import ServeRequest, ServingLayer, TenantSpec
+
+
+@pytest.fixture()
+def cascade_run(tiny_tag, tiny_split, make_tiny_engine):
+    """A routed run with a live ledger: spans, metrics and ledger must agree."""
+    nodes = [int(v) for v in tiny_split.queries[:10]]
+    clock = SimulatedClock()
+    instr = Instrumentation(
+        run_id="cascade-attr", clock=clock, labels={"dataset": "tiny"}
+    )
+    strong = make_model("gpt-3.5", tiny_tag.vocabulary, seed=5)
+    cheap = make_model("gpt-4o-mini", tiny_tag.vocabulary, seed=21)
+    instrument_stack(strong, instr)
+    router = CascadeRouter(
+        [RouterTier("gpt-4o-mini", cheap), RouterTier("gpt-3.5", strong)],
+        policy=EscalationPolicy(
+            escalate_on="both",
+            inadequacy_threshold=0.7,
+            confidence_threshold=0.6,
+        ),
+        inadequacy={node: (node % 10) / 10.0 for node in nodes},
+        class_names=list(tiny_tag.graph.class_names),
+        observer=instr,
+    )
+    engine = make_tiny_engine(
+        llm=strong, observer=instr, clock=clock, router=router
+    )
+    ledger = BudgetLedger()
+    engine.ledger = ledger
+    engine.run(tiny_split.queries[:10])
+    return RunBundle.from_lines(instr.trace_lines()), ledger, router
+
+
+@pytest.fixture()
+def serve_run(tiny_tag, tiny_split, make_tiny_engine):
+    """A multi-tenant serve run: per-tenant attribution vs the LedgerBook."""
+    nodes = [int(v) for v in tiny_split.queries[:12]]
+    clock = SimulatedClock()
+    instr = Instrumentation(
+        run_id="serve-attr", clock=clock, labels={"dataset": "tiny"}
+    )
+    engine = make_tiny_engine(observer=instr, clock=clock)
+    tenants = [
+        TenantSpec("alpha", weight=2),
+        TenantSpec("beta", weight=1),
+    ]
+    layer = ServingLayer(engine, tenants, price_model="gpt-3.5")
+    requests = [
+        ServeRequest(tenant=("alpha" if i % 3 else "beta"), node=node, arrival=0.0)
+        for i, node in enumerate(nodes)
+    ]
+    layer.replay(requests)
+    return RunBundle.from_lines(instr.trace_lines()), layer.book
+
+
+class TestCascadeReconciliation:
+    def test_token_for_token_against_ledger(self, cascade_run):
+        bundle, ledger, _router = cascade_run
+        report = attribute(bundle)
+        assert ledger.spent > 0
+        assert report.total.tokens == ledger.spent
+        assert reconcile_with_ledger(report, ledger) == []
+
+    def test_cent_for_cent_against_ledger(self, cascade_run):
+        bundle, ledger, _router = cascade_run
+        report = attribute(bundle)
+        assert ledger.spent_usd > 0.0
+        assert report.total.usd == pytest.approx(ledger.spent_usd, abs=1e-9)
+
+    def test_tier_rollup_covers_total(self, cascade_run):
+        bundle, _ledger, router = cascade_run
+        report = attribute(bundle)
+        assert set(report.by_tier) == {"gpt-4o-mini", "gpt-3.5"}
+        assert router.stats()["cost_usd"] > 0.0
+        # Tier queries double-count escalated nodes (every attempt billed),
+        # but dollars partition exactly.
+        tier_usd = sum(r.usd for r in report.by_tier.values())
+        assert tier_usd == pytest.approx(report.total.usd, abs=1e-9)
+
+    def test_internal_verify_is_clean(self, cascade_run):
+        bundle, _ledger, _router = cascade_run
+        assert verify(bundle, attribute(bundle)) == []
+
+    def test_verify_flags_truncated_bundle(self, cascade_run):
+        bundle, _ledger, _router = cascade_run
+        # Drop one executed query span: spans no longer sum to the counters.
+        lines = list(bundle.lines)
+        victim = next(
+            ln for ln in lines
+            if ln.get("name") == "query" and "prompt_tokens" in ln.get("attributes", {})
+        )
+        truncated = RunBundle.from_lines([ln for ln in lines if ln is not victim])
+        problems = verify(truncated, attribute(truncated))
+        assert problems and "prompt tokens" in problems[0]
+
+    def test_mismatched_ledger_is_reported(self, cascade_run):
+        bundle, _ledger, _router = cascade_run
+        report = attribute(bundle)
+        wrong = BudgetLedger()
+        wrong.charge(report.total.tokens + 1, usd=report.total.usd)
+        problems = reconcile_with_ledger(report, wrong)
+        assert problems and "tokens" in problems[0]
+
+
+class TestServeReconciliation:
+    def test_per_tenant_tokens_and_dollars_match_book(self, serve_run):
+        bundle, book = serve_run
+        report = attribute(bundle)
+        assert set(report.by_tenant) == {"alpha", "beta"}
+        for tenant, ledger in book.tenants.items():
+            assert ledger.spent > 0
+            assert int(report.by_tenant[tenant]["tokens"]) == ledger.spent
+            assert report.by_tenant[tenant]["usd"] == pytest.approx(
+                ledger.spent_usd, abs=1e-9
+            )
+        assert reconcile_with_book(report, book) == []
+
+    def test_mismatched_book_is_reported(self, serve_run):
+        bundle, book = serve_run
+        report = attribute(bundle)
+        report.by_tenant["alpha"]["tokens"] += 1
+        problems = reconcile_with_book(report, book)
+        assert problems and problems[0].startswith("alpha")
+
+
+class TestRollups:
+    def test_phase_time_partitions_query_time(self, cascade_run):
+        bundle, _ledger, _router = cascade_run
+        report = attribute(bundle)
+        query_time = sum(
+            float(s.get("duration", 0.0))
+            for s in bundle.query_spans()
+            if "outcome" in s.get("attributes", {})
+        )
+        assert sum(report.by_phase.values()) == pytest.approx(query_time)
+
+    def test_outcome_and_node_rollups_agree_with_total(self, cascade_run):
+        bundle, _ledger, _router = cascade_run
+        report = attribute(bundle)
+        assert sum(r.tokens for r in report.by_outcome.values()) == report.total.tokens
+        assert sum(r.tokens for r in report.by_node.values()) == report.total.tokens
+        assert sum(r.queries for r in report.by_outcome.values()) == report.total.queries
+
+    def test_sections_render_all_axes(self, cascade_run):
+        bundle, _ledger, _router = cascade_run
+        report = attribute(bundle)
+        text = render_sections("Costs", am.sections(report), "text")
+        assert "Spend by outcome tier" in text
+        assert "Spend by cascade tier" in text
+        assert "Time by engine phase" in text
+        assert "node spenders" in text

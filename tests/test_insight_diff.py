@@ -1,0 +1,136 @@
+"""Tests for cross-run regression diffing (repro.obs.insight.diff)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.llm.reliability import SimulatedClock
+from repro.obs.insight import RunBundle, diff_bundles, diff_summaries, summarize_bundle
+from repro.obs.insight import diff as dm
+from repro.obs.insight.report import render_sections
+from repro.obs.tracing import SpanTracer
+
+
+def run_with_latency(seconds_per_call: float, run_id: str = "r") -> RunBundle:
+    """A synthetic classify run: 8 queries at a uniform simulated latency."""
+    clock = SimulatedClock()
+    tracer = SpanTracer(run_id=run_id, clock=clock)
+    for i in range(8):
+        with tracer.span("query", node=i) as span:
+            clock.advance(seconds_per_call)
+            span.set(outcome="ok", prompt_tokens=100, completion_tokens=5)
+    return RunBundle.from_lines(tracer.to_dicts())
+
+
+class TestSummarize:
+    def test_flat_indicators(self):
+        summary = summarize_bundle(run_with_latency(0.5))
+        assert summary["queries"] == 8.0
+        assert summary["paid_tokens"] == 8 * 105.0
+        assert summary["latency_p50_seconds"] == pytest.approx(0.5)
+        assert summary["latency_p99_seconds"] == pytest.approx(0.5)
+        assert summary["makespan_seconds"] == pytest.approx(4.0)
+
+    def test_replayed_spans_do_not_count_as_paid(self):
+        clock = SimulatedClock()
+        tracer = SpanTracer(run_id="r", clock=clock)
+        with tracer.span("query", node=0) as span:
+            span.set(outcome="ok", replayed=True,
+                     prompt_tokens=100, completion_tokens=5)
+        summary = summarize_bundle(RunBundle.from_lines(tracer.to_dicts()))
+        assert summary["queries"] == 1.0
+        assert summary["paid_tokens"] == 0.0
+
+
+class TestVerdicts:
+    def test_identical_bundles_diff_to_zero_deltas(self):
+        # Two same-seed replays differ only in run id; every indicator must
+        # come out bit-equal and the verdict must say so.
+        report = diff_bundles(
+            run_with_latency(0.5, "a"), run_with_latency(0.5, "b")
+        )
+        assert report.verdict == "identical"
+        assert all(d.abs_delta == 0.0 for d in report.deltas)
+        assert report.regressions == [] and report.improvements == []
+
+    def test_25pct_latency_regression_flagged_at_default_tolerance(self):
+        # 0.5s -> 0.625s per call: +25% against the 10% tolerance.
+        report = diff_bundles(
+            run_with_latency(0.5), run_with_latency(0.625), tolerance=0.1
+        )
+        assert report.verdict == "regression"
+        regressed = {d.name for d in report.regressions}
+        assert {"latency_p50_seconds", "latency_p99_seconds",
+                "makespan_seconds"} <= regressed
+        p50 = next(d for d in report.deltas if d.name == "latency_p50_seconds")
+        assert p50.rel_delta == pytest.approx(0.25)
+
+    def test_movement_within_tolerance_is_ok(self):
+        report = diff_bundles(
+            run_with_latency(0.5), run_with_latency(0.52), tolerance=0.1
+        )
+        assert report.verdict == "ok"
+
+    def test_improvement_moves_the_right_way(self):
+        report = diff_bundles(
+            run_with_latency(0.5), run_with_latency(0.3), tolerance=0.1
+        )
+        assert report.verdict == "improvement"
+        assert "latency_p50_seconds" in {d.name for d in report.improvements}
+
+    def test_regression_wins_on_mixed_movement(self):
+        report = diff_summaries(
+            {"latency_p99_seconds": 1.0, "cost_usd": 1.0},
+            {"latency_p99_seconds": 2.0, "cost_usd": 0.5},
+            tolerance=0.1,
+        )
+        assert report.improvements and report.regressions
+        assert report.verdict == "regression"
+
+    def test_neutral_indicators_are_shape_not_score(self):
+        report = diff_summaries(
+            {"queries": 8.0}, {"queries": 16.0}, tolerance=0.1
+        )
+        assert report.verdict == "ok"
+        assert [d.name for d in report.shape_changes] == ["queries"]
+
+    def test_move_away_from_zero_baseline_is_full_delta(self):
+        report = diff_summaries(
+            {"rejected_ratio": 0.0}, {"rejected_ratio": 0.05}, tolerance=0.1
+        )
+        assert report.verdict == "regression"
+        assert report.deltas[0].rel_delta == 1.0
+
+    def test_custom_directions_override(self):
+        # The serve gate scores artifact keys the default table doesn't know.
+        report = diff_summaries(
+            {"p99_seconds": 1.0},
+            {"p99_seconds": 2.0},
+            tolerance=0.1,
+            directions={"p99_seconds": "lower_better"},
+        )
+        assert report.verdict == "regression"
+
+    def test_unknown_keys_default_to_neutral(self):
+        report = diff_summaries({"widgets": 1.0}, {"widgets": 99.0})
+        assert report.verdict == "ok"
+
+
+class TestRendering:
+    def test_verdict_and_movers_in_text(self):
+        report = diff_bundles(
+            run_with_latency(0.5), run_with_latency(0.625), tolerance=0.1
+        )
+        text = render_sections("Diff", dm.sections(report), "text")
+        assert "verdict: regression" in text
+        assert "regressed: " in text
+        assert "WORSE" in text
+
+    def test_payload_lists_classifications(self):
+        report = diff_bundles(
+            run_with_latency(0.5, "a"), run_with_latency(0.5, "b")
+        )
+        payload = report.to_dict()
+        assert payload["verdict"] == "identical"
+        assert payload["regressions"] == []
+        assert all(d["classification"] == "same" for d in payload["deltas"])

@@ -1,0 +1,182 @@
+"""Tests for SLO evaluation and burn rates (repro.obs.insight.slo)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.llm.reliability import SimulatedClock
+from repro.obs.insight import RunBundle, SLObjective, evaluate, load_objectives
+from repro.obs.insight import slo as sm
+from repro.obs.insight.report import render_sections
+from repro.obs.tracing import SpanTracer
+
+
+def serve_bundle(statuses_latencies: list[tuple[str, float]], gap: float = 1.0):
+    """A synthetic serve trace: one ``serve_complete`` event per entry,
+    spaced ``gap`` simulated seconds apart."""
+    clock = SimulatedClock()
+    tracer = SpanTracer(run_id="slo-test", clock=clock)
+    for status, latency in statuses_latencies:
+        tracer.event(
+            "serve_complete",
+            tenant="a", status=status, tier="ok", latency_seconds=latency,
+        )
+        clock.advance(gap)
+    return RunBundle.from_lines(tracer.to_dicts())
+
+
+def classify_bundle(outcomes: list[str]):
+    """A synthetic classify trace: query spans with outcomes, no serve events."""
+    clock = SimulatedClock()
+    tracer = SpanTracer(run_id="slo-test", clock=clock)
+    for i, outcome in enumerate(outcomes):
+        with tracer.span("query", node=i) as span:
+            clock.advance(1.0)
+            span.set(outcome=outcome, prompt_tokens=10, completion_tokens=1)
+    return RunBundle.from_lines(tracer.to_dicts())
+
+
+class TestObjectiveValidation:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            SLObjective("x", "availability", 0.9)
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            SLObjective("x", "goodput", 0.0)
+
+    def test_latency_requires_threshold(self):
+        with pytest.raises(ValueError):
+            SLObjective("x", "latency", 0.9)
+
+
+class TestEvaluation:
+    def test_latency_objective_counts_threshold_violations(self):
+        bundle = serve_bundle(
+            [("served", 0.5)] * 8 + [("served", 10.0)] * 2
+        )
+        report = evaluate(
+            bundle, objectives=(SLObjective("fast", "latency", 0.9, 1.0),)
+        )
+        result = report.results[0]
+        assert (result.good, result.events) == (8, 10)
+        assert result.attained_ratio == pytest.approx(0.8)
+        assert not result.met
+        # 20% bad against a 10% budget: burning 2x.
+        assert result.overall_burn == pytest.approx(2.0)
+
+    def test_goodput_objective_counts_full_fidelity_only(self):
+        bundle = serve_bundle(
+            [("served", 0.1)] * 5 + [("degraded", 0.1)] * 4 + [("rejected", 0.1)]
+        )
+        report = evaluate(
+            bundle, objectives=(SLObjective("good", "goodput", 0.5),)
+        )
+        assert report.results[0].attained_ratio == pytest.approx(0.5)
+        assert report.results[0].met
+
+    def test_error_rate_objective_counts_rejections(self):
+        bundle = serve_bundle(
+            [("served", 0.1)] * 8 + [("rejected", 0.1)] * 2
+        )
+        report = evaluate(
+            bundle, objectives=(SLObjective("shed", "error_rate", 0.9),)
+        )
+        assert report.results[0].attained_ratio == pytest.approx(0.8)
+        assert not report.results[0].met
+        assert not report.all_met
+
+    def test_classify_fallback_maps_outcomes(self):
+        bundle = classify_bundle(["ok", "ok", "retried", "abstained"])
+        report = evaluate(
+            bundle,
+            objectives=(
+                SLObjective("good", "goodput", 0.5),
+                SLObjective("err", "error_rate", 0.7),
+            ),
+        )
+        good, err = report.results
+        assert good.attained_ratio == pytest.approx(0.75)  # ok+retried
+        assert err.attained_ratio == pytest.approx(0.75)  # abstained = rejected
+
+    def test_empty_bundle_trivially_met(self):
+        clock = SimulatedClock()
+        bundle = RunBundle.from_lines(SpanTracer(run_id="x", clock=clock).to_dicts())
+        report = evaluate(bundle)
+        assert report.all_met
+        assert all(r.events == 0 for r in report.results)
+
+    def test_rejects_nonpositive_windows(self):
+        with pytest.raises(ValueError):
+            evaluate(serve_bundle([("served", 0.1)]), windows=0)
+
+
+class TestBurnWindows:
+    def test_clustered_failures_burn_one_window(self):
+        # 20 events over equal spacing; the last 5 all reject — the final
+        # window burns far hotter than the run-wide average.
+        bundle = serve_bundle(
+            [("served", 0.1)] * 15 + [("rejected", 0.1)] * 5
+        )
+        report = evaluate(
+            bundle, objectives=(SLObjective("shed", "error_rate", 0.9),), windows=4
+        )
+        result = report.results[0]
+        assert result.max_window_burn > result.overall_burn
+        assert result.windows[-1].bad == 5
+        assert result.windows[-1].burn_rate == pytest.approx(
+            1.0 / (5 / 5) * 10.0
+        )  # all-bad window over a 10% budget
+
+    def test_zero_budget_with_failures_is_infinite_burn(self):
+        bundle = serve_bundle([("served", 0.1)] * 3 + [("rejected", 0.1)])
+        report = evaluate(
+            bundle, objectives=(SLObjective("always", "error_rate", 1.0),)
+        )
+        assert report.results[0].overall_burn == sm.INFINITE_BURN
+
+    def test_single_instant_collapses_to_one_window(self):
+        bundle = serve_bundle([("served", 0.1), ("rejected", 0.1)], gap=0.0)
+        report = evaluate(
+            bundle, objectives=(SLObjective("shed", "error_rate", 0.9),), windows=6
+        )
+        assert len(report.results[0].windows) == 1
+
+
+class TestObjectivesFile:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "slos.json"
+        path.write_text(
+            json.dumps(
+                [
+                    {"name": "p99", "kind": "latency",
+                     "target_ratio": 0.99, "threshold_seconds": 2.0},
+                    {"name": "serve", "kind": "goodput", "target_ratio": 0.8},
+                ]
+            )
+        )
+        objectives = load_objectives(path)
+        assert [o.name for o in objectives] == ["p99", "serve"]
+        assert objectives[0].threshold_seconds == 2.0
+        assert objectives[1].threshold_seconds is None
+
+    def test_rejects_non_list(self, tmp_path):
+        path = tmp_path / "slos.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError):
+            load_objectives(path)
+
+
+class TestRendering:
+    def test_breached_window_is_named(self):
+        bundle = serve_bundle(
+            [("served", 0.1)] * 15 + [("rejected", 0.1)] * 5
+        )
+        report = evaluate(
+            bundle, objectives=(SLObjective("shed", "error_rate", 0.9),), windows=4
+        )
+        text = render_sections("SLO", sm.sections(report), "text")
+        assert "BREACHED" in text
+        assert "burn" in text

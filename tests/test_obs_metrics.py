@@ -159,3 +159,31 @@ class TestRegistry:
             x for x in reg.to_prometheus().splitlines() if x.startswith("c_total{")
         )
         assert line == 'c_total{model="a\\"b\\\\c\\nd"} 1'
+
+    def test_prometheus_escapes_help_text(self):
+        # Exposition-format 0.0.4: HELP text escapes backslash and line feed
+        # only — a raw newline would truncate the comment and leave the rest
+        # of the help string as an unparseable sample line.
+        reg = MetricsRegistry()
+        reg.counter("c_total", "tokens\nper C:\\path request").inc()
+        lines = reg.to_prometheus().splitlines()
+        help_line = next(x for x in lines if x.startswith("# HELP c_total"))
+        assert help_line == "# HELP c_total tokens\\nper C:\\\\path request"
+        # Exactly one physical line carries the help text.
+        assert sum(1 for x in lines if x.startswith("# HELP")) == 1
+
+    def test_prometheus_help_quotes_stay_literal(self):
+        # HELP text is not quoted, so quotes must pass through unescaped
+        # (escaping them would render literal backslashes in scrape UIs).
+        reg = MetricsRegistry()
+        reg.counter("c_total", 'rate of "good" answers').inc()
+        text = reg.to_prometheus()
+        assert '# HELP c_total rate of "good" answers' in text
+
+    def test_prometheus_output_stays_machine_parseable_with_hostile_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "h", tenant='line1\nline2"x\\y').inc(2)
+        for line in reg.to_prometheus().splitlines():
+            # No emitted physical line may be a bare continuation fragment:
+            # every line is a comment or starts with the metric name.
+            assert line.startswith("#") or line.startswith("c_total"), line

@@ -18,7 +18,7 @@ def make_trace(run_id: str = "t1") -> SpanTracer:
     clock = SimulatedClock()
     tracer = SpanTracer(run_id=run_id, clock=clock, labels={"dataset": "tiny"})
     with tracer.span("query", node=3):
-        with tracer.span("llm_call"):
+        with tracer.span("llm_call", node=3):
             clock.advance(1.5)
             tracer.event("retry", attempt=0, wait_seconds=1.5)
     return tracer
