@@ -4,7 +4,7 @@
 # it `pytest | tee` reports tee's exit status and swallows test failures.
 SHELL := /bin/bash
 
-.PHONY: install test test-parallel test-equivalence coverage bench bench-check bench-tables report examples trace-smoke chaos-smoke analyze-smoke clean
+.PHONY: install test test-parallel test-equivalence test-differential coverage bench bench-check bench-tables report examples trace-smoke chaos-smoke analyze-smoke clean
 
 # Line-coverage floor enforced by `make coverage` (and CI).
 COVERAGE_FLOOR := 80
@@ -40,6 +40,13 @@ test-equivalence:
 	pytest tests/test_scheduler.py tests/test_scheduler_equivalence.py \
 		tests/test_golden_trace.py tests/test_concurrency_stress.py \
 		tests/test_serve_equivalence.py tests/test_serve_properties.py
+
+# The wave-vs-DAG differential oracle matrix: every scenario through both
+# dispatch plans in both modes, the readiness-DAG property suite, chaos
+# against the DAG scheduler, and the trace-format compatibility checks.
+test-differential:
+	pytest tests/test_differential_oracle.py tests/test_readiness_properties.py \
+		tests/test_chaos_dag.py tests/test_trace_schema_compat.py
 
 test-output:
 	set -o pipefail; pytest tests/ 2>&1 | tee test_output.txt

@@ -8,7 +8,10 @@ Re-measures two workloads and compares each against its committed baseline
   must not regress more than ``--tolerance`` (default 20%) below the
   baseline, overlap (``overlapped_seconds`` makespan) not more than
   ``--tolerance`` above it, and the batched run must not issue more LLM
-  calls than the baseline;
+  calls than the baseline.  The DAG dispatch gate re-measures the
+  multi-round pipelining workload and fails unless peak in-flight LLM
+  calls **strictly exceed** ``max_concurrency`` with serial-identical
+  records and zero extra calls;
 - **serve** (``BENCH_serve.json``, same configuration as
   ``benchmarks/test_serve_throughput.py``): goodput/p99/shed-rate compared
   direction-aware through :func:`repro.obs.insight.diff.diff_summaries` —
@@ -81,6 +84,38 @@ def evaluate(baseline: dict, current: dict, tolerance: float) -> list[str]:
     return problems
 
 
+def measure_dag() -> dict:
+    """Run the DAG pipelining workload once (see test_scheduler_throughput)."""
+    sys.path.insert(0, str(HERE))
+    import test_scheduler_throughput as bench
+
+    return bench.measure_dag_overlap()
+
+
+def evaluate_dag(current: dict) -> list[str]:
+    """Hard gate on the DAG dispatch plan's pipelining claim.
+
+    Not tolerance-scaled: a wave barrier structurally caps in-flight calls
+    at ``max_concurrency``, so "overlap ≤ concurrency" means the readiness
+    DAG stopped pipelining rounds at all.
+    """
+    problems = []
+    if not current["records_equal"]:
+        problems.append("dag dispatch changed the canonical records")
+    if current["llm_calls_dag"] != current["llm_calls_serial"]:
+        problems.append(
+            f"dag dispatch issued {current['llm_calls_dag']} LLM calls vs "
+            f"{current['llm_calls_serial']} serial"
+        )
+    if current["peak_in_flight"] <= current["max_concurrency"]:
+        problems.append(
+            f"dag overlap regressed: peak {current['peak_in_flight']} in-flight "
+            f"<= max_concurrency={current['max_concurrency']} "
+            "(rounds no longer pipeline)"
+        )
+    return problems
+
+
 def measure_serve() -> dict:
     """Run the serve benchmark workload once (see test_serve_throughput)."""
     sys.path.insert(0, str(HERE))
@@ -125,7 +160,15 @@ def _check_scheduler(baseline_path: Path, tolerance: float) -> list[str]:
             f"{current['llm_calls_batched']} LLM calls "
             f"— within {tolerance:.0%} of {baseline_path.name}"
         )
-    return problems
+    dag = measure_dag()
+    dag_problems = evaluate_dag(dag)
+    if not dag_problems:
+        print(
+            f"OK: dag dispatch peak {dag['peak_in_flight']} in-flight > "
+            f"{dag['max_concurrency']} workers, "
+            f"{dag['llm_calls_dag']} LLM calls, records identical to serial"
+        )
+    return problems + dag_problems
 
 
 def _check_serve(baseline_path: Path, tolerance: float) -> list[str]:

@@ -7,18 +7,28 @@ extra LLM calls** and producing records identical to serial execution.
 queries cost 48 simulated seconds; four virtual workers should compress a
 16-query batch to ~4 seconds per batch.
 
+Acceptance shape (ISSUE 8): under the DAG dispatch plan in threads mode, a
+multi-round boosted run must demonstrate *cross-round* pipelining — the
+peak number of concurrently in-flight LLM calls strictly exceeds
+``max_concurrency``, which a wave barrier can never do — again with zero
+extra LLM calls and records identical to serial.
+
 The measured numbers land in ``BENCH_scheduler.json`` next to the repo's
 other benchmark artifacts for tracking across commits.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import threading
+import time
 from dataclasses import asdict
 from pathlib import Path
 
 import pytest
 
+from repro.core.boosting import QueryBoostingStrategy
 from repro.experiments.common import load_setup
 from repro.llm.reliability import LatencyLLM, SimulatedClock
 from repro.runtime.scheduler import QueryScheduler
@@ -28,7 +38,96 @@ MAX_BATCH_SIZE = 16
 MAX_CONCURRENCY = 4
 SECONDS_PER_CALL = 1.0
 
+#: DAG overlap gate configuration.  ``gamma1=1`` makes cora's boosting
+#: rounds form *without* γ-relaxation, so round ``r+1`` members carry real
+#: read-sets (their 1-hop label support) instead of conservative barriers —
+#: the structure the pipelined executor needs to dispatch them eagerly into
+#: round ``r``'s tail.
+NUM_DAG_QUERIES = 32
+DAG_CONCURRENCY = 3
+DAG_GAMMA1 = 1
+DAG_BASE_SECONDS = 0.01
+DAG_SPREAD_SECONDS = 0.04
+
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_scheduler.json"
+
+
+class InFlightProbe:
+    """LLM wrapper that measures peak concurrent ``complete()`` calls.
+
+    Each call sleeps a small, *deterministic per-prompt* wall-clock jitter
+    (``base + spread * hash(prompt)``) so thread completions stagger the way
+    real provider latencies do — without the jitter every worker finishes in
+    lockstep and cross-round overlap has no window to show up in.
+    """
+
+    def __init__(
+        self,
+        inner,
+        base: float = DAG_BASE_SECONDS,
+        spread: float = DAG_SPREAD_SECONDS,
+    ):
+        self.inner = inner
+        self.base = base
+        self.spread = spread
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self.peak = 0
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+    def complete(self, prompt, **kwargs):
+        jitter = int(hashlib.sha1(prompt.encode()).hexdigest(), 16) % 5 / 4.0
+        with self._lock:
+            self._inflight += 1
+            self.peak = max(self.peak, self._inflight)
+        try:
+            time.sleep(self.base + self.spread * jitter)
+            return self.inner.complete(prompt, **kwargs)
+        finally:
+            with self._lock:
+                self._inflight -= 1
+
+
+def measure_dag_overlap() -> dict:
+    """Run the DAG pipelining workload once; return its headline numbers.
+
+    Shared with ``benchmarks/check_regression.py`` so the CI gate re-measures
+    exactly the committed configuration.
+    """
+    serial_setup = load_setup("cora", num_queries=NUM_DAG_QUERIES)
+    serial_engine = serial_setup.make_engine("1-hop")
+    serial = QueryBoostingStrategy(max_deferrals=2, gamma1=DAG_GAMMA1).execute(
+        serial_engine, serial_setup.queries
+    )
+
+    setup = load_setup("cora", num_queries=NUM_DAG_QUERIES)
+    probe = InFlightProbe(setup.make_llm("gpt-3.5"))
+    scheduler = QueryScheduler(
+        max_batch_size=None,
+        max_concurrency=DAG_CONCURRENCY,
+        mode="threads",
+        dispatch="dag",
+    )
+    engine = setup.make_engine("1-hop", llm=probe)
+    engine.scheduler = scheduler
+    boosted = QueryBoostingStrategy(max_deferrals=2, gamma1=DAG_GAMMA1).execute(
+        engine, setup.queries
+    )
+    return {
+        "num_queries": NUM_DAG_QUERIES,
+        "max_concurrency": DAG_CONCURRENCY,
+        "gamma1": DAG_GAMMA1,
+        "peak_in_flight": probe.peak,
+        "llm_calls_serial": serial_engine.llm.usage.num_queries,
+        "llm_calls_dag": probe.inner.usage.num_queries,
+        "records_equal": boosted.run.records == serial.run.records,
+        "rounds": [len(r) for r in boosted.rounds],
+        "dependency_dispatches": sum(
+            1 for e in scheduler.dag.events if e.reads and not e.barrier
+        ),
+    }
 
 
 def _make_engine(setup, scheduler=None):
@@ -80,10 +179,50 @@ def test_scheduler_throughput(run_once, bench_budget):
         "speedup": report.speedup,
         "waves": [asdict(w) for w in report.waves],
     }
+    if BENCH_PATH.exists():
+        previous = json.loads(BENCH_PATH.read_text())
+        if "dag" in previous:
+            payload["dag"] = previous["dag"]
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print()
     print(
         f"scheduler throughput: {report.serial_seconds:.0f}s serial -> "
         f"{report.overlapped_seconds:.0f}s overlapped "
         f"({report.speedup:.2f}x), artifact at {BENCH_PATH.name}"
+    )
+
+
+def test_dag_dispatch_overlap(run_once, bench_budget):
+    """ISSUE 8 gate: DAG pipelining exceeds the wave scheduler's ceiling.
+
+    A wave barrier caps concurrent in-flight calls at ``max_concurrency``
+    no matter how deep the queue is; the readiness DAG dispatches round
+    ``r+1`` queries whose read labels settled early into round ``r``'s
+    tail, so peak in-flight **strictly exceeds** ``max_concurrency`` —
+    while the canonical artifacts stay bit-identical to serial and not one
+    extra LLM call is issued.
+    """
+    measured = run_once(measure_dag_overlap)
+
+    assert measured["records_equal"], "DAG pipelining changed the canonical records"
+    assert measured["llm_calls_dag"] == measured["llm_calls_serial"], (
+        "DAG pipelining issued extra LLM calls"
+    )
+    assert len(measured["rounds"]) > 1, "gate scenario must be multi-round"
+    assert measured["dependency_dispatches"] > 0, (
+        "no query dispatched off a real dependency edge"
+    )
+    assert measured["peak_in_flight"] > measured["max_concurrency"], (
+        f"peak in-flight {measured['peak_in_flight']} never exceeded "
+        f"max_concurrency={measured['max_concurrency']}: rounds did not pipeline"
+    )
+
+    payload = json.loads(BENCH_PATH.read_text()) if BENCH_PATH.exists() else {}
+    payload["dag"] = measured
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print(
+        f"dag dispatch overlap: peak {measured['peak_in_flight']} in-flight > "
+        f"{measured['max_concurrency']} workers across rounds "
+        f"{measured['rounds']}, artifact at {BENCH_PATH.name}"
     )

@@ -173,6 +173,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
             max_batch_size=args.batch_size,
             max_concurrency=args.workers,
             mode=args.dispatch,
+            dispatch=args.plan,
         )
     router = None
     if models is not None:
@@ -266,7 +267,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         report = scheduler.report
         print(
             f"  scheduler : {report.num_queries} queries in {report.num_waves} waves / "
-            f"{report.num_batches} batches ({scheduler.mode}, "
+            f"{report.num_batches} batches ({scheduler.mode}/{scheduler.dispatch}, "
             f"batch={scheduler.max_batch_size or 'wave'}, workers={scheduler.max_concurrency})"
         )
         if report.serial_seconds > 0:
@@ -402,6 +403,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_batch_size=args.batch_size,
             max_concurrency=args.workers,
             mode=args.dispatch,
+            dispatch=args.plan,
         )
     surrogate = fit_scorer(setup, model=args.model) if args.surrogate else None
     engine = setup.make_engine(
@@ -685,6 +687,8 @@ def _cmd_analyze_critical_path(args: argparse.Namespace) -> int:
         payload = _json.loads(open(args.path).read())
     except (ValueError, OSError):
         payload = None
+    extra_sections = []
+    report_payload = None
     if isinstance(payload, dict) and "waves" in payload:
         report = analyze_bench(payload)
         title = "Critical-path analysis (bench artifact)"
@@ -697,7 +701,16 @@ def _cmd_analyze_critical_path(args: argparse.Namespace) -> int:
         )
         context = bundle.context()
         title = f"Critical-path analysis ({context})" if context else "Critical-path analysis"
-    _emit(title, cp.sections(report), report.to_dict(), args.format)
+        # v3 traces from DAG dispatch carry readiness attributes; upgrade
+        # barrier-stall blame to dependency-stall blame (no-op otherwise).
+        extra_sections = cp.dependency_sections(bundle)
+        dependency = cp.dependency_summary(bundle)
+        if dependency is not None:
+            report_payload = report.to_dict()
+            report_payload["dependency"] = dependency
+    if report_payload is None:
+        report_payload = report.to_dict()
+    _emit(title, cp.sections(report) + extra_sections, report_payload, args.format)
     return 0
 
 
@@ -867,6 +880,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(bit-identical to serial) and accounts overlap virtually",
     )
     sub.add_argument(
+        "--plan",
+        default="wave",
+        choices=["wave", "dag"],
+        help="dispatch plan: 'wave' barriers every round; 'dag' uses "
+        "dependency-driven readiness (pipelines rounds under --dispatch "
+        "threads, records stay identical either way)",
+    )
+    sub.add_argument(
         "--cache",
         action="store_true",
         help="wrap the model in an exact-prompt response cache and report "
@@ -994,6 +1015,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--dispatch", default="simulated", choices=["simulated", "threads"],
         help="scheduler dispatch mode; 'simulated' keeps serve replays "
         "bit-reproducible",
+    )
+    sub.add_argument(
+        "--plan", default="wave", choices=["wave", "dag"],
+        help="dispatch plan: 'dag' admits requests into the in-flight "
+        "virtual timeline instead of behind the previous wave's barrier",
     )
     sub.add_argument(
         "--seconds-per-call",

@@ -113,6 +113,26 @@ class QueryBoostingStrategy:
                 out.append((node, count))
         return out
 
+    def _label_reads(
+        self,
+        engine: "MultiQueryEngine",
+        node: int,
+        relaxed: bool,
+        deferrals: dict[int, int],
+    ) -> frozenset[int] | None:
+        """The pseudo-labels this round member *reads* (``None`` = barrier).
+
+        A member admitted by γ-relaxation depends on the relaxation itself —
+        a fact about the *global* label state ("nobody qualified"), not any
+        label subset — and a re-enqueued deferral cannot re-dispatch before
+        the failure that deferred it, so both keep full-barrier semantics.
+        Everybody else reads exactly the selector's label support: settling
+        those nodes fixes the member's candidacy, stats and prompt.
+        """
+        if relaxed or deferrals.get(node, 0) > 0:
+            return None
+        return engine.selector.label_support(engine.graph, node)
+
     def _publishable(self, record) -> bool:
         """Whether a record's prediction may enter the pseudo-label map.
 
@@ -162,6 +182,20 @@ class QueryBoostingStrategy:
         ladder (when configured) answers it.  Deferred-then-failed queries
         never poison the pseudo-label map.
         """
+        scheduler = engine.scheduler
+        if (
+            scheduler is not None
+            and getattr(scheduler, "dispatch", "wave") == "dag"
+            and scheduler.mode == "threads"
+        ):
+            # Dependency-driven continuous batching: round N+1 queries whose
+            # read labels have settled pipeline into round N's tail.  Same
+            # records/ledger/checkpoints, real overlap beyond the barrier.
+            from repro.runtime.readiness import execute_pipelined
+
+            return execute_pipelined(
+                self, engine, queries, pruned=frozenset(pruned), checkpointer=checkpointer
+            )
         unexecuted = [int(v) for v in np.asarray(queries, dtype=np.int64)]
         if len(set(unexecuted)) != len(unexecuted):
             raise ValueError("queries contain duplicates")
@@ -178,7 +212,9 @@ class QueryBoostingStrategy:
         while unexecuted:
             # Step 1: candidate selection, relaxing thresholds when empty.
             candidates = self._candidates(engine, unexecuted, gamma1, gamma2)
+            relaxed = False  # did γ-relaxation admit this round's members?
             while not candidates:
+                relaxed = True
                 if gamma1 > 0:
                     gamma1 -= 1
                 elif self.use_conflict_threshold and gamma2 < num_classes:
@@ -222,6 +258,11 @@ class QueryBoostingStrategy:
                             on_defer=lambda node=node: note_deferral(node),
                             after_execute=(
                                 checkpointer.append if checkpointer is not None else None
+                            ),
+                            reads=(
+                                self._label_reads(engine, node, relaxed, deferrals)
+                                if getattr(engine.scheduler, "dispatch", "wave") == "dag"
+                                else None
                             ),
                         )
                         for node, _ in candidates

@@ -21,6 +21,16 @@ query)``, which bounds the attainable speedup from above.
 The same decomposition also runs directly on a committed
 ``BENCH_scheduler.json`` artifact (wave aggregates only — no per-query
 blocking attribution there, the artifact never had per-query latencies).
+
+Traces produced by the DAG dispatch plan's pipelined executor
+(``repro.runtime.readiness``) additionally carry per-query readiness
+attributes (``dag_ready`` / ``dag_dispatched`` / ``dag_settled`` /
+``dag_blocked_by``, trace schema v3).  For those, *barrier*-stall blame
+upgrades to *dependency*-stall blame: :func:`dependency_sections` names the
+blocking edge of each wave — which producer's label the latest-ready query
+waited on — and how far each round pipelined into its predecessor's tail.
+Wave-dispatch traces carry no such attributes and produce no sections, so
+barrier-era analyzer output stays byte-stable.
 """
 
 from __future__ import annotations
@@ -337,7 +347,7 @@ def sections(report: CriticalPathReport) -> list[Section]:
         )
         util_rows.append(f"{wave.label}: {timeline}")
     summary = Section(
-        title="Critical path",
+        title="Critical path (wave barriers)",
         notes=[
             f"serial compute      : {fmt_seconds(report.serial_seconds)}",
             f"barriered makespan  : {fmt_seconds(report.makespan_seconds)} "
@@ -354,3 +364,141 @@ def sections(report: CriticalPathReport) -> list[Section]:
         ],
     )
     return [wave_section, summary]
+
+
+# ----------------------------------------------- dependency-stall (DAG) blame
+
+
+@dataclass(frozen=True)
+class DependencyWave:
+    """Readiness timeline of one pipelined wave (from v3 ``dag_*`` attrs)."""
+
+    wave_index: int
+    num_queries: int
+    first_dispatch: float
+    last_settle: float
+    overlap_with_previous: float  # >0: this wave started inside the previous tail
+    blocking_edge: str | None  # "label(node p) -> node q" for the latest-ready query
+    max_ready: float
+
+    def to_dict(self) -> dict:
+        return {
+            "wave_index": self.wave_index,
+            "num_queries": self.num_queries,
+            "first_dispatch": self.first_dispatch,
+            "last_settle": self.last_settle,
+            "overlap_with_previous": self.overlap_with_previous,
+            "blocking_edge": self.blocking_edge,
+            "max_ready": self.max_ready,
+        }
+
+
+def dependency_waves(bundle: RunBundle) -> list[DependencyWave]:
+    """Extract pipelined waves' readiness timelines from a v3 trace.
+
+    Returns ``[]`` for barrier-era traces (no ``dag_*`` attributes), which
+    keeps the analyzer's output on wave-dispatch traces byte-stable.
+    """
+    pipelined_waves = [
+        span
+        for span in bundle.spans_named("wave")
+        if span.get("attributes", {}).get("dag_pipelined")
+    ]
+    if not pipelined_waves:
+        return []
+    children: dict[str, list[dict]] = {}
+    for span in bundle.query_spans():
+        attrs = span.get("attributes", {})
+        if "dag_dispatched" not in attrs:
+            continue
+        parent = span.get("parent_id")
+        if parent is not None:
+            children.setdefault(parent, []).append(attrs)
+    waves: list[DependencyWave] = []
+    previous_settle: float | None = None
+    for span in pipelined_waves:
+        attrs = span.get("attributes", {})
+        wave_index = int(attrs.get("wave_index", len(waves)))
+        members = children.get(span.get("span_id"), [])
+        if not members:
+            continue
+        first_dispatch = min(float(m["dag_dispatched"]) for m in members)
+        last_settle = max(float(m["dag_settled"]) for m in members)
+        blocker = max(members, key=lambda m: float(m.get("dag_ready", 0.0)))
+        edge = None
+        if blocker.get("dag_blocked_by") is not None:
+            edge = (
+                f"label(node {blocker['dag_blocked_by']}) -> "
+                f"node {blocker.get('node', '?')}"
+            )
+        overlap = (
+            max(0.0, previous_settle - first_dispatch)
+            if previous_settle is not None
+            else 0.0
+        )
+        waves.append(
+            DependencyWave(
+                wave_index=wave_index,
+                num_queries=len(members),
+                first_dispatch=first_dispatch,
+                last_settle=last_settle,
+                overlap_with_previous=overlap,
+                blocking_edge=edge,
+                max_ready=max(float(m.get("dag_ready", 0.0)) for m in members),
+            )
+        )
+        previous_settle = last_settle
+    return waves
+
+
+def dependency_summary(bundle: RunBundle) -> dict | None:
+    """JSON payload of the dependency-stall analysis (None without v3 attrs)."""
+    waves = dependency_waves(bundle)
+    if not waves:
+        return None
+    return {
+        "num_pipelined_waves": len(waves),
+        "num_overlapping_waves": sum(1 for w in waves if w.overlap_with_previous > 0),
+        "waves": [w.to_dict() for w in waves],
+    }
+
+
+def dependency_sections(bundle: RunBundle) -> list[Section]:
+    """Dependency-stall blame for DAG-dispatch (pipelined) traces.
+
+    Where the barrier decomposition above can only say "the wave waited",
+    the readiness attributes say *for whom*: each row names the blocking
+    edge — the producer label the wave's latest-ready query read — and how
+    far the wave's first dispatch reached into the previous wave's tail.
+    Empty for traces without ``dag_*`` attributes.
+    """
+    waves = dependency_waves(bundle)
+    if not waves:
+        return []
+    rows = []
+    for wave in waves:
+        rows.append(
+            (
+                f"wave {wave.wave_index}",
+                wave.num_queries,
+                fmt_seconds(wave.first_dispatch),
+                fmt_seconds(wave.last_settle),
+                fmt_seconds(wave.overlap_with_previous),
+                wave.blocking_edge or "none (all ready at dispatch)",
+            )
+        )
+    overlapping = sum(1 for w in waves if w.overlap_with_previous > 0)
+    return [
+        Section(
+            title="Dependency stalls (DAG dispatch)",
+            headers=[
+                "Wave", "Queries", "First dispatch", "Last settle",
+                "Overlap w/ previous", "Blocking edge",
+            ],
+            rows=rows,
+            notes=[
+                f"{overlapping}/{len(waves)} waves dispatched inside their "
+                "predecessor's tail (dependency-driven, not barrier-gated)",
+            ],
+        )
+    ]

@@ -20,9 +20,14 @@ A trace file is JSONL with three line kinds:
 Version history: v1 (PR 2) defined the envelope above; v2 added the serve
 lifecycle events and cascade span attributes and — because by then every
 subsystem emitted events the v1 validator never heard of — a per-event
-attribute catalogue (:data:`EVENT_REQUIRED_ATTRS`).  The validator accepts
-both versions (:data:`SUPPORTED_FORMAT_VERSIONS`); the catalogue check
-applies from v2 on, so archived v1 traces keep validating byte-for-byte.
+attribute catalogue (:data:`EVENT_REQUIRED_ATTRS`); v3 added the purely
+*optional* readiness attributes of DAG dispatch (``dag_ready`` /
+``dag_dispatched`` / ``dag_settled`` / ``dag_blocked_by`` on batched query
+spans, ``dag_pipelined`` on wave spans) without changing any required
+attribute, so the v2 catalogue validates v3 unchanged.  The validator
+accepts all three versions (:data:`SUPPORTED_FORMAT_VERSIONS`); the
+catalogue check applies from v2 on, so archived v1 traces keep validating
+byte-for-byte.
 
 ``python -m repro.obs.schema TRACE.jsonl`` validates a file and exits
 non-zero on the first violation — this is what ``make trace-smoke`` runs
@@ -40,7 +45,7 @@ _SPAN_STATUSES = ("ok", "error")
 _METRIC_KINDS = ("counter", "gauge", "histogram")
 
 #: Trace format versions this validator accepts (backward compatible).
-SUPPORTED_FORMAT_VERSIONS = (1, TRACE_FORMAT_VERSION)
+SUPPORTED_FORMAT_VERSIONS = (1, 2, TRACE_FORMAT_VERSION)
 
 #: Required attributes per known span/event name — the audit of everything
 #: the stack actually emits today (engine lifecycle, boosting, cascade

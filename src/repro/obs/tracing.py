@@ -26,9 +26,13 @@ from pathlib import Path
 
 #: Trace file format version (see repro/obs/schema.py).  Version 2 added
 #: the serve lifecycle events (``serve_cycle``, ``serve_complete``) and the
-#: cascade attributes (``tier``, ``cost_usd``) on routed query spans; v1
-#: files remain readable and validatable.
-TRACE_FORMAT_VERSION = 2
+#: cascade attributes (``tier``, ``cost_usd``) on routed query spans.
+#: Version 3 adds the *optional* readiness attributes of DAG dispatch —
+#: ``dag_ready`` / ``dag_dispatched`` / ``dag_settled`` / ``dag_blocked_by``
+#: on batched query spans and ``dag_pipelined`` on wave spans — strictly
+#: additively: no required attribute changed, and v1/v2 files remain
+#: readable and validatable.
+TRACE_FORMAT_VERSION = 3
 
 
 @dataclass

@@ -429,6 +429,7 @@ class MultiQueryEngine:
         include_neighbors: bool,
         round_index: int | None,
         call_retries: int,
+        extra_span_attrs: dict | None = None,
     ) -> QueryRecord:
         """Turn a phase-1 completion into a record (thread-dispatch merge).
 
@@ -437,6 +438,8 @@ class MultiQueryEngine:
         same relative order as a serial run.  The emitted ``query`` span is
         condensed (the select/build/call children already happened off-span
         on a worker thread) and tagged ``batched`` for trace consumers.
+        ``extra_span_attrs`` lets the readiness scheduler add its additive
+        ``dag_*`` attributes (trace schema v3) without touching the record.
         """
         outcome = "retried" if call_retries else "ok"
         started_at = self.clock.now if self.clock is not None else None
@@ -446,6 +449,7 @@ class MultiQueryEngine:
             round_index=round_index,
             zero_shot=not include_neighbors,
             batched=True,
+            **(extra_span_attrs or {}),
         ) as qspan:
             record = self._record_from_response(
                 node, response, selected, not include_neighbors, round_index, outcome
@@ -569,7 +573,9 @@ class MultiQueryEngine:
 
         With a ``scheduler``, the whole query list is one dependency-free
         wave: no query reads another's output, so dispatch order is free and
-        records merge back in query order.
+        records merge back in query order.  Under the DAG dispatch plan the
+        items declare ``reads=frozenset()`` — a plain run truly reads no
+        pseudo-labels, so every query is immediately ready.
         """
         result = RunResult()
         executed = checkpointer.executed if checkpointer is not None else {}
@@ -583,6 +589,7 @@ class MultiQueryEngine:
                     cached=executed.get(node),
                     include_neighbors=node not in pruned,
                     after_execute=checkpointer.append if checkpointer is not None else None,
+                    reads=frozenset(),
                 )
                 for node in nodes
             ]

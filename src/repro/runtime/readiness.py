@@ -1,0 +1,819 @@
+"""Dependency-driven readiness scheduling for multi-query boosting.
+
+The wave scheduler (``repro.runtime.scheduler``) treats every boosting round
+as a hard barrier: round ``N+1`` cannot issue a single LLM call until the
+slowest query of round ``N`` has finished.  But Algorithm 2's candidate
+criterion is *local*: whether query ``q`` qualifies for the next round — and
+what its prompt says — depends only on the label map restricted to the
+selector's **label support** of ``q`` (:meth:`repro.selection.base.
+NeighborSelector.label_support`).  The moment those specific labels have
+settled, ``q``'s candidacy and prompt are fully determined, so ``q`` may
+dispatch into the tail of the running round without changing a byte of any
+artifact.
+
+Two consumers live here:
+
+:class:`ReadinessDAG`
+    An append-only ledger of dispatch/settle events and the label-read
+    edges between them.  Both the simulated scheduler's virtual packing
+    (``QueryScheduler._dag_pack``) and the threads-mode pipelined executor
+    below record into it; the property suite
+    (``tests/test_readiness_properties.py``) checks it is acyclic, that
+    every read was settled at dispatch time, and that topological replay
+    equals the canonical serial order.
+
+:func:`execute_pipelined`
+    The threads-mode continuous-batching executor for
+    :class:`~repro.core.boosting.QueryBoostingStrategy`.  A planner thread
+    owns all canonical state (label map, spans, ledger, checkpoint); worker
+    threads run *only* the LLM call of a pre-built prompt.  Eagerly
+    dispatched next-round queries overlap the current round's stragglers,
+    so peak in-flight calls can exceed ``max_concurrency`` — the bench gate
+    asserts exactly that — while records, ledgers and checkpoints stay
+    bit-identical to the serial run.
+
+Why eager dispatch is sound (the argument the oracle suite re-verifies
+empirically): suppose query ``q`` is not a member of the running round
+``r`` and every node in ``support(q) ∩ members(r)`` has settled.  Then
+``q``'s neighbor selection under the partially-settled view equals its
+selection under the full post-round-``r`` view (labels outside the support
+cannot change it; labels of round ``r`` non-members cannot exist yet).  If
+``q`` qualifies under the *current* thresholds, the round-``r+1`` candidate
+set is provably non-empty, so no γ-relaxation fires at round ``r+1``'s
+start and ``q`` is canonically a member — its prompt, built now, is the
+prompt the serial run would build.  Queries that only qualify after a
+relaxation, and re-enqueued deferrals, wait for the full barrier (their
+eligibility depends on global state, not a label subset).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.boosting import BoostingResult
+from repro.llm.reliability import TransientLLMError
+from repro.llm.responses import parse_category_response
+from repro.runtime.results import QueryRecord, RunResult
+from repro.runtime.scheduler import WaveStats, WorkerCrashError, _chunks
+from repro.utils.rng import spawn_rng
+
+if TYPE_CHECKING:
+    from repro.core.boosting import QueryBoostingStrategy
+    from repro.runtime.engine import MultiQueryEngine
+    from repro.selection.base import SelectedNeighbor
+
+
+def label_support(selector, graph, node: int) -> frozenset[int] | None:
+    """The selector's declared label support for ``node`` (``None`` = unknown)."""
+    return selector.label_support(graph, int(node))
+
+
+# ----------------------------------------------------------------- the ledger
+
+
+@dataclass
+class DispatchEvent:
+    """One query dispatch in readiness order.
+
+    ``reads`` is the set of producer nodes whose settled labels this
+    dispatch consumed; ``barrier`` marks items that waited for *everything*
+    dispatched so far (no per-label dependency information — budget-guard
+    items, relaxation rounds, re-enqueued deferrals, serve admissions).
+    Times are seconds on the recording scheduler's virtual (simulated) or
+    wall (pipelined) timeline.
+    """
+
+    seq: int
+    node: int
+    wave_index: int
+    reads: frozenset[int]
+    ready_at: float
+    dispatched_at: float
+    blocked_by: int | None
+    barrier: bool = False
+    replayed: bool = False
+    settled_at: float | None = None
+    settle_op: int | None = None
+    dispatch_op: int = 0
+
+
+class ReadinessDAG:
+    """Append-only dispatch/settle ledger with label-read edges.
+
+    Single-writer by design: the simulated scheduler records from the
+    dispatching thread, the pipelined executor from its planner thread, so
+    no locking is needed.  ``violations`` collects any read of a label that
+    had not settled by dispatch time — always empty for a correct
+    scheduler, and asserted empty by the property suite.
+    """
+
+    def __init__(self):
+        self.events: list[DispatchEvent] = []
+        self.edges: list[tuple[int, int]] = []  # (producer event idx, consumer event idx)
+        self.violations: list[str] = []
+        self._op = 0
+        self._settled: dict[int, int] = {}  # node -> event index of its settled dispatch
+        self._open: dict[int, int] = {}  # node -> latest unsettled event index
+
+    def _next_op(self) -> int:
+        self._op += 1
+        return self._op
+
+    def record_dispatch(
+        self,
+        node: int,
+        wave_index: int,
+        reads: frozenset[int],
+        ready_at: float,
+        dispatched_at: float,
+        blocked_by: int | None,
+        barrier: bool = False,
+        replayed: bool = False,
+    ) -> DispatchEvent:
+        event = DispatchEvent(
+            seq=len(self.events),
+            node=int(node),
+            wave_index=int(wave_index),
+            reads=frozenset(int(p) for p in reads),
+            ready_at=float(ready_at),
+            dispatched_at=float(dispatched_at),
+            blocked_by=None if blocked_by is None else int(blocked_by),
+            barrier=barrier,
+            replayed=replayed,
+            dispatch_op=self._next_op(),
+        )
+        for p in sorted(event.reads):
+            producer = self._settled.get(p)
+            if producer is None:
+                self.violations.append(
+                    f"node {event.node} (wave {event.wave_index}) read label of "
+                    f"node {p} before it settled"
+                )
+                continue
+            self.edges.append((producer, event.seq))
+        self.events.append(event)
+        self._open[event.node] = event.seq
+        return event
+
+    def record_settle(self, node: int, at: float) -> None:
+        index = self._open.pop(int(node), None)
+        if index is None:
+            return  # nothing outstanding (e.g. a deferred item never settles a label)
+        event = self.events[index]
+        event.settled_at = float(at)
+        event.settle_op = self._next_op()
+        self._settled[int(node)] = index
+
+    # ------------------------------------------------------------ invariants
+
+    def is_acyclic(self) -> bool:
+        """Kahn's algorithm over the event graph (True when no cycle)."""
+        return len(self.topological_order()) == len(self.events)
+
+    def topological_order(self) -> list[int]:
+        """Node order of a stable (min-dispatch-seq first) topological sort.
+
+        Returns fewer entries than ``events`` exactly when the graph has a
+        cycle.  For a correct scheduler this equals the canonical dispatch
+        order: every edge points from an earlier-settled producer to a
+        later dispatch.
+        """
+        import heapq
+
+        indegree = [0] * len(self.events)
+        out: dict[int, list[int]] = {}
+        for producer, consumer in self.edges:
+            indegree[consumer] += 1
+            out.setdefault(producer, []).append(consumer)
+        heap = [i for i, d in enumerate(indegree) if d == 0]
+        heapq.heapify(heap)
+        order: list[int] = []
+        while heap:
+            index = heapq.heappop(heap)
+            order.append(self.events[index].node)
+            for consumer in out.get(index, ()):
+                indegree[consumer] -= 1
+                if indegree[consumer] == 0:
+                    heapq.heappush(heap, consumer)
+        return order
+
+    def canonical_order(self) -> list[int]:
+        return [event.node for event in self.events]
+
+    def reads_settled_at_dispatch(self) -> bool:
+        """Every recorded read had a settle op preceding the dispatch op.
+
+        Judged by the producer edges captured *at dispatch time*: a node can
+        be re-dispatched later (a deferral re-enqueue), in which case the
+        final ``_settled`` map points past the earlier settle that actually
+        satisfied the read.
+        """
+        if self.violations:
+            return False
+        if len(self.edges) != sum(len(event.reads) for event in self.events):
+            return False
+        for producer, consumer in self.edges:
+            settle_op = self.events[producer].settle_op
+            dispatch_op = self.events[consumer].dispatch_op
+            if settle_op is None or settle_op > dispatch_op:
+                return False
+        return True
+
+
+# --------------------------------------------------- pipelined boosting run
+
+
+@dataclass
+class _PlannedQuery:
+    """Planner-side state of one round member (or eagerly dispatched query)."""
+
+    node: int
+    include_neighbors: bool
+    selected: "list[SelectedNeighbor]"
+    can_defer: bool
+    cached: QueryRecord | None = None
+    future: Future | None = None
+    arrived: bool = False
+    kind: str | None = None  # "ok" | "error" | "crashed" | "cached"
+    payload: object = None
+    elapsed: float = 0.0
+    label_known: bool = False
+    label: int | None = None
+    deferred_attempt: int | None = None
+    ready_at: float = 0.0
+    dispatched_at: float = 0.0
+    settled_at: float | None = None
+    blocked_by: int | None = None
+
+
+@dataclass
+class _RoundPlan:
+    """One determined round: canonical member order plus its worker pool."""
+
+    wave_index: int
+    members: list[_PlannedQuery]
+    pool: ThreadPoolExecutor | None
+    num_batches: int
+    by_node: dict[int, _PlannedQuery] = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.by_node = {m.node: m for m in self.members}
+
+
+class _PipelinedBoostRun:
+    """Planner/worker execution of Algorithm 2 with readiness-DAG dispatch.
+
+    The planner thread (the caller) owns every canonical side effect —
+    neighbor selection, prompt rendering, spans, ledger charges, checkpoint
+    appends, pseudo-label publication — in exactly the serial order.
+    Workers receive a finished prompt and run only
+    ``engine.call_llm`` (plus the chaos injector's ``before_item`` hook, so
+    WorkerStall/WorkerCrash target real DAG workers).  See the module
+    docstring for the eager-dispatch soundness argument.
+    """
+
+    def __init__(
+        self,
+        strategy: "QueryBoostingStrategy",
+        engine: "MultiQueryEngine",
+        queries: np.ndarray,
+        pruned: frozenset[int],
+        checkpointer,
+    ):
+        self.strategy = strategy
+        self.engine = engine
+        self.scheduler = engine.scheduler
+        self.pruned = pruned
+        self.checkpointer = checkpointer
+        self.unexecuted = [int(v) for v in np.asarray(queries, dtype=np.int64)]
+        if len(set(self.unexecuted)) != len(self.unexecuted):
+            raise ValueError("queries contain duplicates")
+        self.cached = checkpointer.executed if checkpointer is not None else {}
+        self.gamma1 = strategy.gamma1
+        self.gamma2 = strategy.gamma2
+        self.deferrals: dict[int, int] = {}
+        self.result = RunResult()
+        self.rounds: list[list[int]] = []
+        self._started = time.perf_counter()
+        self._wall_high_water = 0.0
+        self.current: _RoundPlan | None = None
+        self.eager: dict[int, _PlannedQuery] = {}
+        self.next_pool: ThreadPoolExecutor | None = None
+        self._pools: list[ThreadPoolExecutor] = []
+        self._by_future: dict[Future, _PlannedQuery] = {}
+        self.overlay: dict[int, int] = {}  # current round's settled publishable labels
+        self.overlay_next: dict[int, int] = {}  # eagerly dispatched (next round) settles
+        self.settled_nodes: set[int] = set()
+        self._dispatch_counts: dict[int, int] = {}  # wave index -> items dispatched
+
+    # ------------------------------------------------------------- utilities
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._started
+
+    @property
+    def dag(self) -> ReadinessDAG | None:
+        return getattr(self.scheduler, "dag", None)
+
+    def _peek_publishable(self, predicted: int | None, confidence: float | None) -> bool:
+        """Planner preview of ``strategy._publishable`` for an "ok" response."""
+        if predicted is None:
+            return False
+        min_conf = self.strategy.min_pseudo_confidence
+        if min_conf is not None and confidence is not None and confidence < min_conf:
+            return False
+        return True
+
+    def _note_label(self, item: _PlannedQuery) -> None:
+        """A member's planner label state is now known: unblock dependents."""
+        self.settled_nodes.add(item.node)
+        if self.dag is not None:
+            self.dag.record_settle(item.node, item.settled_at)
+        if item.label is None:
+            return
+        if self.current is not None and item.node in self.current.by_node:
+            self.overlay[item.node] = item.label
+        else:
+            self.overlay_next[item.node] = item.label
+
+    def _worker(self, prompt: str, node: int, wave_index: int, item_index: int) -> tuple:
+        """The worker-thread slice: chaos hook + the LLM call, nothing else."""
+        started = time.perf_counter()
+        injector = self.scheduler.fault_injector
+        try:
+            if injector is not None:
+                injector.before_item(wave_index, item_index)
+            response, call_retries = self.engine.call_llm(prompt, node=node)
+        except WorkerCrashError as error:
+            return ("crashed", error, time.perf_counter() - started)
+        except TransientLLMError as error:
+            return ("error", error, time.perf_counter() - started)
+        return ("ok", (response, call_retries), time.perf_counter() - started)
+
+    def _submit(self, item: _PlannedQuery, pool: ThreadPoolExecutor, wave_index: int) -> None:
+        engine = self.engine
+        if item.include_neighbors:
+            prompt = engine._render_prompt(item.node, item.selected)
+        else:
+            prompt, _ = engine.build_prompt(item.node, include_neighbors=False)
+        index = self._dispatch_counts.get(wave_index, 0)
+        self._dispatch_counts[wave_index] = index + 1
+        item.dispatched_at = self._now()
+        item.future = pool.submit(self._worker, prompt, item.node, wave_index, index)
+        self._by_future[item.future] = item
+
+    def _record_dispatch_event(self, item: _PlannedQuery, wave_index: int) -> None:
+        if self.dag is None:
+            return
+        support = self.engine.selector.label_support(self.engine.graph, item.node)
+        if support is None:
+            reads: frozenset[int] = frozenset()
+            barrier = True
+        else:
+            reads = frozenset(p for p in support if p in self.settled_nodes)
+            barrier = False
+        ready = 0.0
+        blocked_by = None
+        for p in sorted(reads):
+            settled = self.current.by_node.get(p) if self.current is not None else None
+            at = None
+            if settled is not None and settled.settled_at is not None:
+                at = settled.settled_at
+            else:
+                for event in reversed(self.dag.events):
+                    if event.node == p and event.settled_at is not None:
+                        at = event.settled_at
+                        break
+            if at is not None and at > ready:
+                ready, blocked_by = at, p
+        item.ready_at = ready
+        item.blocked_by = blocked_by
+        self.dag.record_dispatch(
+            item.node,
+            wave_index,
+            reads,
+            ready_at=ready,
+            dispatched_at=item.dispatched_at,
+            blocked_by=blocked_by,
+            barrier=barrier,
+            replayed=item.cached is not None,
+        )
+
+    # --------------------------------------------------------- round planning
+
+    def _make_item(self, node: int, merged_view: dict[int, int] | None) -> _PlannedQuery:
+        """Build the planner state for one member under the given label view.
+
+        ``merged_view=None`` means the engine's own label map (determination
+        time, after the previous round published).
+        """
+        engine = self.engine
+        include = node not in self.pruned
+        if merged_view is None:
+            selected = engine.select_neighbors(node) if include else []
+        else:
+            rng = spawn_rng(engine.seed, "neighbor-sample", int(node))
+            selected = (
+                engine.selector.select(
+                    engine.graph, int(node), merged_view, engine.max_neighbors, rng
+                )
+                if include
+                else []
+            )
+        return _PlannedQuery(
+            node=node,
+            include_neighbors=include,
+            selected=selected,
+            can_defer=self.deferrals.get(node, 0) < self.strategy.max_deferrals,
+            cached=self.cached.get(node),
+        )
+
+    def _settle_cached(self, item: _PlannedQuery) -> None:
+        item.arrived = True
+        item.kind = "cached"
+        item.label_known = True
+        item.settled_at = self._now()
+        record = item.cached
+        item.label = (
+            record.predicted_label if self.strategy._publishable(record) else None
+        )
+        self._note_label(item)
+
+    def _determine_round(self) -> None:
+        """Canonical Step 1: candidate selection with threshold relaxation."""
+        strategy, engine = self.strategy, self.engine
+        candidates = strategy._candidates(engine, self.unexecuted, self.gamma1, self.gamma2)
+        while not candidates:
+            if self.gamma1 > 0:
+                self.gamma1 -= 1
+            elif strategy.use_conflict_threshold and self.gamma2 < engine.graph.num_classes:
+                self.gamma2 += 1
+            else:
+                candidates = [(node, 0) for node in self.unexecuted]
+                break
+            candidates = strategy._candidates(engine, self.unexecuted, self.gamma1, self.gamma2)
+        candidates.sort(key=lambda pair: (-pair[1], pair[0]))
+
+        wave_index = self.scheduler._next_wave
+        self.scheduler._next_wave += 1
+        # The previous round's settled labels are published now (the engine
+        # already did, at its finalize); promote the eager overlay so the
+        # *new* current round's settles feed the next eager horizon.
+        self.overlay = self.overlay_next
+        self.overlay_next = {}
+        eager, self.eager = self.eager, {}
+        pool, self.next_pool = self.next_pool, None
+
+        members: list[_PlannedQuery] = []
+        for node, _count in candidates:
+            item = eager.pop(node, None)
+            if item is not None:
+                if item.can_defer != (
+                    self.deferrals.get(node, 0) < strategy.max_deferrals
+                ):
+                    raise RuntimeError(
+                        f"eager dispatch of node {node} drifted from canonical "
+                        "deferral state"
+                    )
+                if item.include_neighbors and item.cached is None:
+                    canonical = engine.select_neighbors(node)
+                    if [(sn.node, sn.label) for sn in item.selected] != [
+                        (sn.node, sn.label) for sn in canonical
+                    ]:
+                        raise RuntimeError(
+                            f"eager selection for node {node} diverged from the "
+                            "canonical post-round view: the selector's "
+                            "label_support is unsound"
+                        )
+            else:
+                item = self._make_item(node, merged_view=None)
+            members.append(item)
+        if eager:
+            raise RuntimeError(
+                "eagerly dispatched nodes missing from the canonical candidate "
+                f"set: {sorted(eager)} — the selector's label_support is unsound"
+            )
+
+        fresh = sum(1 for m in members if m.cached is None)
+        num_batches = len(_chunks(list(range(fresh)), self.scheduler.max_batch_size))
+        if engine.observer is not None:
+            engine.observer.on_wave_start(wave_index, len(members), num_batches)
+        self.current = _RoundPlan(
+            wave_index=wave_index, members=members, pool=pool, num_batches=num_batches
+        )
+        for item in members:
+            if item.arrived:
+                continue  # eagerly dispatched and possibly already settled
+            if item.cached is not None:
+                self._record_dispatch_event(item, wave_index)
+                self._settle_cached(item)
+                continue
+            if item.future is None:
+                if self.current.pool is None:
+                    self.current.pool = ThreadPoolExecutor(
+                        max_workers=self.scheduler.max_concurrency
+                    )
+                    self._pools.append(self.current.pool)
+                self._submit(item, self.current.pool, wave_index)
+                self._record_dispatch_event(item, wave_index)
+
+    def _try_eager(self) -> None:
+        """Dispatch next-round queries whose read labels have all settled."""
+        current = self.current
+        if current is None:
+            return
+        strategy, engine = self.strategy, self.engine
+        merged: dict[int, int] | None = None
+        for node in self.unexecuted:
+            if node in current.by_node or node in self.eager:
+                continue
+            support = engine.selector.label_support(engine.graph, node)
+            if support is None:
+                continue  # unknown read set: wait for the barrier
+            blockers = [
+                p
+                for p in support
+                if p in current.by_node and not current.by_node[p].label_known
+            ]
+            if blockers:
+                continue
+            if merged is None:
+                merged = dict(engine.label_map)
+                merged.update(self.overlay)
+            rng = spawn_rng(engine.seed, "neighbor-sample", int(node))
+            selected = engine.selector.select(
+                engine.graph, int(node), merged, engine.max_neighbors, rng
+            )
+            labels = [sn.label for sn in selected if sn.label is not None]
+            count, conflicts = len(labels), len(set(labels))
+            if count < self.gamma1 or (
+                strategy.use_conflict_threshold and conflicts > self.gamma2
+            ):
+                continue
+            item = _PlannedQuery(
+                node=node,
+                include_neighbors=node not in self.pruned,
+                selected=selected if node not in self.pruned else [],
+                can_defer=self.deferrals.get(node, 0) < strategy.max_deferrals,
+                cached=self.cached.get(node),
+            )
+            self.eager[node] = item
+            wave_index = current.wave_index + 1
+            if item.cached is not None:
+                item.dispatched_at = self._now()
+                self._record_dispatch_event(item, wave_index)
+                self._settle_cached(item)
+                continue
+            if self.next_pool is None:
+                self.next_pool = ThreadPoolExecutor(
+                    max_workers=self.scheduler.max_concurrency
+                )
+                self._pools.append(self.next_pool)
+            self._submit(item, self.next_pool, wave_index)
+            self._record_dispatch_event(item, wave_index)
+
+    # ------------------------------------------------------------- settlement
+
+    def _settle(self, item: _PlannedQuery) -> None:
+        kind, payload, elapsed = item.future.result()
+        item.arrived = True
+        item.kind = kind
+        item.payload = payload
+        item.elapsed = elapsed
+        if kind == "ok":
+            response, _call_retries = payload
+            predicted = parse_category_response(
+                response.text, self.engine.graph.class_names
+            )
+            confidence = getattr(response, "confidence", None)
+            item.settled_at = self._now()
+            item.label_known = True
+            if self._peek_publishable(predicted, confidence):
+                item.label = predicted
+            self._note_label(item)
+        elif kind == "error" and item.can_defer:
+            # The deferral is decided now (the canonical observer callback
+            # fires later, at this item's finalize slot): dependents need
+            # to know no label is coming from this round.
+            self.deferrals[item.node] = self.deferrals.get(item.node, 0) + 1
+            item.deferred_attempt = self.deferrals[item.node]
+            item.settled_at = self._now()
+            item.label_known = True
+            self._note_label(item)
+        # "crashed" and non-deferrable "error" resolve at finalize: the
+        # degradation ladder / serial re-execution decides their label.
+
+    # --------------------------------------------------------------- finalize
+
+    def _resolve_at_finalize(self, item: _PlannedQuery, record: QueryRecord | None) -> None:
+        if item.label_known:
+            return
+        item.settled_at = self._now()
+        item.label_known = True
+        if record is not None and self.strategy._publishable(record):
+            item.label = record.predicted_label
+        self._note_label(item)
+
+    def _finalize_round(self, plan: _RoundPlan) -> None:
+        """Canonical merge, spans, publication and bookkeeping for one round.
+
+        Mirrors the wave scheduler's thread merge exactly — same span
+        structure (``round`` > ``wave`` > condensed ``query`` spans), same
+        ledger/checkpoint order — plus the additive ``dag_*`` readiness
+        attributes on each batched query span (trace schema v3).
+        """
+        strategy, engine = self.strategy, self.engine
+        observer = engine.observer
+        checkpointer = self.checkpointer
+        round_index = len(self.rounds)
+        round_records: list[QueryRecord] = []
+        round_deferred = 0
+        replayed = 0
+        serial_seconds = 0.0
+        with engine.span(
+            "round", round_index=round_index, candidates=len(plan.members)
+        ):
+            with engine.span(
+                "wave",
+                wave_index=plan.wave_index,
+                queries=len(plan.members),
+                dag_pipelined=True,
+            ):
+                for item in plan.members:
+                    if item.cached is not None:
+                        engine.observe_replay(item.cached)
+                        round_records.append(item.cached)
+                        self.result.add(item.cached)
+                        replayed += 1
+                        continue
+                    serial_seconds += item.elapsed
+                    if item.kind == "crashed":
+                        # Worker died before its LLM call: recover on the
+                        # canonical serial path (no call is duplicated).
+                        started = time.perf_counter()
+                        try:
+                            record = engine.execute_query(
+                                item.node,
+                                include_neighbors=item.include_neighbors,
+                                round_index=round_index,
+                                on_failure="raise" if item.can_defer else None,
+                            )
+                        except TransientLLMError:
+                            serial_seconds += time.perf_counter() - started
+                            if not item.can_defer:
+                                raise
+                            self.deferrals[item.node] = (
+                                self.deferrals.get(item.node, 0) + 1
+                            )
+                            item.deferred_attempt = self.deferrals[item.node]
+                            if observer is not None:
+                                observer.on_deferral(item.node, item.deferred_attempt)
+                            round_deferred += 1
+                            self._resolve_at_finalize(item, None)
+                            continue
+                        serial_seconds += time.perf_counter() - started
+                    elif item.kind == "ok":
+                        response, call_retries = item.payload
+                        record = engine.finalize_prepared(
+                            item.node,
+                            response,
+                            item.selected,
+                            include_neighbors=item.include_neighbors,
+                            round_index=round_index,
+                            call_retries=call_retries,
+                            extra_span_attrs=self._readiness_attrs(item),
+                        )
+                    else:  # "error"
+                        if item.can_defer:
+                            if observer is not None:
+                                observer.on_deferral(item.node, item.deferred_attempt)
+                            round_deferred += 1
+                            continue
+                        if engine.ladder is None:
+                            raise item.payload
+                        record = engine.degrade_failed_query(
+                            item.node,
+                            include_neighbors=item.include_neighbors,
+                            round_index=round_index,
+                        )
+                    round_records.append(record)
+                    self.result.add(record)
+                    if checkpointer is not None:
+                        checkpointer.append(record)
+                    self._resolve_at_finalize(item, record)
+        wave_end = self._now()
+        overlapped = max(0.0, wave_end - self._wall_high_water)
+        self._wall_high_water = max(self._wall_high_water, wave_end)
+        stats = WaveStats(
+            wave_index=plan.wave_index,
+            num_queries=len(plan.members),
+            num_replayed=replayed,
+            num_deferred=round_deferred,
+            num_batches=plan.num_batches,
+            serial_seconds=serial_seconds,
+            overlapped_seconds=overlapped,
+        )
+        self.scheduler.report.waves.append(stats)
+        if observer is not None:
+            observer.on_wave_end(
+                stats.wave_index,
+                stats.num_queries,
+                stats.num_batches,
+                stats.serial_seconds,
+                stats.overlapped_seconds,
+            )
+        # Step 3: publish after the whole round, exactly as Algorithm 2
+        # separates its query and label-update steps.
+        for record in round_records:
+            if not strategy._publishable(record):
+                continue
+            if record.node not in engine.pseudo_labeled:
+                engine.add_pseudo_label(record.node, record.predicted_label)
+                if checkpointer is not None:
+                    checkpointer.record_pseudo(record.node, record.predicted_label)
+        executed = {r.node for r in round_records}
+        self.unexecuted = [v for v in self.unexecuted if v not in executed]
+        if round_records:
+            if observer is not None:
+                observer.on_round_end(round_index, len(round_records), round_deferred)
+            self.rounds.append([r.node for r in round_records])
+        if plan.pool is not None:
+            plan.pool.shutdown(wait=True)
+
+    @staticmethod
+    def _readiness_attrs(item: _PlannedQuery) -> dict:
+        attrs = {
+            "dag_ready": round(item.ready_at, 6),
+            "dag_dispatched": round(item.dispatched_at, 6),
+            "dag_settled": round(item.settled_at or item.dispatched_at, 6),
+        }
+        if item.blocked_by is not None:
+            attrs["dag_blocked_by"] = item.blocked_by
+        return attrs
+
+    # -------------------------------------------------------------- main loop
+
+    def _inflight(self) -> list[Future]:
+        pending = []
+        if self.current is not None:
+            pending.extend(
+                item.future
+                for item in self.current.members
+                if item.future is not None and not item.arrived
+            )
+        pending.extend(
+            item.future
+            for item in self.eager.values()
+            if item.future is not None and not item.arrived
+        )
+        return pending
+
+    def run(self) -> BoostingResult:
+        engine = self.engine
+        if engine.observer is not None:
+            engine.observer.on_run_start(len(self.unexecuted))
+        try:
+            while self.unexecuted or self.current is not None:
+                if self.current is None:
+                    self._determine_round()
+                    self._try_eager()
+                pending = self._inflight()
+                if pending:
+                    done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        self._settle(self._by_future.pop(future))
+                    self._try_eager()
+                if all(item.arrived for item in self.current.members):
+                    plan, self.current = self.current, None
+                    self._finalize_round(plan)
+        finally:
+            for pool in self._pools:
+                pool.shutdown(wait=True, cancel_futures=True)
+        if self.checkpointer is not None:
+            self.checkpointer.mark_complete()
+        return BoostingResult(run=self.result, rounds=self.rounds)
+
+
+def execute_pipelined(
+    strategy: "QueryBoostingStrategy",
+    engine: "MultiQueryEngine",
+    queries: np.ndarray,
+    pruned: frozenset[int] | set[int] = frozenset(),
+    checkpointer=None,
+) -> BoostingResult:
+    """Run Algorithm 2 with dependency-driven (DAG) thread dispatch.
+
+    Drop-in for :meth:`QueryBoostingStrategy.execute` when the engine's
+    scheduler has ``dispatch="dag"`` and ``mode="threads"``: records,
+    rounds, ledgers and checkpoints are bit-identical to the serial run
+    (the differential oracle in ``tests/equivalence.py`` asserts it), while
+    next-round queries overlap the current round's stragglers.
+    """
+    return _PipelinedBoostRun(
+        strategy, engine, queries, frozenset(pruned), checkpointer
+    ).run()

@@ -34,6 +34,21 @@ Two dispatch modes cover the two deployment realities:
     that read the ledger mid-wave, so they degrade to in-order dispatch
     automatically.
 
+Orthogonal to the mode, the **dispatch plan** picks the ordering model:
+
+``"wave"`` (default)
+    Every wave is a hard barrier — the historical behavior.
+
+``"dag"``
+    Dependency-driven readiness (see ``repro.runtime.readiness``): each
+    :class:`WorkItem` may declare the exact pseudo-labels it ``reads``, and
+    becomes dispatchable the moment those labels settle rather than when
+    the whole previous wave drains.  Simulated dispatch stays bit-identical
+    to the wave plan (execution order is unchanged; only the *virtual*
+    packing honors dependencies, so overlap telemetry can exceed a single
+    wave's span), while threads-mode boosting routes to the pipelined
+    executor whose peak in-flight calls can exceed ``max_concurrency``.
+
 The scheduler reports per-wave telemetry through the engine's observer
 (``on_wave_start`` / ``on_wave_end``) as **metrics only** — emitting wave
 spans would break the bit-identical trace contract of simulated dispatch.
@@ -54,6 +69,7 @@ if TYPE_CHECKING:
     from repro.runtime.engine import MultiQueryEngine
 
 DISPATCH_MODES = ("simulated", "threads")
+DISPATCH_PLANS = ("wave", "dag")
 
 
 class WorkerCrashError(RuntimeError):
@@ -78,7 +94,11 @@ class WorkItem:
     ``"raise"``, a transient failure defers the query (``on_defer`` fires,
     the node lands in :attr:`WaveOutcome.deferred`) instead of propagating.
     ``after_execute`` runs in canonical order after each fresh record — the
-    checkpoint-append hook.
+    checkpoint-append hook.  ``reads`` declares the exact set of producer
+    nodes whose settled pseudo-labels this query's prompt/candidacy
+    depends on (the selector's label support intersected with prior
+    producers); ``None`` means "unknown / everything", which the DAG
+    dispatch plan treats as a full barrier.  The wave plan ignores it.
     """
 
     node: int
@@ -89,6 +109,7 @@ class WorkItem:
     decide_include: Callable[[], bool] | None = None
     on_defer: Callable[[], None] | None = None
     after_execute: Callable[[QueryRecord], None] | None = None
+    reads: frozenset[int] | None = None
 
 
 @dataclass(frozen=True)
@@ -175,6 +196,13 @@ class QueryScheduler:
         ``"simulated"`` mode, real threads in ``"threads"`` mode.
     mode:
         One of :data:`DISPATCH_MODES`; see the module docstring.
+    dispatch:
+        One of :data:`DISPATCH_PLANS` — ``"wave"`` barriers (default) or
+        ``"dag"`` dependency-driven readiness.  Under ``"dag"`` the
+        scheduler keeps a :class:`~repro.runtime.readiness.ReadinessDAG`
+        ledger of every dispatch/settle (``self.dag``), virtual workers
+        persist across waves, and items with declared ``reads`` start as
+        soon as those labels settle.
     fault_injector:
         Optional chaos hook (see :class:`repro.runtime.chaos.
         SchedulerFaultInjector`) consulted before each threads-mode phase-1
@@ -192,6 +220,7 @@ class QueryScheduler:
         max_concurrency: int = 1,
         mode: str = "simulated",
         fault_injector: object | None = None,
+        dispatch: str = "wave",
     ):
         if max_batch_size is not None and max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1 or None")
@@ -199,12 +228,27 @@ class QueryScheduler:
             raise ValueError("max_concurrency must be >= 1")
         if mode not in DISPATCH_MODES:
             raise ValueError(f"mode must be one of {DISPATCH_MODES}, got {mode!r}")
+        if dispatch not in DISPATCH_PLANS:
+            raise ValueError(f"dispatch must be one of {DISPATCH_PLANS}, got {dispatch!r}")
         self.max_batch_size = max_batch_size
         self.max_concurrency = max_concurrency
         self.mode = mode
+        self.dispatch = dispatch
         self.fault_injector = fault_injector
         self.report = SchedulerReport()
         self._next_wave = 0
+        self.dag = None
+        # Virtual continuous-batching state for the simulated DAG plan: C
+        # persistent worker timelines, per-producer settle times, and the
+        # high-water makespan that barrier items wait for.
+        self._virtual_workers: list[float] = []
+        self._virtual_finish: dict[int, float] = {}
+        self._virtual_makespan = 0.0
+        if dispatch == "dag":
+            from repro.runtime.readiness import ReadinessDAG  # avoid import cycle
+
+            self.dag = ReadinessDAG()
+            self._virtual_workers = [0.0] * max_concurrency
 
     # ------------------------------------------------------------------ waves
 
@@ -258,13 +302,14 @@ class QueryScheduler:
         clock = engine.clock
         records: list[QueryRecord] = []
         deferred: list[int] = []
-        latencies: list[float] = []
-        replayed = 0
+        # (item, virtual latency, produced record or None-when-deferred)
+        timeline: list[tuple[WorkItem, float, QueryRecord | None]] = []
+        replayed_nodes: list[int] = []
         for item in items:
             if item.cached is not None:
                 engine.observe_replay(item.cached)
                 records.append(item.cached)
-                replayed += 1
+                replayed_nodes.append(item.node)
                 continue
             include = (
                 item.decide_include() if item.decide_include is not None else item.include_neighbors
@@ -280,16 +325,24 @@ class QueryScheduler:
             except TransientLLMError:
                 if item.on_failure != "raise":
                     raise
-                latencies.append((clock.now - started) if clock is not None else 0.0)
+                timeline.append((item, (clock.now - started) if clock is not None else 0.0, None))
                 deferred.append(item.node)
                 if item.on_defer is not None:
                     item.on_defer()
                 continue
-            latencies.append((clock.now - started) if clock is not None else 0.0)
+            timeline.append((item, (clock.now - started) if clock is not None else 0.0, record))
             records.append(record)
             if item.after_execute is not None:
                 item.after_execute(record)
-        serial_seconds, overlapped_seconds = self._overlap(latencies)
+        if self.dispatch == "dag":
+            serial_seconds, overlapped_seconds = self._dag_pack(
+                timeline, replayed_nodes, wave_index
+            )
+        else:
+            serial_seconds, overlapped_seconds = self._overlap(
+                [latency for _, latency, _ in timeline]
+            )
+        replayed = len(replayed_nodes)
         stats = WaveStats(
             wave_index=wave_index,
             num_queries=len(items),
@@ -317,6 +370,86 @@ class QueryScheduler:
                 slot = workers.index(min(workers))
                 workers[slot] += latency
             overlapped += max(workers, default=0.0)
+        return serial, overlapped
+
+    def _dag_pack(
+        self,
+        timeline: list[tuple[WorkItem, float, QueryRecord | None]],
+        replayed_nodes: list[int],
+        wave_index: int,
+    ) -> tuple[float, float]:
+        """Virtual dependency-aware packing for the simulated DAG plan.
+
+        Execution already happened in canonical order (so every artifact is
+        bit-identical to the wave plan); only the *accounting* changes: the
+        ``max_concurrency`` virtual workers persist across waves, and each
+        item starts at ``max(worker free, its reads' settle times)`` instead
+        of behind a wave/batch barrier.  Items with ``reads=None`` (unknown
+        dependencies — relaxation rounds, re-enqueued deferrals, serve
+        admissions, budget-guard waves) wait for everything dispatched so
+        far, i.e. the pre-wave makespan.  Every dispatch and settle is
+        recorded into ``self.dag``.
+        """
+        base = self._virtual_makespan
+        # Same-wave members are never legitimate dependencies (canonically a
+        # round's labels publish only after the whole round), so reads
+        # resolve against the pre-wave producer snapshot.
+        producers = dict(self._virtual_finish)
+        for node in replayed_nodes:
+            # Replays settle instantly at the wave's admission point.
+            self._virtual_finish[int(node)] = base
+            producers[int(node)] = base
+            if self.dag is not None:
+                self.dag.record_dispatch(
+                    int(node),
+                    wave_index,
+                    frozenset(),
+                    ready_at=base,
+                    dispatched_at=base,
+                    blocked_by=None,
+                    replayed=True,
+                )
+                self.dag.record_settle(int(node), base)
+        serial = 0.0
+        settles: list[tuple[int, float]] = []
+        wave_end = base
+        for item, latency, record in timeline:
+            serial += latency
+            if item.reads is None:
+                reads: frozenset[int] = frozenset()
+                ready, blocked_by, barrier = base, None, True
+            else:
+                reads = frozenset(int(p) for p in item.reads if int(p) in producers)
+                ready, blocked_by, barrier = 0.0, None, False
+                for p in sorted(reads):
+                    if producers[p] > ready:
+                        ready, blocked_by = producers[p], p
+            slot = min(
+                range(len(self._virtual_workers)),
+                key=lambda s: max(self._virtual_workers[s], ready),
+            )
+            start = max(self._virtual_workers[slot], ready)
+            finish = start + latency
+            self._virtual_workers[slot] = finish
+            wave_end = max(wave_end, finish)
+            if record is not None:
+                self._virtual_finish[int(item.node)] = finish
+                settles.append((int(item.node), finish))
+            if self.dag is not None:
+                self.dag.record_dispatch(
+                    int(item.node),
+                    wave_index,
+                    reads,
+                    ready_at=ready,
+                    dispatched_at=start,
+                    blocked_by=blocked_by,
+                    barrier=barrier,
+                )
+        if self.dag is not None:
+            for node, finish in settles:
+                self.dag.record_settle(node, finish)
+        overlapped = max(0.0, wave_end - base)
+        self._virtual_makespan = max(base, wave_end)
         return serial, overlapped
 
     # --------------------------------------------------------------- threads
@@ -347,6 +480,8 @@ class QueryScheduler:
             records, deferred, replayed, serial_seconds = self._merge_threads(
                 engine, items, phase1
             )
+        if self.dag is not None:
+            self._record_threads_wave(items, deferred, wave_index, overlapped_seconds)
         stats = WaveStats(
             wave_index=wave_index,
             num_queries=len(items),
@@ -357,6 +492,54 @@ class QueryScheduler:
             overlapped_seconds=overlapped_seconds,
         )
         return WaveOutcome(records=records, deferred=deferred, stats=stats)
+
+    def _record_threads_wave(
+        self,
+        items: list[WorkItem],
+        deferred: list[int],
+        wave_index: int,
+        wave_seconds: float,
+    ) -> None:
+        """Mirror one threads wave into the readiness ledger.
+
+        The threads wave path only ever carries dependency-free items —
+        ``engine.run`` batches and serve admissions declare ``reads ==
+        frozenset()``, and boosted rounds take the pipelined executor
+        instead — so every item is ready at the wave's admission point and
+        settles by the wave's wall-clock end.  Recording keeps the DAG
+        invariants (acyclicity, reads-settled-at-dispatch, canonical
+        topological order) auditable across all four dispatch legs.
+        """
+        base = self._virtual_makespan
+        end = base + max(0.0, wave_seconds)
+        deferred_set = set(deferred)
+        settles: list[tuple[int, float]] = []
+        for item in items:
+            node = int(item.node)
+            replayed = item.cached is not None
+            reads = (
+                frozenset()
+                if item.reads is None
+                else frozenset(int(p) for p in item.reads if int(p) in self._virtual_finish)
+            )
+            self.dag.record_dispatch(
+                node,
+                wave_index,
+                reads,
+                ready_at=base,
+                dispatched_at=base,
+                blocked_by=None,
+                barrier=item.reads is None,
+                replayed=replayed,
+            )
+            if replayed:
+                settles.append((node, base))
+            elif node not in deferred_set:
+                settles.append((node, end))
+        for node, at in settles:
+            self.dag.record_settle(node, at)
+            self._virtual_finish[node] = at
+        self._virtual_makespan = end
 
     def _phase1(
         self, engine: "MultiQueryEngine", item: WorkItem, wave_index: int, index: int

@@ -773,7 +773,19 @@ class ServingLayer:
             tier, include = rung
             plan.append((request, queued_at, degraded, tier))
             if tier != "surrogate":
-                items.append(WorkItem(node=request.node, include_neighbors=include))
+                # Serve requests read no pseudo-labels (reads=∅), so under
+                # the DAG dispatch plan each admitted request is immediately
+                # ready: it joins the persistent in-flight worker timeline
+                # the moment a slot frees instead of queueing behind the
+                # previous wave's barrier.  Execution order is canonical
+                # either way, so wave and DAG plans stay record-identical.
+                items.append(
+                    WorkItem(
+                        node=request.node,
+                        include_neighbors=include,
+                        reads=frozenset(),
+                    )
+                )
                 item_tenants.append(request.tenant)
         records = iter(self._execute_items(items, item_tenants))
         outcomes = []

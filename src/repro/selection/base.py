@@ -47,6 +47,18 @@ class NeighborSelector(abc.ABC):
     ) -> list[SelectedNeighbor]:
         """Choose up to ``max_neighbors`` neighbors for ``node``'s prompt."""
 
+    def label_support(self, graph: TextAttributedGraph, node: int) -> frozenset[int] | None:
+        """Every node whose label-map entry can influence ``select(node)``.
+
+        The readiness DAG (``repro.runtime.readiness``) uses this to derive
+        which pseudo-labels a query *reads*: restricting the label map to
+        this set must leave the selection — and hence candidacy stats and
+        the rendered prompt — unchanged.  ``None`` means "unknown" (reads
+        everything), which disables dependency-driven dispatch for the
+        selector but never its correctness.
+        """
+        return None
+
     @staticmethod
     def _attach_labels(nodes: list[int], label_map: dict[int, int]) -> list[SelectedNeighbor]:
         return [SelectedNeighbor(node=v, label=label_map.get(v)) for v in nodes]
@@ -54,6 +66,9 @@ class NeighborSelector(abc.ABC):
 
 class VanillaSelector(NeighborSelector):
     """Vanilla zero-shot: no neighbor text at all (``N_i = ∅``)."""
+
+    def label_support(self, graph: TextAttributedGraph, node: int) -> frozenset[int]:
+        return frozenset()  # reads no labels at all
 
     def select(
         self,

@@ -22,6 +22,12 @@ class KHopRandomSelector(NeighborSelector):
             raise ValueError(f"k must be >= 1, got {k}")
         self.k = k
 
+    def label_support(self, graph: TextAttributedGraph, node: int) -> frozenset[int]:
+        # select() reads label_map only to split the k-hop candidates into
+        # labeled vs unlabeled, so the k-hop neighborhood is the exact
+        # support (the node itself rides along for conservatism).
+        return frozenset(int(v) for v in graph.k_hop(node, self.k)) | {int(node)}
+
     def select(
         self,
         graph: TextAttributedGraph,

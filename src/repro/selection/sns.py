@@ -28,6 +28,16 @@ class SNSSelector(NeighborSelector):
             raise ValueError(f"max_hops must be >= 1, got {max_hops}")
         self.max_hops = max_hops
 
+    def label_support(self, graph: TextAttributedGraph, node: int) -> frozenset[int]:
+        # Every label_map read — the per-layer labeled test, the stop
+        # condition, and the unlabeled-1-hop fallback — touches only nodes
+        # inside the BFS layers; similarity ranking reads features, not
+        # labels.
+        support = {int(node)}
+        for layer in graph.bfs_layers(node, self.max_hops).values():
+            support.update(int(v) for v in layer)
+        return frozenset(support)
+
     def select(
         self,
         graph: TextAttributedGraph,

@@ -139,6 +139,39 @@ def _normalize_trace(lines: list[dict]) -> list[dict]:
     return out
 
 
+def strip_readiness_attributes(lines: list[dict]) -> list[dict]:
+    """Copy of trace lines minus the v3 ``dag_*`` readiness span attributes.
+
+    The DAG dispatch plan's pipelined executor annotates batched query spans
+    with ``dag_ready``/``dag_dispatched``/``dag_settled``/``dag_blocked_by``
+    and wave spans with ``dag_pipelined`` — the *only* additive difference
+    from a wave-threads trace.  Stripping them lets the differential oracle
+    compare the two thread traces structurally, span for span.
+    """
+    out = []
+    for line in lines:
+        line = copy.deepcopy(line)
+        attributes = line.get("attributes")
+        if isinstance(attributes, dict):
+            line["attributes"] = {
+                key: value
+                for key, value in attributes.items()
+                if not key.startswith("dag_")
+            }
+        out.append(line)
+    return out
+
+
+def readiness_attribute_count(lines: list[dict]) -> int:
+    """How many ``dag_*`` span attributes a trace carries (0 for wave traces)."""
+    return sum(
+        1
+        for line in lines
+        for key in (line.get("attributes") or {})
+        if key.startswith("dag_")
+    )
+
+
 def strip_scheduler_metrics(snapshot: dict) -> dict:
     """Drop the ``repro_scheduler_*`` families from a metrics snapshot."""
     snapshot = copy.deepcopy(snapshot)

@@ -95,9 +95,11 @@ class TestSummaryEdges:
 
 
 class TestSchemaVersions:
-    def test_both_versions_supported(self):
-        assert SUPPORTED_FORMAT_VERSIONS == (1, TRACE_FORMAT_VERSION)
-        assert TRACE_FORMAT_VERSION == 2
+    def test_all_versions_up_to_current_supported(self):
+        assert SUPPORTED_FORMAT_VERSIONS == tuple(
+            range(1, TRACE_FORMAT_VERSION + 1)
+        )
+        assert TRACE_FORMAT_VERSION == 3
 
     def test_v2_trace_validates(self):
         validate_trace_lines(single_wave_trace())

@@ -1,0 +1,133 @@
+"""Property-based audits of the readiness DAG (Hypothesis-drawn configs).
+
+For any drawn boosting configuration — query count, neighborhood method,
+failure injection, pruning, scheduler shape — the DAG dispatch plan must
+produce a readiness ledger that is:
+
+* **acyclic** — label reads only ever point backward in settle order;
+* **sound** — every read a query declared had settled before the query
+  dispatched (``violations`` empty, settle op < dispatch op per edge);
+* **canonical** — a stable topological sort of the event graph replays the
+  exact serial dispatch order, i.e. pipelining never reorders anything the
+  serial semantics could observe.
+
+And, the point of the whole exercise: the run itself stays bit-identical
+to serial (simulated) or record-identical to wave-threads (threads).
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.scheduler import QueryScheduler
+
+from tests.equivalence import Scenario, assert_equivalent, run_scenario
+
+SETTINGS = dict(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+scenarios = st.builds(
+    Scenario,
+    strategy=st.just("boost"),
+    num_queries=st.integers(min_value=2, max_value=16),
+    method=st.sampled_from(["1-hop", "2-hop", "sns"]),
+    prune_fraction=st.sampled_from([0.0, 0.25]),
+    failure_rate=st.sampled_from([0.0, 0.3]),
+    use_ladder=st.just(True),
+    observe=st.booleans(),
+)
+
+batch_sizes = st.sampled_from([None, 1, 3, 8])
+worker_counts = st.integers(min_value=1, max_value=5)
+
+
+def check_dag_invariants(scheduler: QueryScheduler) -> None:
+    dag = scheduler.dag
+    assert dag is not None and dag.events, "DAG dispatch must populate the ledger"
+    assert dag.violations == [], f"read-before-settle: {dag.violations}"
+    assert dag.is_acyclic(), "readiness DAG has a cycle"
+    assert dag.reads_settled_at_dispatch(), (
+        "a query's read-set was not fully settled at dispatch time"
+    )
+    assert dag.topological_order() == dag.canonical_order(), (
+        "topological replay diverged from the canonical serial order"
+    )
+    for event in dag.events:
+        assert event.ready_at <= event.dispatched_at + 1e-9, (
+            f"node {event.node} dispatched before it was ready"
+        )
+        if event.blocked_by is not None:
+            assert event.blocked_by in event.reads, (
+                "blocking producer must be one of the declared reads"
+            )
+
+
+class TestSimulatedDagProperties:
+    @given(scenario=scenarios, batch=batch_sizes, workers=worker_counts)
+    @settings(**SETTINGS)
+    def test_ledger_invariants_and_serial_identity(
+        self, tiny_tag, tiny_split, tiny_builder, scenario, batch, workers
+    ):
+        serial = run_scenario(scenario, tiny_tag, tiny_split, tiny_builder)
+        scheduler = QueryScheduler(
+            max_batch_size=batch, max_concurrency=workers, dispatch="dag"
+        )
+        dag_run = run_scenario(
+            scenario, tiny_tag, tiny_split, tiny_builder, scheduler=scheduler
+        )
+        assert_equivalent(serial, dag_run)
+        check_dag_invariants(scheduler)
+
+    @given(scenario=scenarios, workers=worker_counts)
+    @settings(**SETTINGS)
+    def test_relaxed_and_redispatched_queries_are_barriers(
+        self, tiny_tag, tiny_split, tiny_builder, scenario, workers
+    ):
+        """Queries with unknowable read-sets (γ-relaxation, deferral
+        re-enqueues) must declare the conservative barrier dependency, and
+        fresh queries must declare a read-set drawn from their selector's
+        label support."""
+        scheduler = QueryScheduler(
+            max_batch_size=4, max_concurrency=workers, dispatch="dag"
+        )
+        run_scenario(scenario, tiny_tag, tiny_split, tiny_builder, scheduler=scheduler)
+        seen: dict[int, int] = {}
+        for event in scheduler.dag.events:
+            count = seen.get(event.node, 0)
+            if count > 0 and not event.replayed:
+                assert event.barrier, (
+                    f"re-dispatched node {event.node} must be a barrier item"
+                )
+            seen[event.node] = count + 1
+
+
+class TestThreadsDagProperties:
+    @given(
+        n=st.integers(min_value=2, max_value=12),
+        method=st.sampled_from(["1-hop", "sns"]),
+        workers=st.integers(min_value=2, max_value=4),
+    )
+    @settings(max_examples=5, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_pipelined_executor_keeps_ledger_sound(
+        self, tiny_tag, tiny_split, tiny_builder, n, method, workers
+    ):
+        scenario = Scenario(strategy="boost", num_queries=n, method=method)
+        wave = run_scenario(
+            scenario, tiny_tag, tiny_split, tiny_builder,
+            scheduler=QueryScheduler(
+                max_batch_size=4, max_concurrency=workers, mode="threads"
+            ),
+        )
+        scheduler = QueryScheduler(
+            max_batch_size=4, max_concurrency=workers, mode="threads", dispatch="dag"
+        )
+        dag_run = run_scenario(
+            scenario, tiny_tag, tiny_split, tiny_builder, scheduler=scheduler
+        )
+        assert_equivalent(wave, dag_run, compare_traces=False)
+        check_dag_invariants(scheduler)
