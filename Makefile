@@ -4,7 +4,7 @@
 # it `pytest | tee` reports tee's exit status and swallows test failures.
 SHELL := /bin/bash
 
-.PHONY: install test test-parallel test-equivalence test-differential coverage bench bench-check bench-tables report examples trace-smoke chaos-smoke analyze-smoke clean
+.PHONY: install test test-parallel test-equivalence test-differential test-mqo coverage bench bench-check bench-tables report examples trace-smoke chaos-smoke analyze-smoke clean
 
 # Line-coverage floor enforced by `make coverage` (and CI).
 COVERAGE_FLOOR := 80
@@ -48,6 +48,13 @@ test-differential:
 	pytest tests/test_differential_oracle.py tests/test_readiness_properties.py \
 		tests/test_chaos_dag.py tests/test_trace_schema_compat.py
 
+# The MQO tier (docs/mqo.md): prefix-sharing/compression property laws,
+# cache-pricing and ledger-credit unit suite, the classical prefix-sharing
+# comparators, and the golden cent-for-cent accounting fixture.
+test-mqo:
+	pytest tests/test_mqo_properties.py tests/test_mqo_tier.py \
+		tests/test_prefix_sharing.py tests/test_golden_mqo_accounting.py
+
 test-output:
 	set -o pipefail; pytest tests/ 2>&1 | tee test_output.txt
 
@@ -57,10 +64,11 @@ bench:
 bench-output:
 	set -o pipefail; pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
-# Re-measure the scheduler and serve benchmarks and fail if either
+# Re-measure the scheduler, serve and mqo benchmarks and fail if any
 # regressed >20% against its committed baseline (BENCH_scheduler.json /
-# BENCH_serve.json); the serve comparison is the direction-aware diff from
-# repro.obs.insight.
+# BENCH_serve.json / BENCH_mqo.json); the serve comparison is the
+# direction-aware diff from repro.obs.insight, and the mqo gate holds a
+# hard 15% paid-token-savings floor.
 bench-check:
 	PYTHONPATH=src python benchmarks/check_regression.py
 

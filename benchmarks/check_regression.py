@@ -15,7 +15,14 @@ Re-measures two workloads and compares each against its committed baseline
 - **serve** (``BENCH_serve.json``, same configuration as
   ``benchmarks/test_serve_throughput.py``): goodput/p99/shed-rate compared
   direction-aware through :func:`repro.obs.insight.diff.diff_summaries` —
-  the gate fails exactly when the diff verdict is ``regression``.
+  the gate fails exactly when the diff verdict is ``regression``;
+- **mqo** (``BENCH_mqo.json``, same configuration as
+  ``benchmarks/test_mqo_savings.py``): cross-query prefix sharing on the
+  shared-first cora workload must convert at least 15% of prompt tokens
+  into unpaid shared tokens (a hard floor, not tolerance-scaled), with
+  records bit-identical to serial and zero extra LLM calls; the realized
+  savings must also not regress more than ``--tolerance`` below the
+  committed baseline.
 
 Exits 1 with one line per violation, 0 with a summary otherwise.  Run as
 ``make bench-check`` (CI's ``bench-regression`` job) or directly::
@@ -34,6 +41,7 @@ from pathlib import Path
 HERE = Path(__file__).resolve().parent
 DEFAULT_BASELINE = HERE.parent / "BENCH_scheduler.json"
 DEFAULT_SERVE_BASELINE = HERE.parent / "BENCH_serve.json"
+DEFAULT_MQO_BASELINE = HERE.parent / "BENCH_mqo.json"
 
 
 def measure() -> dict:
@@ -145,6 +153,69 @@ def evaluate_serve(baseline: dict, current: dict, tolerance: float) -> list[str]
     ]
 
 
+def measure_mqo() -> dict:
+    """Run the MQO savings workload once (see test_mqo_savings)."""
+    sys.path.insert(0, str(HERE))
+    import test_mqo_savings as bench
+
+    return bench.measure_mqo()
+
+
+def evaluate_mqo(baseline: dict, current: dict, tolerance: float) -> list[str]:
+    """Gate the prefix-sharing savings claim.
+
+    Correctness legs (identical records, zero extra calls) and the 15%
+    savings floor are hard — tolerance never relaxes them; only the
+    baseline-relative savings comparison is tolerance-scaled.
+    """
+    sys.path.insert(0, str(HERE))
+    import test_mqo_savings as bench
+
+    problems = []
+    if not current["records_equal"]:
+        problems.append("prefix sharing changed the canonical records")
+    if current["llm_calls_shared"] != current["llm_calls_serial"]:
+        problems.append(
+            f"prefix sharing issued {current['llm_calls_shared']} LLM calls vs "
+            f"{current['llm_calls_serial']} serial"
+        )
+    if current["savings_fraction"] < bench.SAVINGS_FLOOR:
+        problems.append(
+            f"paid-token savings {current['savings_fraction']:.1%} below the "
+            f"{bench.SAVINGS_FLOOR:.0%} acceptance floor"
+        )
+    savings_floor = baseline["savings_fraction"] * (1.0 - tolerance)
+    if current["savings_fraction"] < savings_floor:
+        problems.append(
+            f"savings regressed: {current['savings_fraction']:.1%} < "
+            f"{savings_floor:.1%} ({baseline['savings_fraction']:.1%} baseline "
+            f"- {tolerance:.0%})"
+        )
+    if current["ledger_shared_tokens"] != current["shared_tokens"]:
+        problems.append(
+            f"ledger credited {current['ledger_shared_tokens']} shared tokens "
+            f"but the planner reported {current['shared_tokens']}"
+        )
+    return problems
+
+
+def _check_mqo(baseline_path: Path, tolerance: float) -> list[str]:
+    if not baseline_path.exists():
+        return [f"no baseline at {baseline_path}"]
+    baseline = json.loads(baseline_path.read_text())
+    current = measure_mqo()
+    problems = evaluate_mqo(baseline, current, tolerance)
+    if not problems:
+        print(
+            f"OK: mqo savings {current['savings_fraction']:.1%} "
+            f"(baseline {baseline['savings_fraction']:.1%}), "
+            f"{current['shared_tokens']} of {current['prompt_tokens']} prompt "
+            f"tokens shared, records identical to serial "
+            f"— within {tolerance:.0%} of {baseline_path.name}"
+        )
+    return problems
+
+
 def _check_scheduler(baseline_path: Path, tolerance: float) -> list[str]:
     if not baseline_path.exists():
         return [f"no baseline at {baseline_path}"]
@@ -193,7 +264,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
-        choices=["scheduler", "serve", "all"],
+        choices=["scheduler", "serve", "mqo", "all"],
         default="all",
         help="which benchmark gate(s) to run (default all)",
     )
@@ -210,6 +281,12 @@ def main(argv: list[str] | None = None) -> int:
         help=f"committed serve artifact (default {DEFAULT_SERVE_BASELINE.name})",
     )
     parser.add_argument(
+        "--mqo-baseline",
+        type=Path,
+        default=DEFAULT_MQO_BASELINE,
+        help=f"committed mqo artifact (default {DEFAULT_MQO_BASELINE.name})",
+    )
+    parser.add_argument(
         "--tolerance",
         type=float,
         default=0.20,
@@ -221,6 +298,8 @@ def main(argv: list[str] | None = None) -> int:
         problems += _check_scheduler(args.baseline, args.tolerance)
     if args.suite in ("serve", "all"):
         problems += _check_serve(args.serve_baseline, args.tolerance)
+    if args.suite in ("mqo", "all"):
+        problems += _check_mqo(args.mqo_baseline, args.tolerance)
     if problems:
         for problem in problems:
             print(f"FAIL: {problem}", file=sys.stderr)

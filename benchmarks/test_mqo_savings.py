@@ -1,0 +1,95 @@
+"""Benchmark — MQO paid-token savings from cross-query prefix sharing.
+
+Acceptance shape (ISSUE 9): on a shared-first cora workload the
+prefix-sharing scheduler must convert **at least 15%** of all prompt
+tokens into cache-shared (unpaid) tokens, while issuing **zero extra LLM
+calls** and producing records bit-identical to serial execution of the
+same configuration.  Sharing is free correctness-wise: it only changes
+dispatch order within a wave and what the ledger charges, never what the
+model sees per query.
+
+The measured numbers land in ``BENCH_mqo.json`` next to the repo's other
+benchmark artifacts; ``benchmarks/check_regression.py --suite mqo``
+re-measures this exact configuration against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.budget import BudgetLedger
+from repro.experiments.common import load_setup
+from repro.runtime.scheduler import QueryScheduler
+
+NUM_QUERIES = 48
+MAX_BATCH_SIZE = 16
+SAVINGS_FLOOR = 0.15
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_mqo.json"
+
+
+def measure_mqo() -> dict:
+    """Run the prefix-sharing savings workload once; return headline numbers.
+
+    Shared with ``benchmarks/check_regression.py`` so the CI gate re-measures
+    exactly the committed configuration.
+    """
+    setup = load_setup("cora", num_queries=NUM_QUERIES)
+
+    serial_engine = setup.make_engine("1-hop", shared_first=True)
+    serial_result = serial_engine.run(setup.queries)
+
+    scheduler = QueryScheduler(max_batch_size=MAX_BATCH_SIZE, prefix_sharing=True)
+    shared_engine = setup.make_engine(
+        "1-hop", shared_first=True, scheduler=scheduler
+    )
+    shared_engine.ledger = BudgetLedger()
+    shared_result = shared_engine.run(setup.queries)
+
+    report = scheduler.report
+    total = report.prefix_prompt_tokens
+    shared = report.shared_prompt_tokens
+    return {
+        "num_queries": NUM_QUERIES,
+        "max_batch_size": MAX_BATCH_SIZE,
+        "prompt_tokens": total,
+        "shared_tokens": shared,
+        "paid_prompt_tokens": total - shared,
+        "savings_fraction": shared / total if total else 0.0,
+        "ledger_spent": shared_engine.ledger.spent,
+        "ledger_shared_tokens": shared_engine.ledger.shared_tokens,
+        "ledger_paid_tokens": shared_engine.ledger.paid_tokens,
+        "llm_calls_serial": serial_engine.llm.usage.num_queries,
+        "llm_calls_shared": shared_engine.llm.usage.num_queries,
+        "records_equal": shared_result.records == serial_result.records,
+    }
+
+
+def test_mqo_prefix_savings(run_once, bench_budget):
+    measured = run_once(measure_mqo)
+
+    assert measured["records_equal"], "prefix sharing changed the canonical records"
+    assert measured["llm_calls_shared"] == measured["llm_calls_serial"], (
+        "prefix sharing issued extra LLM calls"
+    )
+    # The ledger's credited tokens are exactly the planner's shared tokens,
+    # so the savings the gate claims are the savings the bill reflects.
+    assert measured["ledger_shared_tokens"] == measured["shared_tokens"]
+    assert (
+        measured["ledger_paid_tokens"]
+        == measured["ledger_spent"] - measured["shared_tokens"]
+    )
+    assert measured["savings_fraction"] >= SAVINGS_FLOOR, (
+        f"paid-token savings {measured['savings_fraction']:.1%} below the "
+        f"{SAVINGS_FLOOR:.0%} acceptance floor"
+    )
+
+    BENCH_PATH.write_text(json.dumps(measured, indent=2) + "\n")
+    print()
+    print(
+        f"mqo savings: {measured['shared_tokens']} of "
+        f"{measured['prompt_tokens']} prompt tokens shared "
+        f"({measured['savings_fraction']:.1%}), zero extra calls, "
+        f"artifact at {BENCH_PATH.name}"
+    )

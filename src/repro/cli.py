@@ -117,6 +117,13 @@ def _cmd_classify(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.compress is not None and args.strategy != "none":
+        print(
+            "--compress applies whole-run prompt compression, which only the "
+            "plain strategy dispatches; combine it with --strategy none",
+            file=sys.stderr,
+        )
+        return 2
 
     scorer = None
     if args.strategy in ("prune", "joint") or args.failure_rate > 0:
@@ -168,13 +175,19 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 
         instrument_stack(llm, instr)
     scheduler = None
-    if args.batch_size is not None or args.workers > 1:
+    if args.batch_size is not None or args.workers > 1 or args.prefix_sharing:
         scheduler = QueryScheduler(
-            max_batch_size=args.batch_size,
+            max_batch_size=args.batch_size if args.batch_size is not None else 8,
             max_concurrency=args.workers,
             mode=args.dispatch,
             dispatch=args.plan,
+            prefix_sharing=args.prefix_sharing,
         )
+    compressor = None
+    if args.compress is not None:
+        from repro.mqo.compression import PromptCompressor
+
+        compressor = PromptCompressor(target_ratio=args.compress)
     router = None
     if models is not None:
         from repro.experiments.cascade import inadequacy_map, quantile_threshold
@@ -202,6 +215,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     engine = setup.make_engine(
         args.method, model=args.model, llm=llm, ladder=ladder,
         observer=instr, clock=clock, scheduler=scheduler, router=router,
+        compressor=compressor, shared_first=args.shared_first,
     )
 
     checkpointer = (
@@ -211,7 +225,14 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         print(f"resuming from {args.checkpoint}: {checkpointer.resumed_records} records replay")
 
     if args.strategy == "none":
-        result = engine.run(setup.queries, checkpointer=checkpointer)
+        compressed = (
+            frozenset(int(node) for node in setup.queries)
+            if compressor is not None
+            else frozenset()
+        )
+        result = engine.run(
+            setup.queries, checkpointer=checkpointer, compressed=compressed
+        )
     elif args.strategy == "prune":
         result, _ = TokenPruningStrategy(scorer).execute(
             engine, setup.queries, tau=args.tau, checkpointer=checkpointer
@@ -263,6 +284,11 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         tiers = ", ".join(f"{k}={v}" for k, v in result.outcome_counts.items() if v)
         print(f"  outcomes  : {tiers}")
         print(f"  wasted    : {flaky.wasted_prompt_tokens:,} prompt tokens on failed calls")
+    if args.compress is not None:
+        print(
+            f"  compress  : {result.num_compressed}/{result.num_queries} prompts "
+            f"shrunk to <= {args.compress:.0%} of their tokens"
+        )
     if scheduler is not None:
         report = scheduler.report
         print(
@@ -270,6 +296,14 @@ def _cmd_classify(args: argparse.Namespace) -> int:
             f"{report.num_batches} batches ({scheduler.mode}/{scheduler.dispatch}, "
             f"batch={scheduler.max_batch_size or 'wave'}, workers={scheduler.max_concurrency})"
         )
+        if args.prefix_sharing:
+            examined = report.prefix_prompt_tokens
+            shared = report.shared_prompt_tokens
+            pct = shared / examined if examined else 0.0
+            print(
+                f"  prefix    : {shared:,} of {examined:,} planned prompt "
+                f"tokens shared ({pct:.1%} prompt-cache discount)"
+            )
         if report.serial_seconds > 0:
             print(
                 f"  overlap   : {report.serial_seconds:.1f}s serial -> "
@@ -394,17 +428,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 "model": args.model,
             },
         )
+    if args.compress_watermark is not None and args.compress is None:
+        print("--compress-watermark needs --compress RATIO", file=sys.stderr)
+        return 2
     llm = setup.make_llm(args.model)
-    if args.seconds_per_call > 0:
-        llm = LatencyLLM(llm, clock=clock, seconds_per_call=args.seconds_per_call)
+    if args.seconds_per_call > 0 or args.seconds_per_1k_tokens > 0:
+        llm = LatencyLLM(
+            llm,
+            clock=clock,
+            seconds_per_call=args.seconds_per_call,
+            seconds_per_1k_tokens=args.seconds_per_1k_tokens,
+        )
     scheduler = None
-    if args.batch_size is not None or args.workers > 1:
+    if args.batch_size is not None or args.workers > 1 or args.prefix_sharing:
         scheduler = QueryScheduler(
-            max_batch_size=args.batch_size,
+            max_batch_size=args.batch_size if args.batch_size is not None else 8,
             max_concurrency=args.workers,
             mode=args.dispatch,
             dispatch=args.plan,
+            prefix_sharing=args.prefix_sharing,
         )
+    compressor = None
+    if args.compress is not None:
+        from repro.mqo.compression import PromptCompressor
+
+        compressor = PromptCompressor(target_ratio=args.compress)
     surrogate = fit_scorer(setup, model=args.model) if args.surrogate else None
     engine = setup.make_engine(
         args.method,
@@ -414,6 +462,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         scheduler=scheduler,
         ladder=DegradationLadder(surrogate=surrogate),
         observer=instr,
+        compressor=compressor,
+        shared_first=args.shared_first,
     )
     layer = ServingLayer(
         engine,
@@ -422,6 +472,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             degrade_watermark=args.degrade_watermark,
             shed_watermark=args.shed_watermark,
             wave_quota=args.wave_quota,
+            compress_watermark=args.compress_watermark,
         ),
         global_budget=args.global_budget,
         global_usd_budget=args.global_usd_budget,
@@ -464,6 +515,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"p99 {report.latency_percentile(99):.2f}s "
         f"(makespan {report.makespan_seconds:.1f}s simulated)"
     )
+    if args.prefix_sharing:
+        shared = layer.book.shared_tokens
+        print(
+            f"  prefix    : {shared:,} shared prompt tokens credited back "
+            f"to tenant budgets (prompt-cache discount)"
+        )
     rows = []
     summaries = report.tenant_summaries()
     for spec in tenants:
@@ -888,6 +945,29 @@ def build_parser() -> argparse.ArgumentParser:
         "threads, records stay identical either way)",
     )
     sub.add_argument(
+        "--compress",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="deterministic prompt compression: drop the least-relevant "
+        "neighbor blocks until each prompt fits within RATIO of its "
+        "original tokens (strategy 'none' only)",
+    )
+    sub.add_argument(
+        "--prefix-sharing",
+        action="store_true",
+        help="plan scheduler batches by longest common prompt prefix and "
+        "credit each batch's shared prefix once (prompt-cache discount); "
+        "implies the batched scheduler",
+    )
+    sub.add_argument(
+        "--shared-first",
+        action="store_true",
+        help="prompt layout with the shared context (task + neighbors) "
+        "before the per-query target, maximizing shareable prefixes; "
+        "predictions are layout-invariant",
+    )
+    sub.add_argument(
         "--cache",
         action="store_true",
         help="wrap the model in an exact-prompt response cache and report "
@@ -986,6 +1066,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="global dollar ceiling shared by every tenant",
     )
     sub.add_argument(
+        "--compress-watermark",
+        type=int,
+        default=None,
+        help="total queued requests at which new arrivals pin to the "
+        "compressed neighbor prompt (needs --compress)",
+    )
+    sub.add_argument(
         "--degrade-watermark",
         type=int,
         default=None,
@@ -997,6 +1084,28 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="total queued requests at which new arrivals are rejected",
+    )
+    sub.add_argument(
+        "--compress",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="arm the deterministic prompt compressor: the overload ladder "
+        "and budget gate gain a compressed rung at RATIO of the full "
+        "prompt's tokens",
+    )
+    sub.add_argument(
+        "--prefix-sharing",
+        action="store_true",
+        help="plan each cycle's scheduler batches by longest common prompt "
+        "prefix and credit the shared prefix to the tenant's ledger as a "
+        "prompt-cache discount (needs --batch-size)",
+    )
+    sub.add_argument(
+        "--shared-first",
+        action="store_true",
+        help="prefix-sharing-friendly prompt layout (shared context before "
+        "the per-query target); predictions are layout-invariant",
     )
     sub.add_argument(
         "--wave-quota", type=int, default=8,
@@ -1027,6 +1136,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.5,
         help="simulated LLM service latency per call (0 disables latency "
         "modelling; latencies and p99s then read 0)",
+    )
+    sub.add_argument(
+        "--seconds-per-1k-tokens",
+        type=float,
+        default=0.0,
+        help="additional simulated latency per 1k tokens transferred — "
+        "makes compressed prompts measurably faster",
     )
     sub.add_argument(
         "--surrogate",

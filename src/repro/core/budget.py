@@ -82,6 +82,14 @@ class BudgetLedger:
     ``charge`` records spending; ``would_exceed`` lets callers check either
     budget *before* spending.  ``remaining``/``remaining_usd`` never go
     negative: once a budget is exhausted they floor at zero.
+
+    ``shared_tokens``/``shared_usd`` accumulate the prompt-cache discount
+    the prefix-sharing planner computes (:mod:`repro.mqo.prefix_sharing`):
+    tokens a provider served from its prefix cache and the dollars that
+    discount is worth.  ``spent`` stays the *gross* total — every charge
+    records what the prompt contained, so attribution reconciles span-for-
+    span — while budget enforcement runs on the *paid* net
+    (``spent - shared_tokens``), which is what the provider actually bills.
     """
 
     budget: float | None = None
@@ -89,6 +97,8 @@ class BudgetLedger:
     charges: int = field(default=0, repr=False)
     cost_budget_usd: float | None = None
     spent_usd: float = 0.0
+    shared_tokens: int = field(default=0, repr=False)
+    shared_usd: float = field(default=0.0, repr=False)
 
     def __post_init__(self) -> None:
         if self.budget is not None and self.budget <= 0:
@@ -102,11 +112,11 @@ class BudgetLedger:
             raise ValueError("tokens must be >= 0")
         if usd < 0:
             raise ValueError("usd must be >= 0")
-        if self.budget is not None and self.spent + tokens > self.budget:
+        if self.budget is not None and self.paid_tokens + tokens > self.budget:
             return True
         return (
             self.cost_budget_usd is not None
-            and self.spent_usd + usd > self.cost_budget_usd
+            and self.paid_usd + usd > self.cost_budget_usd
         )
 
     def charge(self, tokens: int, usd: float = 0.0) -> None:
@@ -118,19 +128,43 @@ class BudgetLedger:
         self.spent_usd += usd
         self.charges += 1
 
+    def credit_shared(self, tokens: int, usd: float = 0.0) -> None:
+        """Record a prompt-cache discount: tokens billed at the cached rate.
+
+        Credits never touch ``spent``/``spent_usd`` (gross accounting stays
+        reconcilable against traces token-for-token); they stretch the
+        budget by lowering the paid net the enforcement checks run on.
+        """
+        if tokens < 0:
+            raise ValueError("tokens must be >= 0")
+        if usd < 0:
+            raise ValueError("usd must be >= 0")
+        self.shared_tokens += tokens
+        self.shared_usd += usd
+
+    @property
+    def paid_tokens(self) -> int:
+        """Gross spend minus the prompt-cache discount (what is billed)."""
+        return self.spent - self.shared_tokens
+
+    @property
+    def paid_usd(self) -> float:
+        """Gross dollar spend minus the cache discount's dollar value."""
+        return self.spent_usd - self.shared_usd
+
     @property
     def remaining(self) -> float:
         """Tokens left under the budget (``inf`` when unlimited, floored at 0)."""
         if self.budget is None:
             return float("inf")
-        return max(0.0, self.budget - self.spent)
+        return max(0.0, self.budget - self.paid_tokens)
 
     @property
     def remaining_usd(self) -> float:
         """Dollars left under the cost budget (``inf`` when unlimited, floored at 0)."""
         if self.cost_budget_usd is None:
             return float("inf")
-        return max(0.0, self.cost_budget_usd - self.spent_usd)
+        return max(0.0, self.cost_budget_usd - self.paid_usd)
 
 
 class LedgerBook:
@@ -188,6 +222,17 @@ class LedgerBook:
         self.ledger(tenant).charge(tokens, usd=usd)
         if self.global_ledger is not None:
             self.global_ledger.charge(tokens, usd=usd)
+
+    def credit_shared(self, tenant: str, tokens: int, usd: float = 0.0) -> None:
+        """Record a prompt-cache discount on the tenant and global ledgers."""
+        self.ledger(tenant).credit_shared(tokens, usd=usd)
+        if self.global_ledger is not None:
+            self.global_ledger.credit_shared(tokens, usd=usd)
+
+    @property
+    def shared_tokens(self) -> int:
+        """Total prompt-cache discount tokens credited across tenants."""
+        return sum(ledger.shared_tokens for ledger in self.tenants.values())
 
     def snapshot(self) -> dict:
         """Replay-comparable state: every ledger's spend, charge count, dollars."""

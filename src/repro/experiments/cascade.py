@@ -15,7 +15,7 @@ and only the genuinely ambiguous ones pay twice.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -23,12 +23,19 @@ from repro.core.inadequacy import TextInadequacyScorer
 from repro.experiments.common import ExperimentSetup, load_setup
 from repro.experiments.report import render_table
 from repro.experiments.table4 import fit_scorer
+from repro.mqo.compression import PromptCompressor
 from repro.runtime.router import EscalationPolicy
 
 #: Cheapest-first tier order; pricing and (simulated) accuracy both rise.
 DEFAULT_MODELS = ("gpt-4o-mini", "gpt-3.5")
 
 DEFAULT_CONFIDENCE_THRESHOLDS = (0.5, 0.6, 0.7)
+
+#: Compression budgets traced as extra frontier points: the strong model
+#: kept, but every neighbor context deterministically shrunk to this
+#: fraction of its tokens.  Blocks are dropped whole, so nearby ratios can
+#: land on the same point; keep the sweep spread out.
+DEFAULT_COMPRESS_RATIOS = (0.5, 0.8)
 
 #: Queries whose ``D(t_i)`` sits in the top quantile enter the strong tier
 #: directly instead of paying a doomed cheap call first.
@@ -54,6 +61,8 @@ class CascadeResult:
     cheap_only: CascadePoint
     strong_only: CascadePoint
     routed: list[CascadePoint]
+    #: Strong-model points with the compressed-prompt MQO rung applied.
+    compressed: list[CascadePoint] = field(default_factory=list)
 
     def best_routed(self) -> CascadePoint:
         """The cheapest routed point within one accuracy point of strong-only."""
@@ -92,6 +101,25 @@ def _single_model_point(
     )
 
 
+def _compressed_point(
+    setup: ExperimentSetup, method: str, model: str, ratio: float
+) -> CascadePoint:
+    """Strong model with every prompt compressed to ``ratio`` of its tokens."""
+    engine = setup.make_engine(
+        method, model=model, compressor=PromptCompressor(target_ratio=ratio)
+    )
+    nodes = frozenset(int(v) for v in setup.queries)
+    result = engine.run(setup.queries, compressed=nodes)
+    return CascadePoint(
+        label=f"{model} compressed@{ratio:g}",
+        accuracy=result.accuracy,
+        total_tokens=result.total_tokens,
+        cost_usd=result.cost_usd(model),
+        escalated_fraction=0.0,
+        tier_counts={model: result.num_queries},
+    )
+
+
 def run_cascade(
     dataset: str = "cora",
     method: str = "sns",
@@ -100,6 +128,7 @@ def run_cascade(
     inadequacy_quantile: float = DEFAULT_INADEQUACY_QUANTILE,
     num_queries: int = 1000,
     scale: float | None = None,
+    compress_ratios: tuple[float, ...] = DEFAULT_COMPRESS_RATIOS,
 ) -> CascadeResult:
     """Trace the cascade frontier on one dataset.
 
@@ -134,19 +163,29 @@ def run_cascade(
                 tier_counts=result.tier_counts,
             )
         )
+    compressed = [
+        _compressed_point(setup, method, models[-1], ratio)
+        for ratio in compress_ratios
+    ]
     return CascadeResult(
         dataset=dataset,
         models=tuple(models),
         cheap_only=cheap_only,
         strong_only=strong_only,
         routed=routed,
+        compressed=compressed,
     )
 
 
 def format_cascade(result: CascadeResult) -> str:
     strong_cost = result.strong_only.cost_usd
     rows = []
-    for point in [result.cheap_only, result.strong_only, *result.routed]:
+    for point in [
+        result.cheap_only,
+        result.strong_only,
+        *result.compressed,
+        *result.routed,
+    ]:
         saving = 1.0 - point.cost_usd / strong_cost if strong_cost else 0.0
         rows.append(
             [

@@ -98,6 +98,8 @@ class ExperimentSetup:
         clock=None,
         scheduler=None,
         router: CascadeRouter | None = None,
+        compressor=None,
+        shared_first: bool = False,
     ) -> MultiQueryEngine:
         """Fresh engine for one (method, model) cell of a results table.
 
@@ -106,15 +108,24 @@ class ExperimentSetup:
         serial.  ``router`` (a :class:`~repro.runtime.router.CascadeRouter`)
         switches per-query dispatch to the multi-model cascade; the engine's
         base ``llm`` then defaults to the cheap tier's client and only serves
-        node-less calls.
+        node-less calls.  ``compressor`` (a :class:`~repro.mqo.compression.
+        PromptCompressor`) arms the compressed MQO rung; ``shared_first``
+        swaps in the prefix-sharing-friendly prompt layout (shared context
+        before the per-query target — the simulated models parse either
+        layout identically).
         """
         if llm is None:
             llm = router.tiers[0].llm if router is not None else self.make_llm(model)
+        builder = (
+            make_builder(self.spec, self.graph, shared_first=True)
+            if shared_first
+            else self.builder
+        )
         return MultiQueryEngine(
             graph=self.graph,
             llm=llm,
             selector=make_selector(method),
-            builder=self.builder,
+            builder=builder,
             labeled=self.split.labeled,
             max_neighbors=self.max_neighbors if max_neighbors is None else max_neighbors,
             include_neighbor_abstracts=include_neighbor_abstracts,
@@ -124,14 +135,25 @@ class ExperimentSetup:
             clock=clock,
             scheduler=scheduler,
             router=router,
+            compressor=compressor,
         )
 
 
-def make_builder(spec: DatasetSpec, graph: TextAttributedGraph) -> PromptBuilder:
+def make_builder(
+    spec: DatasetSpec, graph: TextAttributedGraph, shared_first: bool = False
+) -> PromptBuilder:
     """Prompt builder matching the dataset's node and edge types."""
     if spec.node_type.lower() == "product":
-        return PromptBuilder(graph.class_names, "product", "co-purchase", "Description")
-    return PromptBuilder(graph.class_names, "paper", "citation", "Abstract")
+        return PromptBuilder(
+            graph.class_names,
+            "product",
+            "co-purchase",
+            "Description",
+            shared_first=shared_first,
+        )
+    return PromptBuilder(
+        graph.class_names, "paper", "citation", "Abstract", shared_first=shared_first
+    )
 
 
 def load_setup(

@@ -50,8 +50,11 @@ if TYPE_CHECKING:
 # Version 5 added integrity checksums: ``record_crcs`` (CRC32 per record)
 # and ``manifest_crc`` (CRC32 over completion flag, pseudo-labels and the
 # record CRC list).  Older files load without verification.
-_FORMAT_VERSION = 5
-_SUPPORTED_VERSIONS = (1, 2, 3, 4, 5)
+# Version 6 added ``QueryRecord.compressed`` (the prompt-compression
+# degradation rung); older files load with the ``False`` default, which is
+# exactly what pre-compression records were.
+_FORMAT_VERSION = 6
+_SUPPORTED_VERSIONS = (1, 2, 3, 4, 5, 6)
 
 
 class CheckpointCorruptionError(ValueError):
@@ -219,7 +222,7 @@ def backup_path(path: str | Path) -> Path:
 
 
 def checkpoint_payload(state: CheckpointState) -> dict:
-    """Build the v5 JSON payload (with checksums) for ``state``."""
+    """Build the current-version JSON payload (with checksums) for ``state``."""
     records = [asdict(r) for r in state.records]
     payload = {
         "format_version": _FORMAT_VERSION,

@@ -12,16 +12,36 @@ from dataclasses import dataclass
 
 @dataclass(frozen=True)
 class ModelPrice:
-    """Input/output price per 1,000 tokens, in USD."""
+    """Input/output price per 1,000 tokens, in USD.
+
+    ``cached_input_per_1k`` is the discounted rate charged for prompt
+    tokens served from a provider prompt cache (every major vendor bills
+    cache hits at half the input rate, which is also the default when the
+    field is left ``None``).
+    """
 
     input_per_1k: float
     output_per_1k: float
+    cached_input_per_1k: float | None = None
+
+    @property
+    def cached_rate(self) -> float:
+        """Effective cached-input price (half the input rate by default)."""
+        if self.cached_input_per_1k is not None:
+            return self.cached_input_per_1k
+        return self.input_per_1k / 2.0
 
 
 PRICES_PER_1K_TOKENS: dict[str, ModelPrice] = {
-    "gpt-3.5": ModelPrice(input_per_1k=0.0005, output_per_1k=0.0015),
-    "gpt-4o-mini": ModelPrice(input_per_1k=0.00015, output_per_1k=0.0006),
-    "gpt-4": ModelPrice(input_per_1k=0.03, output_per_1k=0.06),
+    "gpt-3.5": ModelPrice(
+        input_per_1k=0.0005, output_per_1k=0.0015, cached_input_per_1k=0.00025
+    ),
+    "gpt-4o-mini": ModelPrice(
+        input_per_1k=0.00015, output_per_1k=0.0006, cached_input_per_1k=0.000075
+    ),
+    "gpt-4": ModelPrice(
+        input_per_1k=0.03, output_per_1k=0.06, cached_input_per_1k=0.015
+    ),
 }
 
 
@@ -62,3 +82,39 @@ def cost_usd(model: str, prompt_tokens: int, completion_tokens: int = 0) -> floa
         raise UnknownModelError(model)
     price = PRICES_PER_1K_TOKENS[key]
     return prompt_tokens / 1000.0 * price.input_per_1k + completion_tokens / 1000.0 * price.output_per_1k
+
+
+def cost_usd_with_cache(
+    model: str,
+    prompt_tokens: int,
+    completion_tokens: int = 0,
+    cached_prompt_tokens: int = 0,
+) -> float:
+    """Dollar cost when ``cached_prompt_tokens`` of the prompt hit the cache.
+
+    The cached portion bills at the model's discounted cached-input rate;
+    the remainder at the full input rate.  ``cached_prompt_tokens`` must not
+    exceed ``prompt_tokens`` — a prompt cannot serve more tokens from the
+    cache than it has.
+    """
+    if cached_prompt_tokens < 0:
+        raise ValueError("cached_prompt_tokens must be non-negative")
+    if cached_prompt_tokens > prompt_tokens:
+        raise ValueError(
+            f"cached_prompt_tokens ({cached_prompt_tokens}) exceeds "
+            f"prompt_tokens ({prompt_tokens})"
+        )
+    return cost_usd(model, prompt_tokens, completion_tokens) - cache_discount_usd(
+        model, cached_prompt_tokens
+    )
+
+
+def cache_discount_usd(model: str, cached_prompt_tokens: int) -> float:
+    """Dollars saved by serving ``cached_prompt_tokens`` from the cache."""
+    if cached_prompt_tokens < 0:
+        raise ValueError("cached_prompt_tokens must be non-negative")
+    key = model.lower()
+    if key not in PRICES_PER_1K_TOKENS:
+        raise UnknownModelError(model)
+    price = PRICES_PER_1K_TOKENS[key]
+    return cached_prompt_tokens / 1000.0 * (price.input_per_1k - price.cached_rate)

@@ -1,29 +1,49 @@
-"""Classical MQO techniques adjacent to the paper's strategies.
+"""Multi-query optimization techniques for the paper's strategies.
 
 The paper positions its contribution against traditional multi-query
 optimization (Sec. II-C): common-subexpression reuse and the prefix-sharing
 techniques recent LLM-serving work applies inside white-box models.  This
-package implements those comparators so the repo can quantify what each
-family of techniques saves on the same workloads:
+package implements those techniques — first as comparators, now as
+first-class tiers of the execution stack:
 
-* :mod:`repro.mqo.prefix_sharing` — shared-prefix token accounting and
-  prompt reordering (the [49]-style row-sorting baseline);
+* :mod:`repro.mqo.prefix_sharing` — shared-prefix token accounting, prompt
+  reordering (the [49]-style row-sorting baseline) and the batch-forming
+  :func:`~repro.mqo.prefix_sharing.plan_prefix_batches` planner the
+  scheduler uses to credit the prompt-cache discount;
+* :mod:`repro.mqo.compression` — deterministic prompt compression
+  (:class:`~repro.mqo.compression.ContextAnalyzer` segment scoring +
+  :class:`~repro.mqo.compression.PromptCompressor`), the degradation rung
+  between the full and pruned prompts;
 * :class:`repro.llm.caching.CachingLLM` — exact-result reuse (classical
   common subexpressions), re-exported here for discoverability.
+
+See ``docs/mqo.md`` for the full contract.
 """
 
 from repro.llm.caching import CachingLLM
+from repro.mqo.compression import (
+    CompressionResult,
+    ContextAnalyzer,
+    PromptCompressor,
+)
 from repro.mqo.prefix_sharing import (
+    PrefixPlan,
     PrefixSharingReport,
     analyze_prefix_sharing,
+    plan_prefix_batches,
     shared_prefix_tokens,
     sort_for_prefix_sharing,
 )
 
 __all__ = [
     "CachingLLM",
+    "CompressionResult",
+    "ContextAnalyzer",
+    "PromptCompressor",
+    "PrefixPlan",
+    "PrefixSharingReport",
+    "analyze_prefix_sharing",
+    "plan_prefix_batches",
     "shared_prefix_tokens",
     "sort_for_prefix_sharing",
-    "analyze_prefix_sharing",
-    "PrefixSharingReport",
 ]

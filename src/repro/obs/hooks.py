@@ -133,6 +133,21 @@ class RunObserver:
     ) -> None:
         """A wave finished; latency is reported both summed and overlapped."""
 
+    def on_prefix_plan(
+        self,
+        wave_index: int,
+        prompt_tokens: int,
+        shared_tokens: int,
+        num_batches: int,
+    ) -> None:
+        """A wave's prefix-sharing plan was drawn and realized.
+
+        ``prompt_tokens`` is the total prompt tokens the planner examined;
+        ``shared_tokens`` how many of them executed queries shared with a
+        batch-mate's prefix (the prompt-cache discount credited to the
+        ledger).  Metrics-only, like the other wave hooks.
+        """
+
     # ------------------------------------------------------------- reliability
 
     def on_retry(self, attempt: int, wait_seconds: float) -> None:

@@ -36,8 +36,10 @@ from repro.obs.insight.report import Section, fmt_seconds, fmt_usd
 PHASE_NAMES = (
     "select_neighbors",
     "prompt_build",
+    "compress",
     "llm_call",
     "parse",
+    "degrade_compressed",
     "degrade_pruned",
     "degrade_surrogate",
     "abstain",
@@ -77,6 +79,13 @@ class AttributionReport:
     by_phase: dict[str, float] = field(default_factory=dict)
     by_node: dict[str, Rollup] = field(default_factory=dict)
     total: Rollup = field(default_factory=Rollup)
+    #: Prefix-sharing counters (``repro_prefix_prompt_tokens_total`` /
+    #: ``repro_shared_prompt_tokens_total``): prompt tokens the planner
+    #: examined and the prompt-cache discount it realized.  Both stay 0 on
+    #: runs without prefix sharing; totals above remain *gross*, exactly
+    #: what the ledger's ``spent`` records.
+    prefix_prompt_tokens: int = 0
+    shared_prompt_tokens: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -86,6 +95,10 @@ class AttributionReport:
             "by_tenant": {k: dict(v) for k, v in sorted(self.by_tenant.items())},
             "by_phase": dict(sorted(self.by_phase.items())),
             "by_node": {k: v.to_dict() for k, v in sorted(self.by_node.items())},
+            "prefix_sharing": {
+                "prompt_tokens": self.prefix_prompt_tokens,
+                "shared_tokens": self.shared_prompt_tokens,
+            },
         }
 
 
@@ -144,6 +157,15 @@ def attribute(bundle: RunBundle) -> AttributionReport:
             "tokens": tokens_by_tenant.get(tenant, 0.0),
             "usd": usd_by_tenant.get(tenant, 0.0),
         }
+
+    # Prefix-sharing counters (prompt-cache discount; zero without a plan).
+    if bundle.has_metrics:
+        report.prefix_prompt_tokens = int(
+            bundle.metric_total("repro_prefix_prompt_tokens_total")
+        )
+        report.shared_prompt_tokens = int(
+            bundle.metric_total("repro_shared_prompt_tokens_total")
+        )
     return report
 
 
@@ -200,6 +222,12 @@ def reconcile_with_ledger(report: AttributionReport, ledger) -> list[str]:
             f"dollars: attribution totals {report.total.usd!r} but the "
             f"ledger spent {ledger.spent_usd!r}"
         )
+    shared = int(getattr(ledger, "shared_tokens", 0))
+    if report.shared_prompt_tokens != shared:
+        problems.append(
+            f"shared tokens: attribution totals {report.shared_prompt_tokens} "
+            f"but the ledger credited {shared}"
+        )
     return problems
 
 
@@ -240,6 +268,26 @@ def sections(report: AttributionReport, top_nodes: int = 10) -> list[Section]:
             ],
         )
     ]
+    if report.prefix_prompt_tokens:
+        shared = report.shared_prompt_tokens
+        examined = report.prefix_prompt_tokens
+        out.append(
+            Section(
+                title="Prefix sharing (prompt-cache discount)",
+                headers=["Prompt tok examined", "Shared tok", "Savings"],
+                rows=[
+                    (
+                        f"{examined:,}",
+                        f"{shared:,}",
+                        f"{shared / examined:.1%}" if examined else "-",
+                    )
+                ],
+                notes=[
+                    "gross spend above is unchanged; shared tokens are "
+                    "credited against budgets at the cached input rate"
+                ],
+            )
+        )
     if report.by_tier:
         out.append(
             Section(

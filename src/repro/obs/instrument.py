@@ -271,6 +271,26 @@ class Instrumentation(RunObserver):
             **self.labels,
         ).inc(overlapped_seconds)
 
+    def on_prefix_plan(
+        self,
+        wave_index: int,
+        prompt_tokens: int,
+        shared_tokens: int,
+        num_batches: int,
+    ) -> None:
+        # Metrics only, like the other wave hooks: prefix planning promises
+        # bit-identical traces, so the plan never emits spans or events.
+        self.registry.counter(
+            "repro_prefix_prompt_tokens_total",
+            "Prompt tokens examined by the prefix-sharing planner",
+            **self.labels,
+        ).inc(prompt_tokens)
+        self.registry.counter(
+            "repro_shared_prompt_tokens_total",
+            "Prompt tokens served from a batch-mate's shared prefix",
+            **self.labels,
+        ).inc(shared_tokens)
+
     # ------------------------------------------------------------- reliability
 
     def on_retry(self, attempt: int, wait_seconds: float) -> None:

@@ -58,7 +58,9 @@ EVENT_REQUIRED_ATTRS: dict[str, tuple[str, ...]] = {
     "select_neighbors": ("node",),
     "prompt_build": ("node", "num_neighbors"),
     "llm_call": ("node",),
+    "compress": ("node",),
     "parse": ("node",),
+    "degrade_compressed": ("node",),
     "degrade_pruned": ("node",),
     "degrade_surrogate": ("node",),
     "abstain": ("node",),

@@ -39,6 +39,15 @@ class PromptBuilder:
     text_field:
         Name of the long-text field: ``"Abstract"`` for papers,
         ``"Description"`` for products.
+    shared_first:
+        When true, render the query-*invariant* sections (the task
+        instruction, and for neighbor prompts the header and neighbor
+        blocks) before the per-query target section.  Queries that share
+        neighbor cues then share a long literal prompt *prefix*, which is
+        what prompt caches and the prefix-sharing planner
+        (:mod:`repro.mqo.prefix_sharing`) can deduplicate.  The prompt
+        contains exactly the same sections either way — only their order
+        changes — so predictions and token counts are unaffected.
     """
 
     def __init__(
@@ -47,6 +56,7 @@ class PromptBuilder:
         node_type: str = "paper",
         edge_type: str = "citation",
         text_field: str = "Abstract",
+        shared_first: bool = False,
     ):
         if not class_names:
             raise ValueError("class_names must be non-empty")
@@ -54,6 +64,7 @@ class PromptBuilder:
         self.node_type = node_type
         self.edge_type = edge_type
         self.text_field = text_field
+        self.shared_first = shared_first
 
     def _target(self, title: str, abstract: str) -> str:
         return templates.TARGET_TEMPLATE.format(
@@ -71,6 +82,8 @@ class PromptBuilder:
 
     def zero_shot(self, title: str, abstract: str) -> str:
         """Vanilla zero-shot prompt: target text and task only."""
+        if self.shared_first:
+            return self._task() + self._target(title, abstract)
         return self._target(title, abstract) + self._task()
 
     def with_neighbors(
@@ -87,26 +100,28 @@ class PromptBuilder:
         """
         if not neighbors:
             return self.zero_shot(title, abstract)
-        parts = [self._target(title, abstract)]
-        parts.append(
+        shared = [
             templates.NEIGHBOR_HEADER_TEMPLATE.format(
                 node_type=self.node_type,
                 edge_type=self.edge_type,
                 sns_suffix=templates.SNS_HEADER_SUFFIX if similarity_ranked else "",
             )
-        )
+        ]
         for index, entry in enumerate(neighbors):
             body = f"Title: {entry.title}\n"
             if entry.abstract is not None:
                 body += f"{self.text_field}: {entry.abstract}\n"
             if entry.label_name is not None:
                 body += f"Category: {entry.label_name}\n"
-            parts.append(
+            shared.append(
                 templates.NEIGHBOR_BLOCK_TEMPLATE.format(
                     node_type_title=self.node_type.title(),
                     index=index,
                     body=body,
                 )
             )
-        parts.append(self._task())
+        if self.shared_first:
+            parts = [self._task(), *shared, self._target(title, abstract)]
+        else:
+            parts = [self._target(title, abstract), *shared, self._task()]
         return "".join(parts)

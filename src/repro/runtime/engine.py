@@ -25,6 +25,7 @@ from repro.graph.tag import TextAttributedGraph
 from repro.llm.interface import LLMClient, LLMResponse
 from repro.llm.reliability import TransientLLMError, track_call_retries
 from repro.llm.responses import parse_category_response
+from repro.mqo.compression import PromptCompressor
 from repro.prompts.builder import NeighborEntry, PromptBuilder
 from repro.runtime.fallback import DegradationLadder
 from repro.runtime.results import QueryRecord, RunResult
@@ -88,6 +89,14 @@ class MultiQueryEngine:
         still serves tokenizer counts and the degradation ladder's pruned
         retry).  Records gain tier provenance, and the ledger is charged in
         dollars as well as tokens.
+    compressor:
+        Optional :class:`~repro.mqo.compression.PromptCompressor`.  When
+        set, queries executed with ``compress=True`` (and the ladder's
+        ``to_compressed`` rung) squeeze their neighbor prompt to the
+        compressor's token budget before the LLM call; records that
+        actually shrank are stamped ``compressed=True`` with outcome
+        ``degraded_compressed``.  ``None`` makes every compress request a
+        no-op passthrough of the full prompt.
     """
 
     def __init__(
@@ -106,6 +115,7 @@ class MultiQueryEngine:
         clock: object | None = None,
         scheduler: QueryScheduler | None = None,
         router: CascadeRouter | None = None,
+        compressor: PromptCompressor | None = None,
     ):
         if max_neighbors < 0:
             raise ValueError("max_neighbors must be >= 0")
@@ -122,6 +132,7 @@ class MultiQueryEngine:
         self.clock = clock
         self.scheduler = scheduler
         self.router = router
+        self.compressor = compressor
         self._labels: dict[int, int] = {
             int(v): int(graph.labels[int(v)]) for v in np.asarray(labeled, dtype=np.int64)
         }
@@ -210,6 +221,29 @@ class MultiQueryEngine:
             similarity_ranked=self.selector.similarity_ranked,
         )
 
+    def _compress_prompt(self, prompt: str) -> tuple[str, bool]:
+        """Apply the engine's compressor; identity when nothing shrank."""
+        assert self.compressor is not None
+        result = self.compressor.compress(prompt)
+        if result.changed:
+            return result.text, True
+        return prompt, False
+
+    def preview_prompt(
+        self, node: int, include_neighbors: bool = True, compress: bool = False
+    ) -> str:
+        """The exact prompt text :meth:`execute_query` would send, span-free.
+
+        Compression is a pure function of (prompt, seed), so planners — the
+        scheduler's prefix-sharing batcher, the serving layer's admission
+        gate — can cost a query byte-exactly without executing it and
+        without emitting any observer spans.
+        """
+        prompt, _ = self.build_prompt(node, include_neighbors=include_neighbors)
+        if compress and include_neighbors and self.compressor is not None:
+            prompt, _ = self._compress_prompt(prompt)
+        return prompt
+
     # -------------------------------------------------------------- execution
 
     def span(self, name: str, **attributes):
@@ -230,6 +264,7 @@ class MultiQueryEngine:
         pruned: bool,
         round_index: int | None,
         outcome: str,
+        compressed: bool = False,
     ) -> QueryRecord:
         """Charge the ledger and parse one completion into a record.
 
@@ -262,6 +297,7 @@ class MultiQueryEngine:
             tier=getattr(response, "tier", None),
             escalations=getattr(response, "escalations", 0),
             cost_usd=routed_cost,
+            compressed=compressed,
         )
 
     def _degraded_record(
@@ -269,6 +305,32 @@ class MultiQueryEngine:
     ) -> QueryRecord:
         """Walk the degradation ladder after the primary LLM call failed."""
         assert self.ladder is not None
+        if (
+            self.ladder.to_compressed
+            and include_neighbors
+            and self.compressor is not None
+        ):
+            # Tier 0: the compressed neighbor prompt — most of the evidence
+            # at a fraction of the tokens.  Only counts as a rung when the
+            # compressor actually shrank the prompt.
+            prompt, selected = self.build_prompt(node, include_neighbors=True)
+            compressed_prompt, changed = self._compress_prompt(prompt)
+            if changed:
+                try:
+                    with self.span("degrade_compressed", node=node):
+                        response = self.llm.complete(compressed_prompt)
+                except TransientLLMError:
+                    pass
+                else:
+                    return self._record_from_response(
+                        node,
+                        response,
+                        selected,
+                        False,
+                        round_index,
+                        "degraded_compressed",
+                        compressed=True,
+                    )
         if self.ladder.to_pruned and include_neighbors:
             # Tier 1: the cheap zero-shot prompt — still a real LLM answer.
             prompt, _ = self.build_prompt(node, include_neighbors=False)
@@ -323,10 +385,14 @@ class MultiQueryEngine:
         include_neighbors: bool = True,
         round_index: int | None = None,
         on_failure: str | None = None,
+        compress: bool = False,
     ) -> QueryRecord:
         """Execute one LLM query and return its record.
 
         ``include_neighbors=False`` is the token-pruned (zero-shot) form.
+        ``compress=True`` (engine ``compressor`` required to take effect)
+        squeezes the neighbor prompt to the compressor's token budget first
+        — the degradation rung between full and pruned.
 
         ``on_failure`` controls what an ultimately-failed LLM call does:
         ``"degrade"`` walks the engine's :class:`DegradationLadder`,
@@ -344,7 +410,7 @@ class MultiQueryEngine:
         with self.span(
             "query", node=node, round_index=round_index, zero_shot=not include_neighbors
         ) as qspan:
-            record = self._execute_inner(node, include_neighbors, round_index, mode)
+            record = self._execute_inner(node, include_neighbors, round_index, mode, compress)
             if started_at is not None:
                 record = replace(
                     record, latency_seconds=float(self.clock.now - started_at)
@@ -373,11 +439,18 @@ class MultiQueryEngine:
             qspan.set(tier=record.tier)
         if record.cost_usd is not None:
             qspan.set(cost_usd=record.cost_usd)
+        if record.compressed:
+            qspan.set(compressed=True)
 
     def _execute_inner(
-        self, node: int, include_neighbors: bool, round_index: int | None, mode: str
+        self,
+        node: int,
+        include_neighbors: bool,
+        round_index: int | None,
+        mode: str,
+        compress: bool = False,
     ) -> QueryRecord:
-        """The untimed query lifecycle: select → build → call → parse."""
+        """The untimed query lifecycle: select → build → [compress] → call → parse."""
         if include_neighbors:
             with self.span("select_neighbors", node=node):
                 selected = self.select_neighbors(node)
@@ -387,6 +460,10 @@ class MultiQueryEngine:
             selected = []
             with self.span("prompt_build", node=node, num_neighbors=0):
                 prompt, _ = self.build_prompt(node, include_neighbors=False)
+        compressed = False
+        if compress and include_neighbors and self.compressor is not None:
+            with self.span("compress", node=node):
+                prompt, compressed = self._compress_prompt(prompt)
         try:
             with self.span("llm_call", node=node):
                 response, call_retries = self.call_llm(prompt, node=node)
@@ -394,10 +471,19 @@ class MultiQueryEngine:
             if mode == "raise":
                 raise
             return self._degraded_record(node, include_neighbors, round_index)
-        outcome = "retried" if call_retries else "ok"
+        if compressed:
+            outcome = "degraded_compressed"
+        else:
+            outcome = "retried" if call_retries else "ok"
         with self.span("parse", node=node):
             return self._record_from_response(
-                node, response, selected, not include_neighbors, round_index, outcome
+                node,
+                response,
+                selected,
+                not include_neighbors,
+                round_index,
+                outcome,
+                compressed=compressed,
             )
 
     # ------------------------------------------------------- batched dispatch
@@ -421,6 +507,22 @@ class MultiQueryEngine:
                 response = self.llm.complete(prompt)
         return response, tally.retries
 
+    def prepare_prompt(
+        self, node: int, include_neighbors: bool, compress: bool = False
+    ) -> tuple[str, list[SelectedNeighbor], bool]:
+        """Span-free prompt preparation for dispatcher worker threads.
+
+        Returns ``(prompt, selected, compressed)`` — the same text and
+        selection the serial path would produce, without emitting observer
+        spans (worker threads must not interleave span events; the merge
+        thread emits the condensed ``query`` span instead).
+        """
+        prompt, selected = self.build_prompt(node, include_neighbors=include_neighbors)
+        compressed = False
+        if compress and include_neighbors and self.compressor is not None:
+            prompt, compressed = self._compress_prompt(prompt)
+        return prompt, selected, compressed
+
     def finalize_prepared(
         self,
         node: int,
@@ -430,6 +532,7 @@ class MultiQueryEngine:
         round_index: int | None,
         call_retries: int,
         extra_span_attrs: dict | None = None,
+        compressed: bool = False,
     ) -> QueryRecord:
         """Turn a phase-1 completion into a record (thread-dispatch merge).
 
@@ -441,7 +544,10 @@ class MultiQueryEngine:
         ``extra_span_attrs`` lets the readiness scheduler add its additive
         ``dag_*`` attributes (trace schema v3) without touching the record.
         """
-        outcome = "retried" if call_retries else "ok"
+        if compressed:
+            outcome = "degraded_compressed"
+        else:
+            outcome = "retried" if call_retries else "ok"
         started_at = self.clock.now if self.clock is not None else None
         with self.span(
             "query",
@@ -452,7 +558,13 @@ class MultiQueryEngine:
             **(extra_span_attrs or {}),
         ) as qspan:
             record = self._record_from_response(
-                node, response, selected, not include_neighbors, round_index, outcome
+                node,
+                response,
+                selected,
+                not include_neighbors,
+                round_index,
+                outcome,
+                compressed=compressed,
             )
             if started_at is not None:
                 record = replace(
@@ -563,8 +675,14 @@ class MultiQueryEngine:
         queries: np.ndarray,
         pruned: frozenset[int] | set[int] = frozenset(),
         checkpointer: "RunCheckpointer | None" = None,
+        compressed: frozenset[int] | set[int] = frozenset(),
     ) -> RunResult:
         """Execute ``queries`` in order; nodes in ``pruned`` go zero-shot.
+
+        Nodes in ``compressed`` (requires an engine ``compressor``) keep
+        their neighbor text but squeeze it to the compressor's token budget
+        — the middle rung between full and pruned.  ``pruned`` wins when a
+        node appears in both.
 
         This is the plain (non-boosted) execution mode used by the original
         benchmark methods and by Algorithm 1.  With a ``checkpointer``,
@@ -588,6 +706,7 @@ class MultiQueryEngine:
                     node=node,
                     cached=executed.get(node),
                     include_neighbors=node not in pruned,
+                    compress=node in compressed and node not in pruned,
                     after_execute=checkpointer.append if checkpointer is not None else None,
                     reads=frozenset(),
                 )
@@ -601,7 +720,11 @@ class MultiQueryEngine:
                     self.observe_replay(cached)
                     result.add(cached)
                     continue
-                record = self.execute_query(node, include_neighbors=node not in pruned)
+                record = self.execute_query(
+                    node,
+                    include_neighbors=node not in pruned,
+                    compress=node in compressed and node not in pruned,
+                )
                 result.add(record)
                 if checkpointer is not None:
                     checkpointer.append(record)

@@ -4,17 +4,22 @@ When retries (and the circuit breaker) give up on a query, aborting the
 whole run wastes everything already spent.  The engine instead walks a
 *degradation ladder*:
 
-1. **Pruned prompt** — re-ask with the cheap zero-shot (neighbor-free)
+1. **Compressed prompt** (opt-in) — re-ask with the neighbor prompt
+   squeezed by :class:`~repro.mqo.compression.PromptCompressor`: the
+   lowest-relevance neighbor blocks are dropped to meet a token budget, so
+   most of the neighbor evidence survives at a fraction of the cost.
+2. **Pruned prompt** — re-ask with the cheap zero-shot (neighbor-free)
    prompt; transient overload often admits smaller requests, and Table IV
    shows the accuracy cost of dropping neighbor text is small.
-2. **Surrogate prediction** — answer from the surrogate MLP ``f_θ1`` (the
+3. **Surrogate prediction** — answer from the surrogate MLP ``f_θ1`` (the
    same classifier behind the inadequacy measure ``D(t_i)``), at zero token
    cost.
-3. **Abstain** — record an explicit non-answer rather than raising.
+4. **Abstain** — record an explicit non-answer rather than raising.
 
 Each tier stamps its name on the :class:`~repro.runtime.results.QueryRecord`
-(``degraded_pruned`` / ``degraded_surrogate`` / ``abstained``) so results
-report exactly how much fidelity a run lost to failures.
+(``degraded_compressed`` / ``degraded_pruned`` / ``degraded_surrogate`` /
+``abstained``) so results report exactly how much fidelity a run lost to
+failures.
 """
 
 from __future__ import annotations
@@ -58,6 +63,11 @@ class DegradationLadder:
 
     Parameters
     ----------
+    to_compressed:
+        Whether to first retry with a compressed neighbor prompt (requires
+        the engine to carry a :class:`~repro.mqo.compression.PromptCompressor`;
+        skipped for zero-shot queries and prompts already at/below budget).
+        Off by default to preserve the historical two-rung ladder.
     to_pruned:
         Whether to attempt the cheaper zero-shot prompt before giving up on
         the LLM entirely (skipped when the query was already zero-shot).
@@ -67,6 +77,7 @@ class DegradationLadder:
         not.  ``None`` drops straight to abstention.
     """
 
+    to_compressed: bool = False
     to_pruned: bool = True
     surrogate: SurrogatePredictor | None = None
 

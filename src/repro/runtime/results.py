@@ -8,9 +8,17 @@ from repro.llm.pricing import PRICES_PER_1K_TOKENS, cost_usd
 
 #: Execution outcome tiers, best to worst.  ``ok``/``retried`` are full-
 #: fidelity LLM answers; the ``degraded_*`` tiers come from the engine's
-#: fallback ladder (cheaper zero-shot prompt, then the surrogate MLP); an
-#: ``abstained`` query produced no prediction at all.
-OUTCOME_TIERS = ("ok", "retried", "degraded_pruned", "degraded_surrogate", "abstained")
+#: fallback ladder (compressed neighbor text, then the cheaper zero-shot
+#: prompt, then the surrogate MLP); an ``abstained`` query produced no
+#: prediction at all.
+OUTCOME_TIERS = (
+    "ok",
+    "retried",
+    "degraded_compressed",
+    "degraded_pruned",
+    "degraded_surrogate",
+    "abstained",
+)
 
 
 @dataclass(frozen=True)
@@ -29,6 +37,12 @@ class QueryRecord:
     discarded cheaper tiers are paid for too).  Single-model runs — and
     records loaded from pre-router checkpoints — leave all three at their
     defaults.
+
+    ``compressed`` marks a query answered from a compressed neighbor prompt
+    (:mod:`repro.mqo.compression`): some neighbor blocks were dropped to
+    meet a token budget, so the answer sits between full fidelity and the
+    pruned zero-shot rung.  Records from pre-compression checkpoints load
+    with the ``False`` default.
     """
 
     node: int
@@ -47,6 +61,7 @@ class QueryRecord:
     tier: str | None = None
     escalations: int = 0
     cost_usd: float | None = None
+    compressed: bool = False
 
     def __post_init__(self) -> None:
         if self.outcome not in OUTCOME_TIERS:
@@ -133,6 +148,11 @@ class RunResult:
     @property
     def num_abstained(self) -> int:
         return sum(r.outcome == "abstained" for r in self.records)
+
+    @property
+    def num_compressed(self) -> int:
+        """Queries answered from a compressed neighbor prompt."""
+        return sum(r.compressed for r in self.records)
 
     @property
     def availability(self) -> float:

@@ -59,10 +59,11 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable
 
 from repro.llm.reliability import TransientLLMError
+from repro.mqo.prefix_sharing import PrefixPlan, plan_prefix_batches
 from repro.runtime.results import QueryRecord
 
 if TYPE_CHECKING:
@@ -87,6 +88,9 @@ class WorkItem:
     """One query of a wave, as the engine/strategies hand it to dispatch.
 
     ``cached`` carries a checkpoint record to replay instead of executing.
+    ``compress`` asks the engine to squeeze the neighbor prompt through its
+    :class:`~repro.mqo.compression.PromptCompressor` before the call (a
+    no-op on engines without one, and on zero-shot items).
     ``decide_include`` defers the include/prune decision to execution time
     (the budget guard's sequential rationing); its presence forces in-order
     dispatch.  ``on_failure`` follows
@@ -103,6 +107,7 @@ class WorkItem:
 
     node: int
     include_neighbors: bool = True
+    compress: bool = False
     round_index: int | None = None
     on_failure: str | None = None
     cached: QueryRecord | None = None
@@ -114,7 +119,13 @@ class WorkItem:
 
 @dataclass(frozen=True)
 class WaveStats:
-    """Telemetry of one dispatched wave."""
+    """Telemetry of one dispatched wave.
+
+    ``prefix_prompt_tokens``/``shared_prompt_tokens`` carry the wave's
+    prefix-sharing plan (:mod:`repro.mqo.prefix_sharing`): the prompt tokens
+    the planner examined and how many of them a prompt cache serves from a
+    batch-mate's prefix.  Both stay 0 on unplanned waves.
+    """
 
     wave_index: int
     num_queries: int
@@ -123,6 +134,8 @@ class WaveStats:
     num_batches: int
     serial_seconds: float
     overlapped_seconds: float
+    prefix_prompt_tokens: int = 0
+    shared_prompt_tokens: int = 0
 
     @property
     def speedup(self) -> float:
@@ -158,6 +171,14 @@ class SchedulerReport:
     @property
     def num_queries(self) -> int:
         return sum(w.num_queries for w in self.waves)
+
+    @property
+    def prefix_prompt_tokens(self) -> int:
+        return sum(w.prefix_prompt_tokens for w in self.waves)
+
+    @property
+    def shared_prompt_tokens(self) -> int:
+        return sum(w.shared_prompt_tokens for w in self.waves)
 
     @property
     def serial_seconds(self) -> float:
@@ -212,6 +233,21 @@ class QueryScheduler:
         serial re-execution in the merge phase, so no LLM call is ever
         duplicated.  Ignored by simulated dispatch, which has no workers to
         kill.
+    prefix_sharing:
+        When true, every dependency-free wave is first run through the
+        prefix-sharing planner (:func:`repro.mqo.prefix_sharing.
+        plan_prefix_batches`): prompts are previewed span-free, batches are
+        formed by longest-common-prefix grouping, and the shared prefix
+        tokens are credited to the engine ledger as a prompt-cache discount.
+        Planning is an **accounting overlay** — execution order, LLM calls,
+        records, spans and gross ledger charges are byte-identical to an
+        unplanned wave; only batch composition (threads mode), the overlap
+        telemetry, the ``shared_prompt_tokens`` stats and the ledger credits
+        change.  Budget-guard waves (items with ``decide_include``) skip
+        planning: their prompts are decided mid-wave, so no preview exists.
+        The most recent plan is exposed as :attr:`last_plan` (``None`` on
+        unplanned waves) for callers that account per-request credits, e.g.
+        the serving layer's per-tenant books.
     """
 
     def __init__(
@@ -221,6 +257,7 @@ class QueryScheduler:
         mode: str = "simulated",
         fault_injector: object | None = None,
         dispatch: str = "wave",
+        prefix_sharing: bool = False,
     ):
         if max_batch_size is not None and max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1 or None")
@@ -235,6 +272,8 @@ class QueryScheduler:
         self.mode = mode
         self.dispatch = dispatch
         self.fault_injector = fault_injector
+        self.prefix_sharing = prefix_sharing
+        self.last_plan: PrefixPlan | None = None
         self.report = SchedulerReport()
         self._next_wave = 0
         self.dag = None
@@ -263,15 +302,58 @@ class QueryScheduler:
                 raise ValueError(f"bad on_failure {item.on_failure!r} for node {item.node}")
         wave_index = self._next_wave
         self._next_wave += 1
-        fresh = sum(1 for item in items if item.cached is None)
-        num_batches = len(_chunks(list(range(fresh)), self.max_batch_size))
+        fresh_items = [item for item in items if item.cached is None]
+        num_batches = len(_chunks(list(range(len(fresh_items))), self.max_batch_size))
+        ordered_only = any(item.decide_include is not None for item in items)
+        plan = None
+        if self.prefix_sharing and fresh_items and not ordered_only:
+            # Span-free prompt preview: no observer events, no RNG state, no
+            # ledger traffic — planning leaves every artifact byte-identical.
+            prompts = [
+                engine.preview_prompt(
+                    item.node,
+                    include_neighbors=item.include_neighbors,
+                    compress=item.compress,
+                )
+                for item in fresh_items
+            ]
+            plan = plan_prefix_batches(
+                prompts,
+                max_batch_size=self.max_batch_size,
+                tokenizer=engine.llm.tokenizer,
+            )
+            num_batches = plan.num_batches
+        self.last_plan = plan
         if engine.observer is not None:
             engine.observer.on_wave_start(wave_index, len(items), num_batches)
-        ordered_only = any(item.decide_include is not None for item in items)
         if self.mode == "threads" and not ordered_only:
-            outcome = self._dispatch_threads(engine, items, wave_index, num_batches)
+            outcome = self._dispatch_threads(engine, items, wave_index, num_batches, plan)
         else:
-            outcome = self._dispatch_ordered(engine, items, wave_index, num_batches)
+            outcome = self._dispatch_ordered(engine, items, wave_index, num_batches, plan)
+        if plan is not None:
+            # Deferred queries never reached the LLM, so their planned share
+            # is not realized; credit only what actually executed.
+            deferred_set = set(outcome.deferred)
+            shared = sum(
+                plan.shared_by_prompt[i]
+                for i, item in enumerate(fresh_items)
+                if item.node not in deferred_set
+            )
+            if engine.ledger is not None and shared:
+                engine.ledger.credit_shared(shared)
+            outcome = WaveOutcome(
+                records=outcome.records,
+                deferred=outcome.deferred,
+                stats=replace(
+                    outcome.stats,
+                    prefix_prompt_tokens=plan.report.total_tokens,
+                    shared_prompt_tokens=shared,
+                ),
+            )
+            if engine.observer is not None:
+                engine.observer.on_prefix_plan(
+                    wave_index, plan.report.total_tokens, shared, plan.num_batches
+                )
         self.report.waves.append(outcome.stats)
         if engine.observer is not None:
             stats = outcome.stats
@@ -292,6 +374,7 @@ class QueryScheduler:
         items: list[WorkItem],
         wave_index: int,
         num_batches: int,
+        plan: PrefixPlan | None = None,
     ) -> WaveOutcome:
         """Canonical-order execution with virtual-worker overlap accounting.
 
@@ -321,6 +404,7 @@ class QueryScheduler:
                     include_neighbors=include,
                     round_index=item.round_index,
                     on_failure=item.on_failure,
+                    compress=item.compress,
                 )
             except TransientLLMError:
                 if item.on_failure != "raise":
@@ -340,7 +424,8 @@ class QueryScheduler:
             )
         else:
             serial_seconds, overlapped_seconds = self._overlap(
-                [latency for _, latency, _ in timeline]
+                [latency for _, latency, _ in timeline],
+                groups=plan.batches if plan is not None else None,
             )
         replayed = len(replayed_nodes)
         stats = WaveStats(
@@ -354,17 +439,26 @@ class QueryScheduler:
         )
         return WaveOutcome(records=records, deferred=deferred, stats=stats)
 
-    def _overlap(self, latencies: list[float]) -> tuple[float, float]:
+    def _overlap(
+        self, latencies: list[float], groups: tuple[tuple[int, ...], ...] | None = None
+    ) -> tuple[float, float]:
         """Virtual makespan of the measured latencies under this config.
 
         Queries are assigned in canonical order to the next-free of
         ``max_concurrency`` virtual workers, batch by batch (a batch
         barrier models one API request round per batch).  Deterministic:
-        no heuristic packing, no wall clock.
+        no heuristic packing, no wall clock.  ``groups`` (index tuples from
+        a prefix-sharing plan) overrides the canonical-order chunking with
+        the planner's batch composition — accounting only, execution order
+        is untouched.
         """
         serial = sum(latencies)
+        if groups is not None:
+            batches = [[latencies[i] for i in group] for group in groups]
+        else:
+            batches = _chunks(latencies, self.max_batch_size)
         overlapped = 0.0
-        for batch in _chunks(latencies, self.max_batch_size):
+        for batch in batches:
             workers = [0.0] * min(self.max_concurrency, len(batch))
             for latency in batch:
                 slot = workers.index(min(workers))
@@ -460,13 +554,25 @@ class QueryScheduler:
         items: list[WorkItem],
         wave_index: int,
         num_batches: int,
+        plan: PrefixPlan | None = None,
     ) -> WaveOutcome:
-        """Thread-pool phase-1 calls, canonical phase-2 merge."""
+        """Thread-pool phase-1 calls, canonical phase-2 merge.
+
+        With a prefix-sharing ``plan``, batch composition follows the
+        planner's LCP groups (so batch-mates share cacheable prefixes at the
+        provider); the merge phase is canonical either way, so records and
+        ledgers match the unplanned dispatch and the LLM call count is
+        identical.
+        """
         fresh = [(index, item) for index, item in enumerate(items) if item.cached is None]
+        if plan is not None:
+            batches = [[fresh[i] for i in group] for group in plan.batches]
+        else:
+            batches = _chunks(fresh, self.max_batch_size)
         phase1: dict[int, tuple] = {}
         serial_seconds = 0.0
         overlapped_seconds = 0.0
-        for batch in _chunks(fresh, self.max_batch_size):
+        for batch in batches:
             batch_started = time.perf_counter()
             with ThreadPoolExecutor(max_workers=min(self.max_concurrency, len(batch))) as pool:
                 futures = {
@@ -556,15 +662,21 @@ class QueryScheduler:
         try:
             if self.fault_injector is not None:
                 self.fault_injector.before_item(wave_index, index)
-            prompt, selected = engine.build_prompt(
-                item.node, include_neighbors=item.include_neighbors
+            prompt, selected, compressed = engine.prepare_prompt(
+                item.node,
+                include_neighbors=item.include_neighbors,
+                compress=item.compress,
             )
             response, call_retries = engine.call_llm(prompt, node=item.node)
         except WorkerCrashError as error:
             return ("crashed", error, time.perf_counter() - started)
         except TransientLLMError as error:
             return ("error", error, time.perf_counter() - started)
-        return ("ok", (response, selected, call_retries), time.perf_counter() - started)
+        return (
+            "ok",
+            (response, selected, call_retries, compressed),
+            time.perf_counter() - started,
+        )
 
     def _merge_threads(
         self, engine: "MultiQueryEngine", items: list[WorkItem], phase1: dict[int, tuple]
@@ -592,6 +704,7 @@ class QueryScheduler:
                         include_neighbors=item.include_neighbors,
                         round_index=item.round_index,
                         on_failure=item.on_failure,
+                        compress=item.compress,
                     )
                 except TransientLLMError:
                     serial_seconds += time.perf_counter() - started
@@ -607,7 +720,7 @@ class QueryScheduler:
                     item.after_execute(record)
                 continue
             if kind == "ok":
-                response, selected, call_retries = payload
+                response, selected, call_retries, compressed = payload
                 record = engine.finalize_prepared(
                     item.node,
                     response,
@@ -615,6 +728,7 @@ class QueryScheduler:
                     include_neighbors=item.include_neighbors,
                     round_index=item.round_index,
                     call_retries=call_retries,
+                    compressed=compressed,
                 )
             else:
                 mode = item.on_failure or ("degrade" if engine.ladder is not None else "raise")

@@ -13,14 +13,18 @@ The pipeline per request::
                 │                                          │
                 ├─ rejected_queue_full / rejected_overload └─ budget gate:
                 └─ rejected_budget (tenant already dry)        full prompt
+                                                               → compressed prompt
                                                                → pruned prompt
                                                                → surrogate MLP
                                                                → rejected (429)
 
 * **Admission control** (:class:`AdmissionPolicy`): per-tenant bounded
-  queues plus two global watermarks — above ``degrade_watermark`` queued
-  requests, new arrivals are admitted *degraded* (pinned to the cheap
-  zero-shot prompt); above ``shed_watermark`` they are rejected outright.
+  queues plus three global watermarks — above ``compress_watermark``
+  queued requests, new arrivals are admitted *compressed* (the engine's
+  deterministic :class:`~repro.mqo.compression.PromptCompressor` shrinks
+  their neighbor context before dispatch); above ``degrade_watermark``
+  they are admitted *degraded* (pinned to the cheap zero-shot prompt);
+  above ``shed_watermark`` they are rejected outright.
 * **Fairness**: dispatch cycles pick requests by deficit round-robin across
   tenants — each cycle replenishes every backlogged tenant's deficit by its
   ``weight`` and drains queues in a rotating order, so a tenant with a
@@ -54,7 +58,7 @@ import numpy as np
 
 from repro.core.budget import BudgetLedger, LedgerBook
 from repro.io.atomic import append_line_durable, atomic_write_text
-from repro.llm.pricing import PRICES_PER_1K_TOKENS, cost_usd
+from repro.llm.pricing import PRICES_PER_1K_TOKENS, cache_discount_usd, cost_usd
 from repro.runtime.results import QueryRecord
 from repro.runtime.scheduler import WorkItem
 from repro.utils.rng import spawn_rng
@@ -64,10 +68,13 @@ if TYPE_CHECKING:
     from repro.runtime.engine import MultiQueryEngine
 
 #: Admission decisions, best to worst.  ``admitted`` enters the queue at
-#: full fidelity; ``admitted_degraded`` enters pinned to the zero-shot
-#: prompt (overload backpressure); the ``rejected_*`` tiers never queue.
+#: full fidelity; ``admitted_compress`` enters pinned to the compressed
+#: neighbor prompt (the cheap MQO rung); ``admitted_degraded`` enters
+#: pinned to the zero-shot prompt (overload backpressure); the
+#: ``rejected_*`` tiers never queue.
 ADMISSION_DECISIONS = (
     "admitted",
+    "admitted_compress",
     "admitted_degraded",
     "rejected_queue_full",
     "rejected_overload",
@@ -131,10 +138,13 @@ class TenantSpec:
 
 @dataclass(frozen=True)
 class AdmissionPolicy:
-    """Backpressure knobs: when arrivals queue, degrade, or shed.
+    """Backpressure knobs: when arrivals queue, compress, degrade, or shed.
 
     Watermarks count *total queued requests across tenants*; ``None``
-    disables that rung.  ``completion_reserve`` is the per-request headroom
+    disables that rung.  ``compress_watermark`` is the gentlest rung: it
+    pins arrivals to the compressed neighbor prompt (requires an engine
+    compressor; without one the pin falls through to full fidelity), and
+    must sit at or below ``degrade_watermark``.  ``completion_reserve`` is the per-request headroom
     kept for the (pre-call unknowable) completion, exactly like the engine
     budget guard's reserve.  ``wave_quota`` caps how many requests one
     dispatch cycle drains into a scheduler wave.
@@ -144,13 +154,14 @@ class AdmissionPolicy:
     shed_watermark: int | None = None
     wave_quota: int = 8
     completion_reserve: int = 32
+    compress_watermark: int | None = None
 
     def __post_init__(self) -> None:
         if self.wave_quota < 1:
             raise ValueError("wave_quota must be >= 1")
         if self.completion_reserve < 0:
             raise ValueError("completion_reserve must be >= 0")
-        for name in ("degrade_watermark", "shed_watermark"):
+        for name in ("compress_watermark", "degrade_watermark", "shed_watermark"):
             value = getattr(self, name)
             if value is not None and value < 1:
                 raise ValueError(f"{name} must be >= 1 (or None to disable)")
@@ -160,14 +171,27 @@ class AdmissionPolicy:
             and self.shed_watermark < self.degrade_watermark
         ):
             raise ValueError("shed_watermark must be >= degrade_watermark")
+        tighter = self.degrade_watermark
+        if tighter is None:
+            tighter = self.shed_watermark
+        if (
+            self.compress_watermark is not None
+            and tighter is not None
+            and tighter < self.compress_watermark
+        ):
+            raise ValueError(
+                "compress_watermark must be <= degrade_watermark (and "
+                "shed_watermark) — compression is the gentler rung"
+            )
 
 
 @dataclass(frozen=True)
 class ServeOutcome:
     """Final disposition of one request, with its explicit outcome tier.
 
-    ``tier`` is a record outcome (``ok``/``retried``/``degraded_pruned``/
-    ``degraded_surrogate``/``abstained``) for dispatched requests — with
+    ``tier`` is a record outcome (``ok``/``retried``/``degraded_compressed``/
+    ``degraded_pruned``/``degraded_surrogate``/``abstained``) for
+    dispatched requests — with
     ``degraded_pruned`` standing in whenever a neighbor-bearing request was
     executed zero-shot by backpressure or the budget gate — or the
     ``rejected_*`` admission decision for requests that never dispatched.
@@ -183,6 +207,10 @@ class ServeOutcome:
     #: Index of the dispatch cycle that settled the request (``None`` for
     #: admission-time rejections) — the fairness tests' service timeline.
     cycle: int | None = None
+    #: Prompt tokens this request shared with a batch-mate's prefix under
+    #: the scheduler's prefix-sharing plan — credited to the tenant's
+    #: ledger as a prompt-cache discount (0 without prefix sharing).
+    shared_prompt_tokens: int = 0
 
     def __post_init__(self) -> None:
         if self.status not in SERVE_STATUSES:
@@ -574,6 +602,11 @@ class ServingLayer:
             and queued >= self.policy.degrade_watermark
         ):
             decision = "admitted_degraded"
+        elif (
+            self.policy.compress_watermark is not None
+            and queued >= self.policy.compress_watermark
+        ):
+            decision = "admitted_compress"
         if self.observer is not None:
             depth = queued + int(decision.startswith("admitted"))
             self.observer.on_serve_admission(request.tenant, decision, depth)
@@ -587,13 +620,19 @@ class ServingLayer:
                 dispatched_at=None,
                 completed_at=self.now,
             )
-        degraded = decision == "admitted_degraded"
-        state.queue.append((request, self.now, degraded))
+        # The queue entry carries the admission *pin*: the highest fidelity
+        # the gate may consider at dispatch time.
+        pin = {
+            "admitted": "full",
+            "admitted_compress": "compress",
+            "admitted_degraded": "degrade",
+        }[decision]
+        state.queue.append((request, self.now, pin))
         return None
 
     # --------------------------------------------------------------- fairness
 
-    def _pick_wave(self) -> list[tuple[ServeRequest, float, bool]]:
+    def _pick_wave(self) -> list[tuple[ServeRequest, float, str]]:
         """Drain up to ``wave_quota`` requests by deficit round-robin.
 
         Each cycle replenishes every backlogged tenant's deficit by its
@@ -611,7 +650,7 @@ class ServingLayer:
                 state.deficit += state.spec.weight
             else:
                 state.deficit = 0
-        picked: list[tuple[ServeRequest, float, bool]] = []
+        picked: list[tuple[ServeRequest, float, str]] = []
         for name in order:
             state = self._tenants[name]
             while (
@@ -670,35 +709,55 @@ class ServingLayer:
             pending[key] = (tokens_so_far + cost, usd_so_far + usd)
 
     def _gate(
-        self, request: ServeRequest, degraded: bool, pending: dict
-    ) -> tuple[str, bool] | None:
+        self, request: ServeRequest, pin: str, pending: dict
+    ) -> tuple[str, bool, bool] | None:
         """Pick the cheapest affordable rung for one request.
 
-        Returns ``(tier, include_neighbors)`` for an LLM dispatch (reserving
-        its worst-case cost in ``pending`` for the rest of the wave),
-        ``("surrogate", False)`` for a ladder answer, or ``None`` when not
-        even zero tokens are admissible (tenant or global ledger dry).
+        ``pin`` is the admission-time fidelity cap (``"full"`` /
+        ``"compress"`` / ``"degrade"``).  Returns ``(tier,
+        include_neighbors, compress)`` for an LLM dispatch (reserving its
+        worst-case cost in ``pending`` for the rest of the wave),
+        ``("surrogate", False, False)`` for a ladder answer, or ``None``
+        when not even zero tokens are admissible (tenant or global ledger
+        dry).  The ladder is full → compressed → pruned → surrogate; the
+        compressed rung costs the *exact* deterministic compression of the
+        full prompt and only exists when the engine carries a compressor.
         """
         engine = self.engine
         tokenizer = engine.llm.tokenizer
         reserve = self.policy.completion_reserve
         tenant = request.tenant
-        want_full = request.include_neighbors and not degraded
+        if pin == "compress" and engine.compressor is None:
+            pin = "full"
+        want_full = request.include_neighbors and pin == "full"
         if want_full:
             prompt, _ = engine.build_prompt(request.node, include_neighbors=True)
             cost = tokenizer.count(prompt) + reserve
             usd = self._estimate_usd(cost - reserve)
             if self._affordable(tenant, cost, usd, pending):
                 self._reserve(pending, tenant, cost, usd)
-                return ("full", True)
+                return ("full", True, False)
+        if (
+            request.include_neighbors
+            and pin in ("full", "compress")
+            and engine.compressor is not None
+        ):
+            prompt = engine.preview_prompt(
+                request.node, include_neighbors=True, compress=True
+            )
+            cost = tokenizer.count(prompt) + reserve
+            usd = self._estimate_usd(cost - reserve)
+            if self._affordable(tenant, cost, usd, pending):
+                self._reserve(pending, tenant, cost, usd)
+                return ("compressed", True, True)
         prompt, _ = engine.build_prompt(request.node, include_neighbors=False)
         cost = tokenizer.count(prompt) + reserve
         usd = self._estimate_usd(cost - reserve)
         if self._affordable(tenant, cost, usd, pending):
             self._reserve(pending, tenant, cost, usd)
-            return ("pruned", False)
+            return ("pruned", False, False)
         if engine.ladder is not None:
-            return ("surrogate", False)
+            return ("surrogate", False, False)
         return None
 
     # --------------------------------------------------------------- dispatch
@@ -720,21 +779,41 @@ class ServingLayer:
             # ledgers), so observer-side tenant spend always matches the book.
             self.observer.on_serve_charge(tenant, record.total_tokens, usd)
 
+    def _shared_discount_usd(self, shared_tokens: int) -> float:
+        """Dollar value of a prompt-cache credit under ``price_model``."""
+        if shared_tokens <= 0 or self.price_model is None:
+            return 0.0
+        if self.price_model.lower() not in PRICES_PER_1K_TOKENS:
+            return 0.0
+        return cache_discount_usd(self.price_model, shared_tokens)
+
     def _execute_items(
         self, items: list[WorkItem], item_tenants: list[str]
-    ) -> list[QueryRecord]:
+    ) -> tuple[list[QueryRecord], list[int]]:
         """Run a gated wave, honoring an attached chaos controller.
 
         Tenant-scoped fault plans need the requesting tenant visible to the
         LLM stack at call time, which only per-request serial dispatch can
         provide race-free; by the scheduler's serial-equivalence contract
         the records are identical either way.
+
+        Returns the records in item order plus each item's
+        ``shared_prompt_tokens`` under the scheduler's prefix-sharing plan
+        (all zeros without a planning scheduler — serial dispatch shares
+        nothing).
         """
         engine = self.engine
         chaos = self.chaos
         serial_for_chaos = chaos is not None and chaos.plan.has_tenant_scoped_faults
         if items and engine.scheduler is not None and not serial_for_chaos:
-            return engine.scheduler.run_wave(engine, items).records
+            records = engine.scheduler.run_wave(engine, items).records
+            plan = getattr(engine.scheduler, "last_plan", None)
+            shared = (
+                list(plan.shared_by_prompt)
+                if plan is not None
+                else [0] * len(items)
+            )
+            return records, shared
         records: list[QueryRecord] = []
         for item, tenant in zip(items, item_tenants):
             if chaos is not None:
@@ -742,13 +821,15 @@ class ServingLayer:
             try:
                 records.append(
                     engine.execute_query(
-                        item.node, include_neighbors=item.include_neighbors
+                        item.node,
+                        include_neighbors=item.include_neighbors,
+                        compress=item.compress,
                     )
                 )
             finally:
                 if chaos is not None:
                     chaos.current_tenant = None
-        return records
+        return records, [0] * len(items)
 
     def _cycle(self) -> list[ServeOutcome]:
         """One dispatch cycle: pick a wave fairly, gate it, execute, charge."""
@@ -761,17 +842,17 @@ class ServingLayer:
         cycle_index = self._cycles
         self._cycles += 1
         engine = self.engine
-        plan: list[tuple[ServeRequest, float, bool, str]] = []
+        plan: list[tuple[ServeRequest, float, str]] = []
         items: list[WorkItem] = []
         item_tenants: list[str] = []
         pending: dict = {}
-        for request, queued_at, degraded, in picked:
-            rung = self._gate(request, degraded, pending)
+        for request, queued_at, pin in picked:
+            rung = self._gate(request, pin, pending)
             if rung is None:
-                plan.append((request, queued_at, degraded, "rejected_budget"))
+                plan.append((request, queued_at, "rejected_budget"))
                 continue
-            tier, include = rung
-            plan.append((request, queued_at, degraded, tier))
+            tier, include, compress = rung
+            plan.append((request, queued_at, tier))
             if tier != "surrogate":
                 # Serve requests read no pseudo-labels (reads=∅), so under
                 # the DAG dispatch plan each admitted request is immediately
@@ -783,13 +864,15 @@ class ServingLayer:
                     WorkItem(
                         node=request.node,
                         include_neighbors=include,
+                        compress=compress,
                         reads=frozenset(),
                     )
                 )
                 item_tenants.append(request.tenant)
-        records = iter(self._execute_items(items, item_tenants))
+        wave_records, wave_shared = self._execute_items(items, item_tenants)
+        records = iter(zip(wave_records, wave_shared))
         outcomes = []
-        for request, queued_at, degraded, tier in plan:
+        for request, queued_at, tier in plan:
             if tier == "rejected_budget":
                 outcomes.append(
                     ServeOutcome(
@@ -804,11 +887,16 @@ class ServingLayer:
                     )
                 )
                 continue
+            shared = 0
             if tier == "surrogate":
                 record = engine.surrogate_query(request.node)
             else:
-                record = next(records)
+                record, shared = next(records)
             self._charge(request.tenant, record)
+            if shared:
+                self.book.credit_shared(
+                    request.tenant, shared, usd=self._shared_discount_usd(shared)
+                )
             # A neighbor-bearing request executed zero-shot lost fidelity to
             # backpressure or the gate: surface it as the pruned ladder rung.
             shed_neighbors = request.include_neighbors and record.pruned
@@ -828,6 +916,7 @@ class ServingLayer:
                     dispatched_at=dispatched_at,
                     completed_at=self.now,
                     cycle=cycle_index,
+                    shared_prompt_tokens=shared,
                 )
             )
         if self.observer is not None:
@@ -859,6 +948,7 @@ class ServingLayer:
                     "queued_at": o.queued_at,
                     "dispatched_at": o.dispatched_at,
                     "completed_at": o.completed_at,
+                    "shared_prompt_tokens": o.shared_prompt_tokens,
                 }
                 for o in outcomes
             ],
@@ -892,7 +982,7 @@ class ServingLayer:
                 f"the re-simulated wave picked {len(picked)}"
             )
         outcomes: list[ServeOutcome] = []
-        for (request, _queued_at, _degraded), spec in zip(picked, specs):
+        for (request, _queued_at, _pin), spec in zip(picked, specs):
             if (
                 spec.get("tenant") != request.tenant
                 or spec.get("node") != request.node
@@ -906,8 +996,17 @@ class ServingLayer:
             record = (
                 QueryRecord(**spec["record"]) if spec.get("record") is not None else None
             )
+            shared = int(spec.get("shared_prompt_tokens", 0) or 0)
             if record is not None:
                 self._charge(request.tenant, record)
+                if shared:
+                    # Re-credit the journaled prompt-cache discount so the
+                    # reconstructed ledgers match the original run exactly.
+                    self.book.credit_shared(
+                        request.tenant,
+                        shared,
+                        usd=self._shared_discount_usd(shared),
+                    )
                 self.engine.observe_replay(record)
             outcomes.append(
                 ServeOutcome(
@@ -919,6 +1018,7 @@ class ServingLayer:
                     dispatched_at=spec["dispatched_at"],
                     completed_at=spec["completed_at"],
                     cycle=cycle_index,
+                    shared_prompt_tokens=shared,
                 )
             )
         self._advance_to(float(entry["now_after"]))

@@ -46,6 +46,7 @@ from repro.io.runs import RunCheckpointer
 from repro.llm.caching import CachingLLM
 from repro.llm.reliability import FlakyLLM, LatencyLLM, SimulatedClock, resilient
 from repro.llm.simulated import SimulatedLLM
+from repro.mqo.compression import PromptCompressor
 from repro.obs import Instrumentation, instrument_stack
 from repro.prompts.builder import PromptBuilder
 from repro.llm.profiles import make_model
@@ -65,7 +66,16 @@ from repro.runtime.serve import (
 from repro.selection.registry import make_selector
 
 #: Metric families emitted only by the scheduler; stripped before comparing
-#: a batched run's metrics snapshot against a serial run's.
+#: a batched run's metrics snapshot against a serial run's.  The prefix-plan
+#: counters exist only when a prefix-sharing scheduler runs, so they belong
+#: to the same scheduler-own family set.
+SCHEDULER_METRIC_PREFIXES = (
+    "repro_scheduler_",
+    "repro_prefix_prompt_tokens_total",
+    "repro_shared_prompt_tokens_total",
+)
+
+#: Backward-compatible alias (the original single-prefix constant).
 SCHEDULER_METRIC_PREFIX = "repro_scheduler_"
 
 
@@ -80,6 +90,11 @@ class Scenario:
     ``budget_slack`` (guard only) sets the budget to
     ``floor * (1 + budget_slack)`` where ``floor`` is the all-zero-shot
     token floor, so every drawn scenario is feasible by construction.
+    ``compress_fraction`` (plain runs only) marks the *last* fraction of
+    the queries for the compressed MQO rung — disjoint from ``prune_set``'s
+    first-fraction convention, so pruning and compression compose — and
+    arms the engine with a seeded :class:`PromptCompressor` at
+    ``compress_ratio``.
     """
 
     strategy: str = "none"
@@ -94,12 +109,20 @@ class Scenario:
     checkpoint: bool = False
     observe: bool = True
     route: bool = False
+    compress_fraction: float = 0.0
+    compress_ratio: float = 0.6
 
     def __post_init__(self):
         if self.strategy not in ("none", "guard", "boost"):
             raise ValueError(f"unknown strategy {self.strategy!r}")
         if not 0.0 <= self.prune_fraction <= 1.0:
             raise ValueError("prune_fraction must be in [0, 1]")
+        if not 0.0 <= self.compress_fraction <= 1.0:
+            raise ValueError("compress_fraction must be in [0, 1]")
+        if self.compress_fraction > 0 and self.strategy != "none":
+            # Only engine.run() threads a ``compressed`` set through; the
+            # guard and boosting own their include decisions.
+            raise ValueError("compression scenarios require strategy 'none'")
         if self.failure_rate > 0 and not self.use_ladder and self.strategy != "boost":
             # Plain/guarded runs have no deferral path; without a ladder an
             # injected failure aborts the run and there is nothing to compare.
@@ -173,20 +196,20 @@ def readiness_attribute_count(lines: list[dict]) -> int:
 
 
 def strip_scheduler_metrics(snapshot: dict) -> dict:
-    """Drop the ``repro_scheduler_*`` families from a metrics snapshot."""
+    """Drop the scheduler-only families from a metrics snapshot."""
     snapshot = copy.deepcopy(snapshot)
     families = snapshot.get("families")
     if isinstance(families, dict):
         snapshot["families"] = {
             name: fam
             for name, fam in families.items()
-            if not name.startswith(SCHEDULER_METRIC_PREFIX)
+            if not name.startswith(SCHEDULER_METRIC_PREFIXES)
         }
         return snapshot
     return {
         name: fam
         for name, fam in snapshot.items()
-        if not name.startswith(SCHEDULER_METRIC_PREFIX)
+        if not name.startswith(SCHEDULER_METRIC_PREFIXES)
     }
 
 
@@ -203,6 +226,14 @@ def prune_set(queries: np.ndarray, fraction: float) -> frozenset[int]:
     """Deterministic pruned subset: the first ``fraction`` of the queries."""
     nodes = [int(v) for v in queries]
     return frozenset(nodes[: int(round(fraction * len(nodes)))])
+
+
+def compress_set(queries: np.ndarray, fraction: float) -> frozenset[int]:
+    """Deterministic compressed subset: the *last* ``fraction`` of the
+    queries, so it never overlaps :func:`prune_set` unless the fractions sum
+    past one (and ``pruned`` wins on overlap anyway)."""
+    nodes = [int(v) for v in queries]
+    return frozenset(nodes[len(nodes) - int(round(fraction * len(nodes))) :])
 
 
 def run_scenario(
@@ -229,6 +260,12 @@ def run_scenario(
     queries = split.queries[: scenario.num_queries]
     nodes = [int(v) for v in queries]
     pruned = prune_set(queries, scenario.prune_fraction)
+    compressed = compress_set(queries, scenario.compress_fraction)
+    compressor = (
+        PromptCompressor(target_ratio=scenario.compress_ratio, seed=23)
+        if scenario.compress_fraction > 0
+        else None
+    )
 
     clock = SimulatedClock()
     base = SimulatedLLM(tag.vocabulary, name="gpt-3.5", seed=5)
@@ -296,6 +333,7 @@ def run_scenario(
         clock=clock,
         scheduler=scheduler,
         router=router,
+        compressor=compressor,
     )
     if scenario.strategy == "guard":
         floor = _zero_shot_floor(engine, nodes)
@@ -309,7 +347,9 @@ def run_scenario(
 
     rounds = None
     if scenario.strategy == "none":
-        result = engine.run(queries, pruned=pruned, checkpointer=checkpointer)
+        result = engine.run(
+            queries, pruned=pruned, checkpointer=checkpointer, compressed=compressed
+        )
     elif scenario.strategy == "guard":
         result = engine.run_with_budget_guard(
             queries, pruned=pruned, checkpointer=checkpointer
@@ -402,6 +442,8 @@ class ServeScenario:
     wraps the model in a :class:`LatencyLLM` so outcomes carry non-trivial
     simulated latencies — set it to 0 for thread-mode comparisons, whose
     interleaved calls would otherwise stamp different clock readings.
+    ``compress_watermark`` arms the compressed admission rung; it needs
+    ``compress_ratio``, which builds the engine's seeded compressor.
     """
 
     num_requests: int = 16
@@ -418,12 +460,16 @@ class ServeScenario:
     seconds_per_call: float = 0.25
     observe: bool = True
     seed: int = 0
+    compress_watermark: int | None = None
+    compress_ratio: float | None = None
 
     def __post_init__(self):
         if not 1 <= self.num_tenants <= len(SERVE_TENANTS):
             raise ValueError(f"num_tenants must be in [1, {len(SERVE_TENANTS)}]")
         if self.num_requests < 1:
             raise ValueError("num_requests must be >= 1")
+        if self.compress_watermark is not None and self.compress_ratio is None:
+            raise ValueError("compress_watermark requires compress_ratio")
 
     def make_tenants(self) -> list[TenantSpec]:
         return [
@@ -507,6 +553,11 @@ def run_serve_scenario(
         observer=instr,
         clock=clock,
         scheduler=scheduler,
+        compressor=(
+            PromptCompressor(target_ratio=scenario.compress_ratio, seed=23)
+            if scenario.compress_ratio is not None
+            else None
+        ),
     )
     tenants = scenario.make_tenants()
     layer = ServingLayer(
@@ -516,6 +567,7 @@ def run_serve_scenario(
             degrade_watermark=scenario.degrade_watermark,
             shed_watermark=scenario.shed_watermark,
             wave_quota=scenario.wave_quota,
+            compress_watermark=scenario.compress_watermark,
         ),
         global_budget=scenario.global_budget,
         price_model="gpt-3.5",

@@ -15,7 +15,7 @@ import json
 import shutil
 from pathlib import Path
 
-from repro.io.runs import RunCheckpointer, load_checkpoint
+from repro.io.runs import _FORMAT_VERSION, RunCheckpointer, load_checkpoint
 
 FIXTURE = Path(__file__).parent / "data" / "checkpoint_v2.json"
 
@@ -60,6 +60,6 @@ def test_v2_checkpoint_resumes_under_current_writer(
     # The rewritten file is a completed current-format checkpoint carrying
     # the union of replayed and fresh records.
     rewritten = json.loads(path.read_text())
-    assert rewritten["format_version"] == 5
+    assert rewritten["format_version"] == _FORMAT_VERSION
     assert rewritten["completed"]
     assert len(rewritten["records"]) == 12

@@ -84,12 +84,32 @@ SCENARIOS = [
     pytest.param(
         "khop", Scenario(strategy="boost", num_queries=12, method="2-hop"), False, id="khop"
     ),
+    pytest.param(
+        "compress",
+        Scenario(strategy="none", num_queries=12, compress_fraction=0.5),
+        False,
+        id="compress",
+    ),
+    pytest.param(
+        "compress-prune",
+        Scenario(
+            strategy="none", num_queries=14, compress_fraction=0.5, prune_fraction=0.25
+        ),
+        False,
+        id="compress-prune",
+    ),
 ]
 
 
-def make_scheduler(mode: str, dispatch: str) -> QueryScheduler:
+def make_scheduler(
+    mode: str, dispatch: str, prefix_sharing: bool = False
+) -> QueryScheduler:
     return QueryScheduler(
-        max_batch_size=BATCH, max_concurrency=WORKERS, mode=mode, dispatch=dispatch
+        max_batch_size=BATCH,
+        max_concurrency=WORKERS,
+        mode=mode,
+        dispatch=dispatch,
+        prefix_sharing=prefix_sharing,
     )
 
 
@@ -223,6 +243,143 @@ class TestThreadLegs:
         )
 
 
+#: Scenario subset for the prefix-sharing legs: plain and compressed runs
+#: plan every wave; guard waves skip planning (decide_include), which must
+#: itself be transparent; boost exercises multi-round re-planning.
+PREFIX_SCENARIOS = [
+    pytest.param(Scenario(strategy="none", num_queries=12), id="plain"),
+    pytest.param(Scenario(strategy="boost", num_queries=14), id="boost"),
+    pytest.param(Scenario(strategy="guard", num_queries=10), id="guard"),
+    pytest.param(
+        Scenario(strategy="none", num_queries=12, compress_fraction=0.5),
+        id="compress",
+    ),
+]
+
+
+class TestPrefixSharingLegs:
+    """Prefix-aware batching is an accounting overlay: wave and DAG plans
+    stay bit-identical to serial in simulated mode, and call-count-identical
+    in threads mode, while the plan's token split balances exactly."""
+
+    @pytest.mark.parametrize("scenario", PREFIX_SCENARIOS)
+    def test_prefix_wave_and_dag_match_serial(
+        self, tiny_tag, tiny_split, tiny_builder, scenario
+    ):
+        serial = run_scenario(scenario, tiny_tag, tiny_split, tiny_builder)
+        wave_sched = make_scheduler("simulated", "wave", prefix_sharing=True)
+        wave = run_scenario(
+            scenario, tiny_tag, tiny_split, tiny_builder, scheduler=wave_sched
+        )
+        dag_sched = make_scheduler("simulated", "dag", prefix_sharing=True)
+        dag = run_scenario(
+            scenario, tiny_tag, tiny_split, tiny_builder, scheduler=dag_sched
+        )
+        assert_equivalent(serial, wave)
+        assert_equivalent(serial, dag)
+        audit_dag(dag_sched)
+        for sched in (wave_sched, dag_sched):
+            report = sched.report
+            assert 0 <= report.shared_prompt_tokens <= report.prefix_prompt_tokens
+
+    @pytest.mark.parametrize("scenario", PREFIX_SCENARIOS)
+    def test_prefix_threads_call_count_identical(
+        self, tiny_tag, tiny_split, tiny_builder, scenario
+    ):
+        serial = run_scenario(scenario, tiny_tag, tiny_split, tiny_builder)
+        threads = run_scenario(
+            scenario, tiny_tag, tiny_split, tiny_builder,
+            scheduler=make_scheduler("threads", "wave", prefix_sharing=True),
+        )
+        # ``usage`` equality inside assert_equivalent covers the call count;
+        # records/ledgers/checkpoints must also match, only traces may not.
+        assert_equivalent(serial, threads, compare_traces=False)
+
+    def test_shared_first_layout_shares_and_stays_identical(
+        self, tiny_tag, tiny_split, tiny_graph
+    ):
+        """With the shared-first prompt layout the planner must find real
+        sharing (>0 tokens) while predictions stay bit-identical to the
+        serial run over the same builder."""
+        from repro.prompts.builder import PromptBuilder
+
+        builder = PromptBuilder(
+            tiny_graph.class_names, "paper", "citation", "Abstract", shared_first=True
+        )
+        scenario = Scenario(strategy="none", num_queries=12)
+        serial = run_scenario(scenario, tiny_tag, tiny_split, builder)
+        sched = make_scheduler("simulated", "wave", prefix_sharing=True)
+        batched = run_scenario(
+            scenario, tiny_tag, tiny_split, builder, scheduler=sched
+        )
+        assert_equivalent(serial, batched)
+        assert sched.report.shared_prompt_tokens > 0, (
+            "shared-first layout produced no cacheable prefixes"
+        )
+
+
+class TestCompressionReplay:
+    """The compression rung is replay-exact: a run that crashes mid-way and
+    resumes from its checkpoint reproduces the uninterrupted records with
+    exactly ``n - k`` further LLM calls — compression being a pure function
+    of (prompt, seed), the resumed engine re-derives identical prompts."""
+
+    NUM_QUERIES = 12
+    CRASH_AFTER = 5
+
+    def _engine(self, tiny_graph, tiny_split, tiny_builder, llm):
+        from repro.mqo.compression import PromptCompressor
+        from repro.runtime.engine import MultiQueryEngine
+        from repro.selection.registry import make_selector
+
+        return MultiQueryEngine(
+            graph=tiny_graph,
+            llm=llm,
+            selector=make_selector("1-hop"),
+            builder=tiny_builder,
+            labeled=tiny_split.labeled,
+            max_neighbors=4,
+            seed=9,
+            compressor=PromptCompressor(target_ratio=0.6, seed=23),
+        )
+
+    def test_compressed_run_resumes_exactly(
+        self, tiny_graph, tiny_split, tiny_builder, tiny_tag, tmp_path
+    ):
+        from dataclasses import asdict
+
+        from repro.io.runs import RunCheckpointer
+
+        from tests.test_checkpoint import Interrupted, fresh_llm
+
+        queries = tiny_split.queries[: self.NUM_QUERIES]
+        compressed = frozenset(int(v) for v in queries)
+
+        full_llm = fresh_llm(tiny_tag)
+        full = self._engine(tiny_graph, tiny_split, tiny_builder, full_llm).run(
+            queries, compressed=compressed
+        )
+        assert full.num_compressed > 0, "workload never exercised the rung"
+
+        path = tmp_path / "compressed-checkpoint.json"
+        crashing = fresh_llm(tiny_tag, stop_after=self.CRASH_AFTER)
+        engine = self._engine(tiny_graph, tiny_split, tiny_builder, crashing)
+        with pytest.raises(Interrupted):
+            engine.run(queries, checkpointer=RunCheckpointer(path), compressed=compressed)
+        assert crashing.usage.num_queries == self.CRASH_AFTER
+
+        resumed_llm = fresh_llm(tiny_tag)
+        engine = self._engine(tiny_graph, tiny_split, tiny_builder, resumed_llm)
+        checkpointer = RunCheckpointer(path)
+        assert checkpointer.resumed_records == self.CRASH_AFTER
+        resumed = engine.run(queries, checkpointer=checkpointer, compressed=compressed)
+
+        assert [asdict(r) for r in resumed.records] == [
+            asdict(r) for r in full.records
+        ], "resumed compressed records diverged from the uninterrupted run"
+        assert resumed_llm.usage.num_queries == self.NUM_QUERIES - self.CRASH_AFTER
+
+
 class TestServeLegs:
     """The serving layer rides the same oracle: new tenant requests read no
     pseudo-labels, so DAG dispatch admits them into in-flight waves without
@@ -283,3 +440,63 @@ class TestServeLegs:
             scheduler=make_scheduler("simulated", "dag"),
         )
         assert_serve_equivalent(serial, dag)
+
+    #: Full new-tier ladder: compress below degrade below shed, small quota
+    #: so the queue actually climbs through all three watermarks.
+    COMPRESS = ServeScenario(
+        num_requests=24,
+        num_tenants=4,
+        compress_watermark=2,
+        degrade_watermark=4,
+        shed_watermark=7,
+        wave_quota=3,
+        compress_ratio=0.6,
+    )
+
+    def test_compression_rung_serve_matches_serial(
+        self, tiny_tag, tiny_split, tiny_builder
+    ):
+        serial = run_serve_scenario(self.COMPRESS, tiny_tag, tiny_split, tiny_builder)
+        assert any(
+            o["tier"] == "degraded_compressed" for o in serial.outcomes
+        ), "scenario never reached the compression watermark"
+        wave = run_serve_scenario(
+            self.COMPRESS, tiny_tag, tiny_split, tiny_builder,
+            scheduler=make_scheduler("simulated", "wave"),
+        )
+        dag_sched = make_scheduler("simulated", "dag")
+        dag = run_serve_scenario(
+            self.COMPRESS, tiny_tag, tiny_split, tiny_builder, scheduler=dag_sched
+        )
+        assert_serve_equivalent(serial, wave)
+        assert_serve_equivalent(serial, dag)
+        audit_dag(dag_sched)
+
+    def test_compression_rung_journal_replay_exact(
+        self, tiny_tag, tiny_split, tiny_builder, tmp_path
+    ):
+        """Crash/resume for serving: a journal persisted by a compressed +
+        prefix-shared run re-derives every outcome (tiers, latencies, ledger
+        charges, shared-token credits) without a single LLM call."""
+        path = tmp_path / "serve-compress.journal"
+        scheduler = make_scheduler("simulated", "wave", prefix_sharing=True)
+        live = run_serve_scenario(
+            self.COMPRESS, tiny_tag, tiny_split, tiny_builder,
+            scheduler=scheduler, journal_path=path,
+        )
+        assert any(
+            o["tier"] == "degraded_compressed" for o in live.outcomes
+        ), "scenario never reached the compression watermark"
+        replay_sched = make_scheduler("simulated", "wave", prefix_sharing=True)
+        replayed = run_serve_scenario(
+            self.COMPRESS, tiny_tag, tiny_split, tiny_builder,
+            scheduler=replay_sched, journal_path=path,
+        )
+        # Not assert_serve_equivalent: replay legitimately zeroes ``usage``
+        # (that is the point) — every *derived* artifact must still match.
+        assert replayed.outcomes == live.outcomes, "replayed outcomes diverged"
+        assert replayed.cycles == live.cycles, "replayed cycle count diverged"
+        assert replayed.book == live.book, (
+            "replayed ledger book diverged (shared credits not re-applied?)"
+        )
+        assert replayed.usage == (0, 0, 0), "journal replay issued LLM calls"

@@ -1,0 +1,187 @@
+"""Golden token-accounting fixture for the MQO tier on a cora batch.
+
+``tests/data/golden_mqo_accounting.json`` pins the complete money trail of
+one deterministic serve run over the reduced cora replica with every MQO
+mechanism armed: shared-first prompt layout, prefix-sharing scheduler,
+compression watermark, and per-tenant budgets priced at gpt-3.5 rates.
+The fixture stores
+
+- the scheduler's :class:`~repro.mqo.prefix_sharing.PrefixSharingReport`
+  aggregates (prompt tokens examined / shared),
+- the ledger book's gross per-tenant charges (tokens, charge count, USD)
+  and the shared-token credits with their dollar value, and
+- the cost-attribution report (``repro analyze costs``) built from the
+  run's own trace.
+
+The test re-executes the run and asserts every number matches the stored
+fixture exactly — and, cent for cent, that attribution reconciles against
+the live ledgers (:func:`reconcile_with_book`) with the shared credits
+priced at exactly :func:`cache_discount_usd`.
+
+Regenerate after an *intended* accounting change with::
+
+    PYTHONPATH=src python -m tests.test_golden_mqo_accounting
+
+and review the diff like any other golden-file update.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from repro.experiments.common import load_setup
+from repro.llm.pricing import cache_discount_usd
+from repro.llm.reliability import SimulatedClock
+from repro.mqo.compression import PromptCompressor
+from repro.obs import Instrumentation, instrument_stack
+from repro.obs.insight.attribution import (
+    attribute,
+    reconcile_with_book,
+    verify,
+)
+from repro.obs.insight.bundle import RunBundle
+from repro.runtime.fallback import DegradationLadder
+from repro.runtime.scheduler import QueryScheduler
+from repro.runtime.serve import (
+    AdmissionPolicy,
+    ServingLayer,
+    TenantSpec,
+    synthetic_stream,
+)
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_mqo_accounting.json"
+
+DATASET = "cora"
+NUM_QUERIES = 32
+SCALE = 0.15
+NUM_REQUESTS = 24
+COMPRESS_RATIO = 0.5
+PRICE_MODEL = "gpt-3.5"
+
+TENANTS = (
+    ("alpha", 2),
+    ("beta", 1),
+    ("gamma", 1),
+)
+
+
+def execute():
+    """One deterministic cora serve batch with the full MQO tier armed."""
+    setup = load_setup(DATASET, num_queries=NUM_QUERIES, scale=SCALE)
+    clock = SimulatedClock()
+    instr = Instrumentation(
+        run_id="golden-mqo",
+        clock=clock,
+        labels={"dataset": DATASET, "strategy": "serve", "model": PRICE_MODEL},
+    )
+    scheduler = QueryScheduler(max_batch_size=4, prefix_sharing=True)
+    engine = setup.make_engine(
+        "1-hop",
+        ladder=DegradationLadder(),
+        observer=instr,
+        clock=clock,
+        scheduler=scheduler,
+        compressor=PromptCompressor(target_ratio=COMPRESS_RATIO, seed=23),
+        shared_first=True,
+    )
+    instrument_stack(engine.llm, instr)
+    tenants = [
+        TenantSpec(name, weight=weight, max_queue_depth=64)
+        for name, weight in TENANTS
+    ]
+    layer = ServingLayer(
+        engine,
+        tenants,
+        policy=AdmissionPolicy(compress_watermark=2, wave_quota=3),
+        price_model=PRICE_MODEL,
+        observer=instr,
+    )
+    stream = synthetic_stream(tenants, setup.queries, NUM_REQUESTS, seed=11)
+    report = layer.replay(stream)
+    return layer, scheduler, report, instr
+
+
+def snapshot(layer, scheduler, report) -> dict:
+    """Every accounted number, JSON-exact (floats round-trip bit-for-bit)."""
+    book = layer.book
+    return {
+        "prefix_sharing": {
+            "prompt_tokens": scheduler.report.prefix_prompt_tokens,
+            "shared_tokens": scheduler.report.shared_prompt_tokens,
+        },
+        "tiers": dict(sorted(report.tier_counts.items())),
+        "ledgers": {
+            name: {
+                "spent": ledger.spent,
+                "charges": ledger.charges,
+                "spent_usd": ledger.spent_usd,
+                "shared_tokens": ledger.shared_tokens,
+                "shared_usd": ledger.shared_usd,
+            }
+            for name, ledger in sorted(book.tenants.items())
+        },
+    }
+
+
+class TestGoldenAccounting:
+    def test_run_reproduces_golden_numbers(self):
+        layer, scheduler, report, instr = execute()
+        golden = json.loads(GOLDEN_PATH.read_text())
+        fresh = snapshot(layer, scheduler, report)
+        assert fresh == golden["accounting"], "accounted numbers diverged from golden"
+        attribution = attribute(RunBundle.from_lines(instr.trace_lines()))
+        assert attribution.to_dict() == golden["attribution"], (
+            "cost attribution diverged from golden"
+        )
+
+    def test_attribution_reconciles_cent_for_cent(self):
+        layer, scheduler, report, instr = execute()
+        bundle = RunBundle.from_lines(instr.trace_lines())
+        attribution = attribute(bundle)
+        assert verify(bundle, attribution) == []
+        assert reconcile_with_book(attribution, layer.book) == []
+        # The attribution's prefix counters mirror the book's credits...
+        assert attribution.shared_prompt_tokens == layer.book.shared_tokens
+        assert attribution.prefix_prompt_tokens == (
+            scheduler.report.prefix_prompt_tokens
+        )
+        # ...and every tenant's discount is priced at exactly the cache rate.
+        assert layer.book.shared_tokens > 0, "batch realized no sharing"
+        for ledger in layer.book.tenants.values():
+            assert math.isclose(
+                ledger.shared_usd,
+                cache_discount_usd(PRICE_MODEL, ledger.shared_tokens),
+                rel_tol=0,
+                abs_tol=1e-12,
+            )
+
+    def test_workload_exercises_both_mqo_rungs(self):
+        golden = json.loads(GOLDEN_PATH.read_text())
+        accounting = golden["accounting"]
+        assert accounting["prefix_sharing"]["shared_tokens"] > 0
+        assert accounting["tiers"].get("degraded_compressed", 0) > 0
+        assert any(v["shared_tokens"] > 0 for v in accounting["ledgers"].values())
+
+
+def regenerate() -> Path:
+    layer, scheduler, report, instr = execute()
+    attribution = attribute(RunBundle.from_lines(instr.trace_lines()))
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(
+        json.dumps(
+            {
+                "accounting": snapshot(layer, scheduler, report),
+                "attribution": attribution.to_dict(),
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    return GOLDEN_PATH
+
+
+if __name__ == "__main__":
+    print(f"rewrote {regenerate()}")
