@@ -4,7 +4,7 @@
 # it `pytest | tee` reports tee's exit status and swallows test failures.
 SHELL := /bin/bash
 
-.PHONY: install test test-parallel test-equivalence test-differential test-mqo coverage bench bench-check bench-tables report examples trace-smoke chaos-smoke analyze-smoke clean
+.PHONY: install test test-parallel test-equivalence test-differential test-mqo coverage bench bench-check bench-tables report examples trace-smoke chaos-smoke analyze-smoke cluster-smoke clean
 
 # Line-coverage floor enforced by `make coverage` (and CI).
 COVERAGE_FLOOR := 80
@@ -64,11 +64,13 @@ bench:
 bench-output:
 	set -o pipefail; pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
-# Re-measure the scheduler, serve and mqo benchmarks and fail if any
-# regressed >20% against its committed baseline (BENCH_scheduler.json /
-# BENCH_serve.json / BENCH_mqo.json); the serve comparison is the
-# direction-aware diff from repro.obs.insight, and the mqo gate holds a
-# hard 15% paid-token-savings floor.
+# Re-measure the scheduler, serve, mqo and cluster benchmarks and fail if
+# any regressed >20% against its committed baseline (BENCH_scheduler.json /
+# BENCH_serve.json / BENCH_mqo.json / BENCH_cluster.json); the serve
+# comparison is the direction-aware diff from repro.obs.insight, the mqo
+# gate holds a hard 15% paid-token-savings floor, and the cluster gate
+# holds hard one-shard-bit-equality / zero-duplicate-call / 1.5x-speedup
+# floors.
 bench-check:
 	PYTHONPATH=src python benchmarks/check_regression.py
 
@@ -123,6 +125,16 @@ analyze-smoke:
 	PYTHONPATH=src python -m repro.cli analyze slo \
 		.smoke/analyze_serve.jsonl --fail-on-breach > .smoke/analyze_slo.txt
 	test -s .smoke/analyze_slo.txt
+
+# Cluster smoke: sweep a 2-shard cora run and audit the cluster contracts —
+# one-shard records bit-identical to the unsharded engine, per-worker
+# ledgers reconciled token-for-token, the warm shared cache re-issuing zero
+# inner LLM calls (cross-worker single-flight proof), and DRR fairness for
+# tenants spanning shards.  `repro cluster --verify` exits non-zero if any
+# check fails.
+cluster-smoke:
+	PYTHONPATH=src python -m repro.cli cluster --dataset cora --scale 0.15 \
+		--queries 40 --shards 1 2 --verify
 
 examples:
 	python examples/quickstart.py

@@ -22,7 +22,14 @@ Re-measures two workloads and compares each against its committed baseline
   into unpaid shared tokens (a hard floor, not tolerance-scaled), with
   records bit-identical to serial and zero extra LLM calls; the realized
   savings must also not regress more than ``--tolerance`` below the
-  committed baseline.
+  committed baseline;
+- **cluster** (``BENCH_cluster.json``, same configuration as
+  ``benchmarks/test_cluster_throughput.py``): the sharded cluster must
+  keep one-shard records bit-identical to the unsharded engine, issue zero
+  duplicate LLM calls through the shared single-flight cache, clear the
+  1.5x speedup floor at 4 workers, and serve a warm-store re-run entirely
+  from cache (all hard gates); the 4-worker speedup must additionally not
+  regress more than ``--tolerance`` below the committed baseline.
 
 Exits 1 with one line per violation, 0 with a summary otherwise.  Run as
 ``make bench-check`` (CI's ``bench-regression`` job) or directly::
@@ -42,6 +49,7 @@ HERE = Path(__file__).resolve().parent
 DEFAULT_BASELINE = HERE.parent / "BENCH_scheduler.json"
 DEFAULT_SERVE_BASELINE = HERE.parent / "BENCH_serve.json"
 DEFAULT_MQO_BASELINE = HERE.parent / "BENCH_mqo.json"
+DEFAULT_CLUSTER_BASELINE = HERE.parent / "BENCH_cluster.json"
 
 
 def measure() -> dict:
@@ -199,6 +207,75 @@ def evaluate_mqo(baseline: dict, current: dict, tolerance: float) -> list[str]:
     return problems
 
 
+def measure_cluster() -> dict:
+    """Run the cluster workload once (see test_cluster_throughput)."""
+    sys.path.insert(0, str(HERE))
+    import test_cluster_throughput as bench
+
+    return bench.measure_cluster()
+
+
+def evaluate_cluster(baseline: dict, current: dict, tolerance: float) -> list[str]:
+    """Gate the sharded cluster's correctness and throughput claims.
+
+    Correctness legs (one-shard bit-equality, zero duplicate calls, warm
+    store served fully from cache) and the 1.5x speedup floor are hard —
+    tolerance never relaxes them; only the baseline-relative speedup
+    comparison is tolerance-scaled.
+    """
+    sys.path.insert(0, str(HERE))
+    import test_cluster_throughput as bench
+
+    top = bench.SHARD_COUNTS[-1]
+    problems = []
+    if not current["records_equal"]:
+        problems.append("one-shard cluster records differ from the unsharded engine")
+    if current["duplicate_llm_calls"] != 0:
+        problems.append(
+            f"shared cache let {current['duplicate_llm_calls']} duplicate "
+            "LLM calls through"
+        )
+    if current["warm_inner_llm_calls"] != 0:
+        problems.append(
+            f"warm shared store paid {current['warm_inner_llm_calls']} inner "
+            "LLM calls (expected all hits)"
+        )
+    if current[f"speedup_{top}"] <= bench.SPEEDUP_FLOOR:
+        problems.append(
+            f"{top}-worker speedup {current[f'speedup_{top}']:.2f}x below the "
+            f"{bench.SPEEDUP_FLOOR:.1f}x acceptance floor"
+        )
+    speedup_floor = baseline[f"speedup_{top}"] * (1.0 - tolerance)
+    if current[f"speedup_{top}"] < speedup_floor:
+        problems.append(
+            f"cluster speedup regressed: {current[f'speedup_{top}']:.2f}x < "
+            f"{speedup_floor:.2f}x ({baseline[f'speedup_{top}']:.2f}x baseline "
+            f"- {tolerance:.0%})"
+        )
+    return problems
+
+
+def _check_cluster(baseline_path: Path, tolerance: float) -> list[str]:
+    if not baseline_path.exists():
+        return [f"no baseline at {baseline_path}"]
+    baseline = json.loads(baseline_path.read_text())
+    current = measure_cluster()
+    problems = evaluate_cluster(baseline, current, tolerance)
+    if not problems:
+        sys.path.insert(0, str(HERE))
+        import test_cluster_throughput as bench
+
+        top = bench.SHARD_COUNTS[-1]
+        print(
+            f"OK: cluster speedup {current[f'speedup_{top}']:.2f}x at {top} "
+            f"workers (baseline {baseline[f'speedup_{top}']:.2f}x), zero "
+            f"duplicate LLM calls, warm hit rate "
+            f"{current['warm_hit_rate']:.0%} "
+            f"— within {tolerance:.0%} of {baseline_path.name}"
+        )
+    return problems
+
+
 def _check_mqo(baseline_path: Path, tolerance: float) -> list[str]:
     if not baseline_path.exists():
         return [f"no baseline at {baseline_path}"]
@@ -264,7 +341,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
-        choices=["scheduler", "serve", "mqo", "all"],
+        choices=["scheduler", "serve", "mqo", "cluster", "all"],
         default="all",
         help="which benchmark gate(s) to run (default all)",
     )
@@ -287,6 +364,12 @@ def main(argv: list[str] | None = None) -> int:
         help=f"committed mqo artifact (default {DEFAULT_MQO_BASELINE.name})",
     )
     parser.add_argument(
+        "--cluster-baseline",
+        type=Path,
+        default=DEFAULT_CLUSTER_BASELINE,
+        help=f"committed cluster artifact (default {DEFAULT_CLUSTER_BASELINE.name})",
+    )
+    parser.add_argument(
         "--tolerance",
         type=float,
         default=0.20,
@@ -300,6 +383,8 @@ def main(argv: list[str] | None = None) -> int:
         problems += _check_serve(args.serve_baseline, args.tolerance)
     if args.suite in ("mqo", "all"):
         problems += _check_mqo(args.mqo_baseline, args.tolerance)
+    if args.suite in ("cluster", "all"):
+        problems += _check_cluster(args.cluster_baseline, args.tolerance)
     if problems:
         for problem in problems:
             print(f"FAIL: {problem}", file=sys.stderr)

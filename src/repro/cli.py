@@ -12,6 +12,7 @@ Subcommands::
     repro analyze costs            token/dollar attribution, ledger-reconciled
     repro analyze slo              latency/goodput/error-rate objectives + burn rates
     repro analyze diff             cross-run regression diff with verdict
+    repro cluster                  sharded multi-worker sweep + cluster audit
     repro experiment NAME          reproduce one paper table/figure
     repro report [--quick]        reproduce everything into a markdown report
     repro prices                  show the token pricing table
@@ -45,6 +46,7 @@ EXPERIMENT_NAMES = (
     "cascade",
     "overload",
     "chaos",
+    "sharding",
 )
 
 
@@ -845,6 +847,151 @@ def _cmd_analyze_diff(args: argparse.Namespace) -> int:
     return 1 if report.verdict == "regression" else 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.experiments.sharding import format_sharding, run_sharding
+
+    result = run_sharding(
+        args.dataset,
+        shard_counts=tuple(args.shards),
+        num_queries=args.queries,
+        scale=args.scale,
+        gossip=not args.no_gossip,
+    )
+    print(format_sharding(result))
+    failures = []
+    for cell in result.cells:
+        if cell.duplicate_llm_calls != 0:
+            failures.append(
+                f"shards={cell.shards}: {cell.duplicate_llm_calls} duplicate "
+                "LLM calls (single-flight over the shared cache should "
+                "make this zero)"
+            )
+    if args.verify:
+        failures.extend(_verify_cluster(args))
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if args.verify and not failures:
+        print("cluster audit: all checks passed")
+    return 1 if failures else 0
+
+
+def _verify_cluster(args: argparse.Namespace) -> list[str]:
+    """The ``repro cluster --verify`` audit: equality, ledgers, cache, serve.
+
+    Four checks, each on a freshly built stack:
+
+    1. a one-shard cluster's combined records are bit-identical to the
+       unsharded strategy's (same engine stack, same seeds);
+    2. per-worker ledgers reconcile token-for-token against the combined
+       records;
+    3. a second cluster over the warm shared store re-issues **zero** inner
+       LLM calls (the cross-run shared-cache proof);
+    4. a multi-shard serve replay keeps DRR fairness and the LedgerBook
+       reconciled for tenants spanning shards.
+    """
+    from repro.core.boosting import QueryBoostingStrategy
+    from repro.core.budget import BudgetLedger
+    from repro.experiments.common import load_setup
+    from repro.experiments.sharding import build_cluster, cluster_cache_stats
+    from repro.llm.caching import CachingLLM, MemoryCacheStore, SharedFlight
+    from repro.llm.reliability import LatencyLLM, SimulatedClock
+    from repro.runtime.scheduler import QueryScheduler
+    from repro.runtime.serve import ServeRequest, ServingLayer, TenantSpec
+
+    failures: list[str] = []
+    shards = max(args.shards)
+
+    # 1. shards=1 bit-equality against the unsharded engine path.
+    setup = load_setup(args.dataset, num_queries=args.queries, scale=args.scale)
+    clock = SimulatedClock()
+    llm = CachingLLM(
+        LatencyLLM(setup.make_llm(), clock, seconds_per_call=1.0),
+        store=MemoryCacheStore(max_entries=None),
+        flight=SharedFlight(),
+    )
+    engine = setup.make_engine(
+        "sns",
+        llm=llm,
+        clock=clock,
+        scheduler=QueryScheduler(max_batch_size=8, max_concurrency=4, mode="simulated"),
+        ledger=BudgetLedger(),
+    )
+    serial = QueryBoostingStrategy().execute(engine, setup.queries)
+
+    setup1 = load_setup(args.dataset, num_queries=args.queries, scale=args.scale)
+    cluster1 = build_cluster(setup1, 1, store=MemoryCacheStore(max_entries=None))
+    result1 = cluster1.run_boosting(QueryBoostingStrategy())
+    if result1.combined.records != serial.run.records:
+        failures.append("shards=1 combined records differ from the unsharded run")
+    if [list(r) for r in result1.worker_results[0].rounds] != [
+        list(r) for r in serial.rounds
+    ]:
+        failures.append("shards=1 round structure differs from the unsharded run")
+    if cluster1.engines[0].ledger.spent != engine.ledger.spent:
+        failures.append("shards=1 ledger spend differs from the unsharded run")
+
+    # 2+3. multi-shard run: ledger reconciliation, then warm-store re-run.
+    setup_n = load_setup(args.dataset, num_queries=args.queries, scale=args.scale)
+    store = MemoryCacheStore(max_entries=None)
+    flight = SharedFlight()
+    cluster_n = build_cluster(setup_n, shards, store=store, flight=flight)
+    result_n = cluster_n.run_boosting(QueryBoostingStrategy())
+    ledger_spend = sum(e.ledger.spent for e in cluster_n.engines)
+    record_tokens = sum(
+        r.prompt_tokens + r.completion_tokens for r in result_n.combined.records
+    )
+    if ledger_spend != record_tokens:
+        failures.append(
+            f"shards={shards} ledgers reconcile to {ledger_spend} tokens but "
+            f"records carry {record_tokens}"
+        )
+    setup_warm = load_setup(args.dataset, num_queries=args.queries, scale=args.scale)
+    cluster_warm = build_cluster(setup_warm, shards, store=store, flight=flight)
+    cluster_warm.run_boosting(QueryBoostingStrategy())
+    warm = cluster_cache_stats(cluster_warm)
+    if warm["inner_llm_calls"] != 0:
+        failures.append(
+            f"warm shared store still paid {warm['inner_llm_calls']} inner "
+            "LLM calls (expected all hits)"
+        )
+
+    # 4. serve across shards: fairness + LedgerBook reconciliation.
+    setup_s = load_setup(args.dataset, num_queries=args.queries, scale=args.scale)
+    cluster_s = build_cluster(
+        setup_s, shards, store=MemoryCacheStore(max_entries=None), ledgers=False
+    )
+    tenants = [TenantSpec("alpha", weight=2), TenantSpec("beta", weight=1)]
+    nodes = setup_s.queries[: min(24, len(setup_s.queries))]
+    requests = [
+        ServeRequest(tenants[i % 2].name, int(node), arrival=0.0)
+        for i, node in enumerate(nodes)
+    ]
+    layer = ServingLayer(tenants=tenants, cluster=cluster_s)
+    report = layer.replay(requests)
+    served = {t.name: 0 for t in tenants}
+    for outcome in report.outcomes:
+        if outcome.answered:
+            served[outcome.request.tenant] += 1
+    starved = [name for name, count in served.items() if count == 0]
+    if starved:
+        failures.append(f"serve starved tenants across shards: {starved}")
+    snapshot = report.book.snapshot()
+    charged = {t.name: 0 for t in tenants}
+    for outcome in report.outcomes:
+        if outcome.record is not None:
+            charged[outcome.request.tenant] += (
+                outcome.record.prompt_tokens + outcome.record.completion_tokens
+            )
+    for name, tokens in charged.items():
+        spent = snapshot[name][0]
+        if spent != tokens:
+            failures.append(
+                f"tenant {name} book shows {spent} tokens but records "
+                f"carry {tokens}"
+            )
+    return failures
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     import importlib
 
@@ -1295,6 +1442,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_format(sub)
     sub.set_defaults(func=_cmd_analyze_diff)
+
+    sub = subparsers.add_parser(
+        "cluster",
+        help="run the sharded multi-worker cluster and report its "
+        "accuracy/throughput/cache trade",
+    )
+    sub.add_argument("--dataset", default="cora")
+    sub.add_argument("--queries", type=int, default=200)
+    sub.add_argument("--scale", type=float, default=None)
+    sub.add_argument(
+        "--shards",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4],
+        help="shard counts to sweep (default: 1 2 4)",
+    )
+    sub.add_argument(
+        "--no-gossip",
+        action="store_true",
+        help="isolate the shards (no cross-boundary pseudo-label gossip)",
+    )
+    sub.add_argument(
+        "--verify",
+        action="store_true",
+        help="also audit shards=1 bit-equality, ledger reconciliation, the "
+        "warm shared-cache zero-call proof, and cross-shard serve fairness",
+    )
+    sub.set_defaults(func=_cmd_cluster)
 
     sub = subparsers.add_parser("experiment", help="reproduce one paper table/figure")
     sub.add_argument("name", choices=EXPERIMENT_NAMES)

@@ -196,126 +196,198 @@ class QueryBoostingStrategy:
             return execute_pipelined(
                 self, engine, queries, pruned=frozenset(pruned), checkpointer=checkpointer
             )
-        unexecuted = [int(v) for v in np.asarray(queries, dtype=np.int64)]
-        if len(set(unexecuted)) != len(unexecuted):
+        stepper = BoostingStepper(
+            self, engine, queries, pruned=pruned, checkpointer=checkpointer
+        )
+        while not stepper.done:
+            stepper.step()
+        return stepper.finish()
+
+
+class BoostingStepper:
+    """One-round-at-a-time driver for Algorithm 2 over one engine.
+
+    :meth:`QueryBoostingStrategy.execute` drains a stepper to completion —
+    the serial contract.  The sharded cluster (:mod:`repro.runtime.cluster`)
+    instead holds one stepper per worker and advances them in *lockstep*:
+    every worker runs round ``r``, then settled pseudo-labels gossip across
+    shard boundaries, then round ``r+1`` starts.  Because both callers drive
+    the identical round body, a one-shard cluster run is bit-identical to
+    the unsharded strategy by construction, not by parallel maintenance.
+
+    Threshold relaxation state (γ1, γ2) is per-stepper, so each cluster
+    worker relaxes against its own shard's label density — which at one
+    shard reduces to the strategy's global behaviour exactly.
+    """
+
+    def __init__(
+        self,
+        strategy: QueryBoostingStrategy,
+        engine: "MultiQueryEngine",
+        queries: np.ndarray,
+        pruned: frozenset[int] | set[int] = frozenset(),
+        checkpointer: "RunCheckpointer | None" = None,
+    ):
+        self.strategy = strategy
+        self.engine = engine
+        self.pruned = pruned
+        self.checkpointer = checkpointer
+        self.unexecuted = [int(v) for v in np.asarray(queries, dtype=np.int64)]
+        if len(set(self.unexecuted)) != len(self.unexecuted):
             raise ValueError("queries contain duplicates")
-        cached = checkpointer.executed if checkpointer is not None else {}
-        gamma1, gamma2 = self.gamma1, self.gamma2
-        num_classes = engine.graph.num_classes
+        self.cached = checkpointer.executed if checkpointer is not None else {}
+        self.gamma1 = strategy.gamma1
+        self.gamma2 = strategy.gamma2
+        self.result = RunResult()
+        self.rounds: list[list[int]] = []
+        self.deferrals: dict[int, int] = {}
+        #: Pseudo-labels published by the most recent :meth:`step` — what the
+        #: cluster gossips to neighboring shards after the round barrier.
+        self.published_this_round: dict[int, int] = {}
+        self._finished = False
+        if engine.observer is not None:
+            engine.observer.on_run_start(len(self.unexecuted))
+
+    @property
+    def done(self) -> bool:
+        """True when every query has a record (no further rounds needed)."""
+        return not self.unexecuted
+
+    def step(self) -> list:
+        """Run one boosting round: select, execute, publish.
+
+        Returns the round's records (possibly empty when every candidate
+        deferred).  Pseudo-labels publish before this returns, so the label
+        state a caller observes between steps is exactly the between-rounds
+        state of Algorithm 2.
+        """
+        if self.done:
+            raise RuntimeError("step() called on a finished stepper")
+        strategy = self.strategy
+        engine = self.engine
         observer = engine.observer
-        result = RunResult()
-        rounds: list[list[int]] = []
-        deferrals: dict[int, int] = {}
-        if observer is not None:
-            observer.on_run_start(len(unexecuted))
+        num_classes = engine.graph.num_classes
 
-        while unexecuted:
-            # Step 1: candidate selection, relaxing thresholds when empty.
-            candidates = self._candidates(engine, unexecuted, gamma1, gamma2)
-            relaxed = False  # did γ-relaxation admit this round's members?
-            while not candidates:
-                relaxed = True
-                if gamma1 > 0:
-                    gamma1 -= 1
-                elif self.use_conflict_threshold and gamma2 < num_classes:
-                    gamma2 += 1
-                else:
-                    # Criterion is now vacuous; everything qualifies.
-                    candidates = [(node, 0) for node in unexecuted]
-                    break
-                candidates = self._candidates(engine, unexecuted, gamma1, gamma2)
+        # Step 1: candidate selection, relaxing thresholds when empty.
+        candidates = strategy._candidates(
+            engine, self.unexecuted, self.gamma1, self.gamma2
+        )
+        relaxed = False  # did γ-relaxation admit this round's members?
+        while not candidates:
+            relaxed = True
+            if self.gamma1 > 0:
+                self.gamma1 -= 1
+            elif strategy.use_conflict_threshold and self.gamma2 < num_classes:
+                self.gamma2 += 1
+            else:
+                # Criterion is now vacuous; everything qualifies.
+                candidates = [(node, 0) for node in self.unexecuted]
+                break
+            candidates = strategy._candidates(
+                engine, self.unexecuted, self.gamma1, self.gamma2
+            )
 
-            # Step 2: execute the candidate set (issued together, as one
-            # LLM batch — richest-labeled first for readability of traces).
-            candidates.sort(key=lambda pair: (-pair[1], pair[0]))
-            round_records = []
-            round_deferred = 0
+        # Step 2: execute the candidate set (issued together, as one
+        # LLM batch — richest-labeled first for readability of traces).
+        candidates.sort(key=lambda pair: (-pair[1], pair[0]))
+        round_records = []
+        round_deferred = 0
+        deferrals = self.deferrals
+        cached = self.cached
+        checkpointer = self.checkpointer
 
-            def note_deferral(node: int) -> int:
-                deferrals[node] = deferrals.get(node, 0) + 1
-                if observer is not None:
-                    observer.on_deferral(node, deferrals[node])
-                return deferrals[node]
+        def note_deferral(node: int) -> int:
+            deferrals[node] = deferrals.get(node, 0) + 1
+            if observer is not None:
+                observer.on_deferral(node, deferrals[node])
+            return deferrals[node]
 
-            with engine.span(
-                "round", round_index=len(rounds), candidates=len(candidates)
-            ):
-                if engine.scheduler is not None:
-                    # Each round is one dependency-free wave: pseudo-labels
-                    # publish only after Step 3, so candidates may dispatch
-                    # batched/overlapped without changing any prompt.
-                    items = [
-                        WorkItem(
-                            node=node,
-                            include_neighbors=node not in pruned,
-                            round_index=len(rounds),
-                            on_failure=(
-                                "raise"
-                                if deferrals.get(node, 0) < self.max_deferrals
-                                else None
-                            ),
-                            cached=cached.get(node),
-                            on_defer=lambda node=node: note_deferral(node),
-                            after_execute=(
-                                checkpointer.append if checkpointer is not None else None
-                            ),
-                            reads=(
-                                self._label_reads(engine, node, relaxed, deferrals)
-                                if getattr(engine.scheduler, "dispatch", "wave") == "dag"
-                                else None
-                            ),
-                        )
-                        for node, _ in candidates
-                    ]
-                    outcome = engine.scheduler.run_wave(engine, items)
-                    round_records = outcome.records
-                    round_deferred = len(outcome.deferred)
-                    for record in round_records:
-                        result.add(record)
-                else:
-                    for node, _ in candidates:
-                        cached_record = cached.get(node)
-                        if cached_record is not None:
-                            engine.observe_replay(cached_record)
-                            round_records.append(cached_record)
-                            result.add(cached_record)
-                            continue
-                        can_defer = deferrals.get(node, 0) < self.max_deferrals
-                        try:
-                            record = engine.execute_query(
-                                node,
-                                include_neighbors=node not in pruned,
-                                round_index=len(rounds),
-                                on_failure="raise" if can_defer else None,
-                            )
-                        except TransientLLMError:
-                            if not can_defer:
-                                raise  # deferrals exhausted, no ladder to absorb this
-                            note_deferral(node)
-                            round_deferred += 1
-                            continue  # re-enqueued: still in unexecuted for later rounds
-                        round_records.append(record)
-                        result.add(record)
-                        if checkpointer is not None:
-                            checkpointer.append(record)
-            # Step 3: pseudo-labels publish after the whole round, exactly
-            # as Algorithm 2 separates its query and label-update steps.
-            for record in round_records:
-                if not self._publishable(record):
-                    continue
-                if record.node not in engine.pseudo_labeled:
-                    engine.add_pseudo_label(record.node, record.predicted_label)
-                    if checkpointer is not None:
-                        checkpointer.record_pseudo(record.node, record.predicted_label)
-            executed = {r.node for r in round_records}
-            unexecuted = [v for v in unexecuted if v not in executed]
-            if round_records:
-                if observer is not None:
-                    observer.on_round_end(
-                        len(rounds), len(round_records), round_deferred
+        with engine.span(
+            "round", round_index=len(self.rounds), candidates=len(candidates)
+        ):
+            if engine.scheduler is not None:
+                # Each round is one dependency-free wave: pseudo-labels
+                # publish only after Step 3, so candidates may dispatch
+                # batched/overlapped without changing any prompt.
+                items = [
+                    WorkItem(
+                        node=node,
+                        include_neighbors=node not in self.pruned,
+                        round_index=len(self.rounds),
+                        on_failure=(
+                            "raise"
+                            if deferrals.get(node, 0) < strategy.max_deferrals
+                            else None
+                        ),
+                        cached=cached.get(node),
+                        on_defer=lambda node=node: note_deferral(node),
+                        after_execute=(
+                            checkpointer.append if checkpointer is not None else None
+                        ),
+                        reads=(
+                            strategy._label_reads(engine, node, relaxed, deferrals)
+                            if getattr(engine.scheduler, "dispatch", "wave") == "dag"
+                            else None
+                        ),
                     )
-                rounds.append([r.node for r in round_records])
+                    for node, _ in candidates
+                ]
+                outcome = engine.scheduler.run_wave(engine, items)
+                round_records = outcome.records
+                round_deferred = len(outcome.deferred)
+                for record in round_records:
+                    self.result.add(record)
+            else:
+                for node, _ in candidates:
+                    cached_record = cached.get(node)
+                    if cached_record is not None:
+                        engine.observe_replay(cached_record)
+                        round_records.append(cached_record)
+                        self.result.add(cached_record)
+                        continue
+                    can_defer = deferrals.get(node, 0) < strategy.max_deferrals
+                    try:
+                        record = engine.execute_query(
+                            node,
+                            include_neighbors=node not in self.pruned,
+                            round_index=len(self.rounds),
+                            on_failure="raise" if can_defer else None,
+                        )
+                    except TransientLLMError:
+                        if not can_defer:
+                            raise  # deferrals exhausted, no ladder to absorb this
+                        note_deferral(node)
+                        round_deferred += 1
+                        continue  # re-enqueued: still in unexecuted for later rounds
+                    round_records.append(record)
+                    self.result.add(record)
+                    if checkpointer is not None:
+                        checkpointer.append(record)
+        # Step 3: pseudo-labels publish after the whole round, exactly
+        # as Algorithm 2 separates its query and label-update steps.
+        self.published_this_round = {}
+        for record in round_records:
+            if not strategy._publishable(record):
+                continue
+            if record.node not in engine.pseudo_labeled:
+                engine.add_pseudo_label(record.node, record.predicted_label)
+                self.published_this_round[record.node] = record.predicted_label
+                if checkpointer is not None:
+                    checkpointer.record_pseudo(record.node, record.predicted_label)
+        executed = {r.node for r in round_records}
+        self.unexecuted = [v for v in self.unexecuted if v not in executed]
+        if round_records:
+            if observer is not None:
+                observer.on_round_end(len(self.rounds), len(round_records), round_deferred)
+            self.rounds.append([r.node for r in round_records])
+        return round_records
 
-        if checkpointer is not None:
-            checkpointer.mark_complete()
-        return BoostingResult(run=result, rounds=rounds)
+    def finish(self) -> BoostingResult:
+        """Seal the run: mark the checkpoint complete, return the result."""
+        if not self.done:
+            raise RuntimeError("finish() called with queries still unexecuted")
+        if not self._finished:
+            if self.checkpointer is not None:
+                self.checkpointer.mark_complete()
+            self._finished = True
+        return BoostingResult(run=self.result, rounds=self.rounds)

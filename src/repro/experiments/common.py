@@ -100,6 +100,7 @@ class ExperimentSetup:
         router: CascadeRouter | None = None,
         compressor=None,
         shared_first: bool = False,
+        ledger=None,
     ) -> MultiQueryEngine:
         """Fresh engine for one (method, model) cell of a results table.
 
@@ -112,7 +113,9 @@ class ExperimentSetup:
         PromptCompressor`) arms the compressed MQO rung; ``shared_first``
         swaps in the prefix-sharing-friendly prompt layout (shared context
         before the per-query target — the simulated models parse either
-        layout identically).
+        layout identically).  ``ledger`` (a :class:`~repro.core.budget.
+        BudgetLedger`) arms per-engine budget accounting — cluster runs give
+        each shard worker its own.
         """
         if llm is None:
             llm = router.tiers[0].llm if router is not None else self.make_llm(model)
@@ -129,6 +132,7 @@ class ExperimentSetup:
             labeled=self.split.labeled,
             max_neighbors=self.max_neighbors if max_neighbors is None else max_neighbors,
             include_neighbor_abstracts=include_neighbor_abstracts,
+            ledger=ledger,
             seed=seed,
             ladder=ladder,
             observer=observer,

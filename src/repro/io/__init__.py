@@ -1,6 +1,7 @@
 """Persistence: save/load graphs and run results, export reports."""
 
 from repro.io.atomic import append_line_durable, atomic_write_text, fsync_dir
+from repro.io.cachedb import CacheCorruptionError, SQLiteCacheStore
 from repro.io.graphs import load_graph, save_graph
 from repro.io.runs import (
     CheckpointCorruptionError,
@@ -31,4 +32,6 @@ __all__ = [
     "atomic_write_text",
     "append_line_durable",
     "fsync_dir",
+    "SQLiteCacheStore",
+    "CacheCorruptionError",
 ]

@@ -1,0 +1,271 @@
+"""Disk-backed LLM response cache store (SQLite).
+
+:class:`SQLiteCacheStore` is the persistent backend behind
+:class:`repro.llm.caching.CachingLLM`: the same ``get``/``put``/``clear``
+storage contract as the in-memory :class:`~repro.llm.caching.MemoryCacheStore`,
+but shared across every worker of a cluster run and across *runs* — a warm
+store serves yesterday's prompts for zero tokens today.
+
+Durability leans on SQLite's own journal for torn-write atomicity (a crash
+mid-``put`` rolls back to the previous committed state), plus the repo's
+:mod:`repro.io.atomic` primitives for the parts SQLite does not cover:
+the containing directory is fsynced when the database file is first
+created, and corruption recovery leaves an atomically-written marker file.
+
+A database that fails ``PRAGMA integrity_check`` (or cannot be opened at
+all — e.g. garbage bytes with a valid header) is **quarantined, never
+deserialized**: the damaged file is renamed to ``<name>.corrupt``, a
+``<name>.recovered.json`` marker records why, and the store restarts
+empty with ``recovered=True``.  Pass ``recover="raise"`` to get a
+:class:`CacheCorruptionError` instead (a ``ValueError`` subclass, matching
+the checkpoint layer's convention).
+
+Lifetime counters (``inserts``, ``evictions``) live in the database's
+``meta`` table, so they survive reopen — the cluster's zero-duplicate-call
+proof compares the sum of worker misses against ``inserts`` after the run.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from pathlib import Path
+
+from repro.io.atomic import atomic_write_text, fsync_dir
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS cache (
+    prompt     TEXT PRIMARY KEY,
+    text       TEXT NOT NULL,
+    confidence REAL,
+    seq        INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS cache_seq ON cache (seq);
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value INTEGER NOT NULL
+);
+"""
+
+RECOVER_MODES = ("quarantine", "raise")
+
+
+class CacheCorruptionError(ValueError):
+    """The cache database failed its integrity check.
+
+    A ``ValueError`` subclass so callers with broad corruption handling
+    (the :class:`~repro.io.runs.CheckpointCorruptionError` convention)
+    catch it without importing this module.
+    """
+
+
+def quarantine_path(path: str | Path) -> Path:
+    """Where a corrupt database is parked (``<name>.corrupt``)."""
+    path = Path(path)
+    return path.with_name(path.name + ".corrupt")
+
+
+def recovery_marker_path(path: str | Path) -> Path:
+    """The atomic marker written after a quarantine (``<name>.recovered.json``)."""
+    path = Path(path)
+    return path.with_name(path.name + ".recovered.json")
+
+
+class SQLiteCacheStore:
+    """Persistent exact-prompt LRU store over one SQLite file.
+
+    Parameters
+    ----------
+    path:
+        Database file; parent directories are created, and the directory is
+        fsynced when the file is first created so the creation itself is
+        crash-durable.
+    max_entries:
+        LRU capacity; ``None`` means unbounded.  Recency is a monotone
+        ``seq`` (bumped on every get/put), so eviction order matches the
+        in-memory store's ``OrderedDict`` semantics exactly.
+    durable:
+        ``True`` (default) runs SQLite at ``synchronous=FULL``; ``False``
+        trades crash durability for speed (benchmarks, throwaway runs).
+    recover:
+        ``"quarantine"`` (default) parks a corrupt database and restarts
+        empty; ``"raise"`` raises :class:`CacheCorruptionError`.
+
+    Thread-safe: one connection guarded by one lock.  Cross-worker
+    single-flight is the *wrapper's* job (:class:`repro.llm.caching.
+    SharedFlight`); the store only promises that individual operations are
+    atomic and durable.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        max_entries: int | None = None,
+        durable: bool = True,
+        recover: str = "quarantine",
+    ):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 or None")
+        if recover not in RECOVER_MODES:
+            raise ValueError(f"recover must be one of {RECOVER_MODES}, got {recover!r}")
+        self.path = Path(path)
+        self.max_entries = max_entries
+        self.durable = durable
+        self.recovered = False
+        self._lock = threading.Lock()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        existed = self.path.exists()
+        try:
+            self._conn = self._open()
+        except sqlite3.DatabaseError as exc:
+            if recover == "raise":
+                raise CacheCorruptionError(
+                    f"cache database {self.path} is corrupt: {exc}"
+                ) from exc
+            self._quarantine(str(exc))
+            self._conn = self._open()
+            self.recovered = True
+            existed = False
+        if not existed:
+            fsync_dir(self.path.parent)
+
+    # ------------------------------------------------------------------ setup
+
+    def _open(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(str(self.path), check_same_thread=False)
+        try:
+            sync = "FULL" if self.durable else "OFF"
+            conn.execute(f"PRAGMA synchronous={sync}")
+            row = conn.execute("PRAGMA integrity_check").fetchone()
+            if row is None or row[0] != "ok":
+                raise sqlite3.DatabaseError(
+                    f"integrity_check reported {row[0] if row else 'nothing'!r}"
+                )
+            conn.executescript(_SCHEMA)
+            conn.commit()
+        except BaseException:
+            conn.close()
+            raise
+        return conn
+
+    def _quarantine(self, reason: str) -> None:
+        parked = quarantine_path(self.path)
+        self.path.replace(parked)
+        fsync_dir(self.path.parent)
+        atomic_write_text(
+            recovery_marker_path(self.path),
+            json.dumps({"quarantined": parked.name, "reason": reason}, indent=2) + "\n",
+        )
+
+    # ------------------------------------------------------------- meta table
+
+    def _meta(self, key: str, default: int = 0) -> int:
+        row = self._conn.execute("SELECT value FROM meta WHERE key = ?", (key,)).fetchone()
+        return int(row[0]) if row is not None else default
+
+    def _bump_meta(self, key: str, delta: int) -> None:
+        self._conn.execute(
+            "INSERT INTO meta (key, value) VALUES (?, ?) "
+            "ON CONFLICT (key) DO UPDATE SET value = value + ?",
+            (key, delta, delta),
+        )
+
+    def _next_seq(self) -> int:
+        seq = self._meta("seq") + 1
+        self._conn.execute(
+            "INSERT INTO meta (key, value) VALUES ('seq', ?) "
+            "ON CONFLICT (key) DO UPDATE SET value = ?",
+            (seq, seq),
+        )
+        return seq
+
+    # --------------------------------------------------------- store contract
+
+    def get(self, prompt: str) -> tuple[str, float | None] | None:
+        """Look up ``prompt``, refreshing its LRU recency on a hit."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT text, confidence FROM cache WHERE prompt = ?", (prompt,)
+            ).fetchone()
+            if row is None:
+                return None
+            self._conn.execute(
+                "UPDATE cache SET seq = ? WHERE prompt = ?",
+                (self._next_seq(), prompt),
+            )
+            self._conn.commit()
+            text, confidence = row
+            return (text, None if confidence is None else float(confidence))
+
+    def put(self, prompt: str, text: str, confidence: float | None) -> int:
+        """Insert (or refresh) an entry; returns how many entries were evicted.
+
+        The insert, any LRU evictions, and the counter bumps commit as one
+        transaction — a crash mid-``put`` rolls back to the previous state.
+        """
+        with self._lock:
+            fresh = (
+                self._conn.execute(
+                    "SELECT 1 FROM cache WHERE prompt = ?", (prompt,)
+                ).fetchone()
+                is None
+            )
+            self._conn.execute(
+                "INSERT INTO cache (prompt, text, confidence, seq) VALUES (?, ?, ?, ?) "
+                "ON CONFLICT (prompt) DO UPDATE SET text = excluded.text, "
+                "confidence = excluded.confidence, seq = excluded.seq",
+                (prompt, text, confidence, self._next_seq()),
+            )
+            if fresh:
+                self._bump_meta("inserts", 1)
+            evicted = 0
+            if self.max_entries is not None:
+                over = self._count() - self.max_entries
+                if over > 0:
+                    cursor = self._conn.execute(
+                        "DELETE FROM cache WHERE prompt IN "
+                        "(SELECT prompt FROM cache ORDER BY seq ASC LIMIT ?)",
+                        (over,),
+                    )
+                    evicted = cursor.rowcount
+                    self._bump_meta("evictions", evicted)
+            self._conn.commit()
+            return evicted
+
+    def _count(self) -> int:
+        return int(self._conn.execute("SELECT COUNT(*) FROM cache").fetchone()[0])
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._count()
+
+    def clear(self) -> None:
+        """Drop every entry; lifetime meta counters are preserved."""
+        with self._lock:
+            self._conn.execute("DELETE FROM cache")
+            self._conn.commit()
+
+    # -------------------------------------------------------------- reporting
+
+    @property
+    def inserts(self) -> int:
+        """Lifetime count of *distinct-prompt* inserts (survives reopen)."""
+        with self._lock:
+            return self._meta("inserts")
+
+    @property
+    def evictions(self) -> int:
+        """Lifetime count of LRU evictions (survives reopen)."""
+        with self._lock:
+            return self._meta("evictions")
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "SQLiteCacheStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -17,7 +17,7 @@ from repro.llm.bias import BiasProfile
 from repro.llm.simulated import SimulatedLLM
 from repro.llm.instruction_tuned import BACKBONE_CONFIGS, BackboneConfig, InstructionTunedLLM
 from repro.llm.profiles import MODEL_PROFILES, ModelProfile, make_model
-from repro.llm.caching import CachingLLM
+from repro.llm.caching import CachingLLM, MemoryCacheStore, SharedFlight
 from repro.llm.reliability import (
     CircuitBreaker,
     CircuitBreakerLLM,
@@ -48,6 +48,8 @@ __all__ = [
     "ModelProfile",
     "MODEL_PROFILES",
     "CachingLLM",
+    "MemoryCacheStore",
+    "SharedFlight",
     "CircuitBreaker",
     "CircuitBreakerLLM",
     "CircuitOpenError",

@@ -17,18 +17,102 @@ call; the rest wait on its result and account as hits — the same number of
 inner calls a serial execution would have issued.  A leader whose inner
 call fails releases the waiters, and the first to re-check becomes the new
 leader, again matching serial retry-by-reissue semantics.
+
+Storage is pluggable.  By default each wrapper owns a private in-process
+:class:`MemoryCacheStore` (an ``OrderedDict`` LRU — the historical
+behaviour).  The sharded cluster runtime instead hands every worker's
+wrapper the *same* store (usually a :class:`repro.io.cachedb.
+SQLiteCacheStore`) and the same :class:`SharedFlight`, which extends the
+single-flight guarantee across workers: N workers racing on one prompt
+still cost exactly one inner call, and the waiters count as *coalesced*
+hits — the cluster's zero-duplicate-LLM-calls proof is built on these two
+shared objects.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Protocol
 
 from repro.llm.interface import LLMClient, LLMResponse
 
 if TYPE_CHECKING:
     from repro.obs.hooks import RunObserver
+
+
+class CacheStore(Protocol):
+    """Storage contract behind :class:`CachingLLM`.
+
+    Implementations must make each operation individually atomic and
+    thread-safe; single-flight coordination is layered on top by
+    :class:`SharedFlight` and is *not* the store's concern.
+    """
+
+    def get(self, prompt: str) -> tuple[str, float | None] | None:
+        """Return ``(text, confidence)`` and refresh LRU recency, or None."""
+        ...
+
+    def put(self, prompt: str, text: str, confidence: float | None) -> int:
+        """Insert an entry; return the number of entries evicted to fit."""
+        ...
+
+    def __len__(self) -> int: ...
+
+    def clear(self) -> None: ...
+
+
+class MemoryCacheStore:
+    """In-process ``OrderedDict`` LRU — the default, ephemeral backend."""
+
+    def __init__(self, max_entries: int | None = 10_000):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 or None")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[str, tuple[str, float | None]] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, prompt: str) -> tuple[str, float | None] | None:
+        with self._lock:
+            entry = self._entries.get(prompt)
+            if entry is not None:
+                self._entries.move_to_end(prompt)
+            return entry
+
+    def put(self, prompt: str, text: str, confidence: float | None) -> int:
+        with self._lock:
+            self._entries[prompt] = (text, confidence)
+            self._entries.move_to_end(prompt)
+            evicted = 0
+            while self.max_entries is not None and len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                evicted += 1
+            return evicted
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+class SharedFlight:
+    """Single-flight registry shared by every wrapper over one store.
+
+    Holds the lock that serializes lookup decisions, the in-flight
+    ``prompt -> Event`` map, and the lifetime count of *coalesced* calls —
+    calls that would have duplicated an inner completion but instead waited
+    for another caller's leader.  One instance per shared store: wrappers
+    that share a store without sharing a flight lose the cross-wrapper
+    de-duplication guarantee.
+    """
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.inflight: dict[str, threading.Event] = {}
+        self.coalesced = 0
 
 
 class CachingLLM(LLMClient):
@@ -39,16 +123,25 @@ class CachingLLM(LLMClient):
     inner:
         The client that pays for misses.
     max_entries:
-        LRU capacity; ``None`` means unbounded (fine for the bounded query
-        sets of the paper's experiments).
+        LRU capacity of the default in-memory store; ``None`` means
+        unbounded.  Ignored when an explicit ``store`` is passed (capacity
+        then belongs to the store).
     observer:
-        Optional run observer; hits, misses and LRU evictions report to it.
+        Optional run observer; hits, misses, coalesced waits and LRU
+        evictions report to it.
     corruptor:
         Optional hook applied to the *text of cache hits* only (never to a
         freshly paid response): the chaos subsystem's cache-read-corruption
         injection point (:meth:`repro.runtime.chaos.ChaosController.
         attach_cache`).  ``None`` — the default and the production setting —
         means hits return exactly the stored bytes.
+    store:
+        Storage backend; defaults to a private :class:`MemoryCacheStore`.
+        Cluster runs pass one shared (usually disk-backed) store to every
+        worker's wrapper.
+    flight:
+        Single-flight registry; defaults to a private :class:`SharedFlight`.
+        Must be shared exactly when ``store`` is shared.
     """
 
     def __init__(
@@ -57,20 +150,19 @@ class CachingLLM(LLMClient):
         max_entries: int | None = 10_000,
         observer: "RunObserver | None" = None,
         corruptor=None,
+        store: CacheStore | None = None,
+        flight: SharedFlight | None = None,
     ):
-        if max_entries is not None and max_entries < 1:
-            raise ValueError("max_entries must be >= 1 or None")
         super().__init__(name=f"cached({inner.name})", tokenizer=inner.tokenizer)
         self.inner = inner
-        self.max_entries = max_entries
         self.observer = observer
         self.corruptor = corruptor
-        self._cache: OrderedDict[str, tuple[str, float | None]] = OrderedDict()
-        self._lock = threading.Lock()
-        self._inflight: dict[str, threading.Event] = {}
+        self.store: CacheStore = MemoryCacheStore(max_entries) if store is None else store
+        self.flight = SharedFlight() if flight is None else flight
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.coalesced = 0
 
     def _complete(self, prompt: str) -> str:
         return self._lookup(prompt)[0][0]
@@ -82,16 +174,19 @@ class CachingLLM(LLMClient):
         leader that issued the inner call; hits and waiters served by
         another leader's result cost nothing.
         """
+        waited = False
         while True:
-            with self._lock:
-                cached = self._cache.get(prompt)
+            with self.flight.lock:
+                cached = self.store.get(prompt)
                 if cached is not None:
                     self.hits += 1
-                    self._cache.move_to_end(prompt)
+                    if waited:
+                        self.coalesced += 1
+                        self.flight.coalesced += 1
                 else:
-                    event = self._inflight.get(prompt)
+                    event = self.flight.inflight.get(prompt)
                     if event is None:
-                        event = self._inflight[prompt] = threading.Event()
+                        event = self.flight.inflight[prompt] = threading.Event()
                         self.misses += 1
                         leader = True
                     else:
@@ -99,10 +194,13 @@ class CachingLLM(LLMClient):
             if cached is not None:
                 if self.observer is not None:
                     self.observer.on_cache_hit()
+                    if waited:
+                        self.observer.on_cache_coalesced()
                 return cached, False
             if not leader:
                 # Another worker is completing this prompt; wait and re-check
                 # (its failure leaves the cache empty, making us the leader).
+                waited = True
                 event.wait()
                 continue
             if self.observer is not None:
@@ -110,21 +208,19 @@ class CachingLLM(LLMClient):
             try:
                 response = self.inner.complete(prompt)
             except BaseException:
-                with self._lock:
-                    self._inflight.pop(prompt, None)
+                with self.flight.lock:
+                    self.flight.inflight.pop(prompt, None)
                 event.set()
                 raise
             entry = (response.text, response.confidence)
-            with self._lock:
-                self._cache[prompt] = entry
-                evicted = self.max_entries is not None and len(self._cache) > self.max_entries
-                if evicted:
-                    self._cache.popitem(last=False)
-                    self.evictions += 1
-                self._inflight.pop(prompt, None)
+            with self.flight.lock:
+                evicted = self.store.put(prompt, *entry)
+                self.evictions += evicted
+                self.flight.inflight.pop(prompt, None)
             event.set()
-            if evicted and self.observer is not None:
-                self.observer.on_cache_eviction()
+            if self.observer is not None:
+                for _ in range(evicted):
+                    self.observer.on_cache_eviction()
             return entry, True
 
     def complete(self, prompt: str) -> LLMResponse:
@@ -153,6 +249,11 @@ class CachingLLM(LLMClient):
         return response
 
     @property
+    def max_entries(self) -> int | None:
+        """Capacity of the underlying store, when it advertises one."""
+        return getattr(self.store, "max_entries", None)
+
+    @property
     def hit_rate(self) -> float:
         """Fraction of calls served from cache (0 when never called)."""
         total = self.hits + self.misses
@@ -162,15 +263,18 @@ class CachingLLM(LLMClient):
         """Lifetime cache statistics as one dict (the reporting surface).
 
         Counters are *lifetime*: :meth:`clear` drops cached entries but not
-        these, so metrics built on them never silently rewind.
+        these, so metrics built on them never silently rewind.  ``entries``
+        reflects the (possibly shared) store; the other counters are this
+        wrapper's own traffic.
         """
-        with self._lock:
+        with self.flight.lock:
             return {
                 "hits": self.hits,
                 "misses": self.misses,
                 "hit_rate": self.hit_rate,
                 "evictions": self.evictions,
-                "entries": len(self._cache),
+                "coalesced": self.coalesced,
+                "entries": len(self.store),
             }
 
     def clear(self) -> None:
@@ -178,12 +282,13 @@ class CachingLLM(LLMClient):
 
         (Use :meth:`reset_stats` to also rewind the counters.)
         """
-        with self._lock:
-            self._cache.clear()
+        with self.flight.lock:
+            self.store.clear()
 
     def reset_stats(self) -> None:
         """Zero the lifetime hit/miss/eviction counters."""
-        with self._lock:
+        with self.flight.lock:
             self.hits = 0
             self.misses = 0
             self.evictions = 0
+            self.coalesced = 0

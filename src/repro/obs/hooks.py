@@ -173,6 +173,11 @@ class RunObserver:
 
     def on_cache_eviction(self) -> None: ...
 
+    def on_cache_coalesced(self) -> None:
+        """A lookup waited on another caller's in-flight miss and was served
+        its result — a duplicate inner call avoided by single-flight (fires
+        in addition to :meth:`on_cache_hit` for the same lookup)."""
+
     # ------------------------------------------------------------- checkpoints
 
     def on_checkpoint_loaded(self, num_records: int, completed: bool) -> None:

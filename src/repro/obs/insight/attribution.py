@@ -86,9 +86,17 @@ class AttributionReport:
     #: what the ledger's ``spent`` records.
     prefix_prompt_tokens: int = 0
     shared_prompt_tokens: int = 0
+    #: Shared-LLM-cache counters (``repro_cache_hits_total`` /
+    #: ``repro_cache_misses_total`` / ``repro_cache_coalesced_total``):
+    #: lookups served from cache, lookups that paid an inner call, and
+    #: duplicate calls avoided by single-flight coalescing (cluster runs).
+    #: All stay 0 on runs without a caching wrapper.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_coalesced: int = 0
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "total": self.total.to_dict(),
             "by_outcome": {k: v.to_dict() for k, v in sorted(self.by_outcome.items())},
             "by_tier": {k: v.to_dict() for k, v in sorted(self.by_tier.items())},
@@ -100,6 +108,16 @@ class AttributionReport:
                 "shared_tokens": self.shared_prompt_tokens,
             },
         }
+        # Additive only: runs without shared-cache traffic (every report
+        # produced before the cluster tier existed) keep their exact shape,
+        # so golden accounting fixtures stay byte-stable.
+        if self.cache_hits or self.cache_misses or self.cache_coalesced:
+            out["cache"] = {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "coalesced": self.cache_coalesced,
+            }
+        return out
 
 
 def _accumulate(rollup: Rollup, prompt: int, completion: int, usd: float) -> None:
@@ -165,6 +183,11 @@ def attribute(bundle: RunBundle) -> AttributionReport:
         )
         report.shared_prompt_tokens = int(
             bundle.metric_total("repro_shared_prompt_tokens_total")
+        )
+        report.cache_hits = int(bundle.metric_total("repro_cache_hits_total"))
+        report.cache_misses = int(bundle.metric_total("repro_cache_misses_total"))
+        report.cache_coalesced = int(
+            bundle.metric_total("repro_cache_coalesced_total")
         )
     return report
 
@@ -285,6 +308,28 @@ def sections(report: AttributionReport, top_nodes: int = 10) -> list[Section]:
                 notes=[
                     "gross spend above is unchanged; shared tokens are "
                     "credited against budgets at the cached input rate"
+                ],
+            )
+        )
+    if report.cache_hits or report.cache_misses:
+        lookups = report.cache_hits + report.cache_misses
+        out.append(
+            Section(
+                title="Shared LLM cache",
+                headers=["Lookups", "Hits", "Misses", "Coalesced", "Hit rate"],
+                rows=[
+                    (
+                        f"{lookups:,}",
+                        f"{report.cache_hits:,}",
+                        f"{report.cache_misses:,}",
+                        f"{report.cache_coalesced:,}",
+                        f"{report.cache_hits / lookups:.1%}" if lookups else "-",
+                    )
+                ],
+                notes=[
+                    "misses are the only lookups that paid an inner call; "
+                    "coalesced lookups waited on another worker's in-flight "
+                    "miss instead of duplicating it"
                 ],
             )
         )

@@ -357,6 +357,13 @@ class Instrumentation(RunObserver):
             "repro_cache_evictions_total", "Response-cache LRU evictions", **self.labels
         ).inc()
 
+    def on_cache_coalesced(self) -> None:
+        self.registry.counter(
+            "repro_cache_coalesced_total",
+            "Duplicate inner calls avoided by single-flight coalescing",
+            **self.labels,
+        ).inc()
+
     # ------------------------------------------------------------- checkpoints
 
     def on_checkpoint_loaded(self, num_records: int, completed: bool) -> None:

@@ -1,0 +1,313 @@
+"""Sharded multi-worker cluster: N engines, one graph, lockstep rounds.
+
+The single-process :class:`~repro.runtime.engine.MultiQueryEngine` holds the
+whole graph; this module is the scale-out story (ROADMAP item 3).  The graph
+is split by :func:`repro.graph.sampling.partition_graph` — a homophily-aware
+min-cut, so most neighbor cues stay shard-local — and each shard gets its
+own *worker*: an engine with its own scheduler, ledger and observer stack,
+all sharing one :class:`~repro.llm.reliability.SimulatedClock` and (usually)
+one disk-backed LLM cache with cross-worker single-flight
+(:class:`repro.io.cachedb.SQLiteCacheStore` +
+:class:`repro.llm.caching.SharedFlight`).
+
+Execution is *lockstep rounds over per-worker steppers*
+(:class:`~repro.core.boosting.BoostingStepper`): every worker runs boosting
+round ``r`` against its own shard, then settled pseudo-labels **gossip**
+across shard boundaries, then round ``r+1`` starts.
+
+Gossip staleness contract
+-------------------------
+A pseudo-label published by shard ``s`` in round ``r`` is visible:
+
+* to shard ``s`` itself from round ``r+1`` (same as the unsharded
+  strategy's publish-after-round semantics);
+* to every *other* shard with at least one cross-shard edge to the labeled
+  node from round ``r+1`` — i.e. remote cues are stale by **at most one
+  round**, and only labels that can actually appear in some prompt travel.
+
+At ``shards=1`` there is nothing to gossip and the single stepper is the
+exact code path :meth:`QueryBoostingStrategy.execute` drains, so a
+one-shard simulated cluster run is bit-identical to the unsharded engine —
+records, ledgers, checkpoints and traces — by construction.
+
+Throughput accounting
+---------------------
+Workers execute serially in-process (deterministic), so wall-clock overlap
+is *modeled*, the same way the batched scheduler models it: each round's
+cluster makespan is the maximum of its workers' simulated busy time (wave
+``overlapped_seconds`` when the worker has a scheduler, clock delta
+otherwise), and the serial baseline is their sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.boosting import BoostingResult, BoostingStepper, QueryBoostingStrategy
+from repro.graph.sampling import GraphPartition
+from repro.runtime.results import RunResult
+
+if TYPE_CHECKING:
+    from repro.io.runs import RunCheckpointer
+    from repro.runtime.engine import MultiQueryEngine
+
+
+@dataclass
+class ClusterWorker:
+    """One shard's execution stack: an engine plus its shard-local queries."""
+
+    index: int
+    engine: "MultiQueryEngine"
+    queries: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.queries = np.asarray(self.queries, dtype=np.int64)
+
+
+@dataclass
+class RoundTiming:
+    """Simulated time one lockstep round cost, per worker and overall."""
+
+    round_index: int
+    per_worker: dict[int, float]
+
+    @property
+    def makespan_seconds(self) -> float:
+        """The round's cost with workers overlapped (slowest shard wins)."""
+        return max(self.per_worker.values(), default=0.0)
+
+    @property
+    def serial_seconds(self) -> float:
+        """The round's cost had the shards run back-to-back."""
+        return sum(self.per_worker.values())
+
+
+@dataclass
+class ClusterResult:
+    """Outcome of one cluster boosting run."""
+
+    worker_results: list[BoostingResult]
+    combined: RunResult
+    timings: list[RoundTiming] = field(default_factory=list)
+    #: Distinct pseudo-labels that crossed at least one shard boundary.
+    gossiped_labels: int = 0
+    #: Individual (label, receiving shard) deliveries.
+    gossip_deliveries: int = 0
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.timings)
+
+    @property
+    def makespan_seconds(self) -> float:
+        return sum(t.makespan_seconds for t in self.timings)
+
+    @property
+    def serial_seconds(self) -> float:
+        return sum(t.serial_seconds for t in self.timings)
+
+    @property
+    def speedup(self) -> float:
+        """Modeled throughput gain over running the shards back-to-back."""
+        makespan = self.makespan_seconds
+        return self.serial_seconds / makespan if makespan > 0 else 1.0
+
+
+def partition_queries(
+    partition: GraphPartition, queries: np.ndarray
+) -> list[np.ndarray]:
+    """Split ``queries`` by owning shard, preserving their original order.
+
+    Order preservation inside each shard is what makes the one-shard split
+    the identity — shard 0 sees exactly the unsharded query array.
+    """
+    queries = np.asarray(queries, dtype=np.int64)
+    return [
+        queries[partition.assignment[queries] == part]
+        for part in range(partition.num_parts)
+    ]
+
+
+class ShardedCluster:
+    """N workers over one partitioned graph, advancing in lockstep rounds.
+
+    Parameters
+    ----------
+    workers:
+        One :class:`ClusterWorker` per shard, index-aligned with the
+        partition's parts.  Every engine must see the full graph (prompts
+        read neighbor *text* from any shard; only label state is sharded).
+    partition:
+        The node-to-shard assignment; routing (``engine_for``) and gossip
+        reachability both derive from it.
+    gossip:
+        When True (default), settled pseudo-labels cross shard boundaries
+        at round barriers.  False isolates the shards completely — the
+        ablation :mod:`repro.experiments.sharding` measures against.
+    """
+
+    def __init__(
+        self,
+        workers: list[ClusterWorker],
+        partition: GraphPartition,
+        gossip: bool = True,
+    ):
+        if not workers:
+            raise ValueError("a cluster needs at least one worker")
+        if len(workers) != partition.num_parts:
+            raise ValueError(
+                f"{len(workers)} workers for a {partition.num_parts}-part partition"
+            )
+        for expected, worker in enumerate(workers):
+            if worker.index != expected:
+                raise ValueError("workers must be index-aligned with partition parts")
+            owners = set(partition.assignment[worker.queries].tolist())
+            if owners - {worker.index}:
+                raise ValueError(
+                    f"worker {worker.index} holds queries owned by shards "
+                    f"{sorted(owners - {worker.index})}"
+                )
+        graphs = {id(w.engine.graph) for w in workers}
+        if len(graphs) != 1:
+            raise ValueError("all workers must share one graph object")
+        self.workers = workers
+        self.partition = partition
+        self.gossip = gossip
+        self.graph = workers[0].engine.graph
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.workers)
+
+    @property
+    def engines(self) -> list["MultiQueryEngine"]:
+        return [w.engine for w in self.workers]
+
+    def engine_for(self, node: int) -> "MultiQueryEngine":
+        """The engine owning ``node``'s shard (the serving layer's router)."""
+        return self.workers[self.partition.part_of(node)].engine
+
+    # ------------------------------------------------------------- execution
+
+    def run_boosting(
+        self,
+        strategy: QueryBoostingStrategy,
+        pruned: frozenset[int] | set[int] = frozenset(),
+        checkpointers: "list[RunCheckpointer | None] | None" = None,
+    ) -> ClusterResult:
+        """Run Algorithm 2 across every shard in lockstep rounds.
+
+        ``checkpointers`` is index-aligned with workers (one checkpoint file
+        per shard); resume replays each shard exactly as the unsharded
+        strategy replays its single file.
+        """
+        if checkpointers is None:
+            checkpointers = [None] * self.num_shards
+        if len(checkpointers) != self.num_shards:
+            raise ValueError("need one checkpointer slot per worker")
+        steppers = [
+            BoostingStepper(
+                strategy,
+                worker.engine,
+                worker.queries,
+                pruned=pruned,
+                checkpointer=checkpointer,
+            )
+            for worker, checkpointer in zip(self.workers, checkpointers)
+        ]
+        timings: list[RoundTiming] = []
+        gossiped: set[int] = set()
+        deliveries = 0
+        while any(not s.done for s in steppers):
+            per_worker: dict[int, float] = {}
+            published: list[tuple[int, dict[int, int]]] = []
+            for worker, stepper in zip(self.workers, steppers):
+                if stepper.done:
+                    continue
+                mark = self._time_mark(worker)
+                stepper.step()
+                per_worker[worker.index] = self._time_since(worker, mark)
+                if stepper.published_this_round:
+                    published.append((worker.index, dict(stepper.published_this_round)))
+            if self.gossip and self.num_shards > 1:
+                for source, labels in published:
+                    for node, label in labels.items():
+                        receivers = self._gossip_targets(node, source)
+                        for shard in receivers:
+                            self.workers[shard].engine.restore_pseudo_labels(
+                                {node: label}
+                            )
+                        if receivers:
+                            gossiped.add(node)
+                            deliveries += len(receivers)
+            timings.append(RoundTiming(round_index=len(timings), per_worker=per_worker))
+        return ClusterResult(
+            worker_results=[s.finish() for s in steppers],
+            combined=self._combine(steppers),
+            timings=timings,
+            gossiped_labels=len(gossiped),
+            gossip_deliveries=deliveries,
+        )
+
+    def _gossip_targets(self, node: int, source: int) -> list[int]:
+        """Shards (≠ source) holding at least one neighbor of ``node``.
+
+        Only those shards can ever render the label into a prompt, so
+        gossip traffic is bounded by the partition's cut — the quantity the
+        homophily-aware min-cut minimizes.
+        """
+        shards = {
+            self.partition.part_of(int(u)) for u in self.graph.neighbors(int(node))
+        }
+        shards.discard(source)
+        return sorted(shards)
+
+    def _combine(self, steppers: list[BoostingStepper]) -> RunResult:
+        """Merge per-worker records round-major (round, then shard order).
+
+        With one shard this is the worker's own record list, byte for byte.
+        """
+        combined = RunResult()
+        max_rounds = max((len(s.rounds) for s in steppers), default=0)
+        by_node = {
+            record.node: record
+            for stepper in steppers
+            for record in stepper.result.records
+        }
+        for round_index in range(max_rounds):
+            for stepper in steppers:
+                if round_index < len(stepper.rounds):
+                    for node in stepper.rounds[round_index]:
+                        combined.add(by_node[node])
+        return combined
+
+    # ---------------------------------------------------------------- timing
+
+    def _time_mark(self, worker: ClusterWorker) -> tuple[int, float]:
+        scheduler = worker.engine.scheduler
+        waves = len(scheduler.report.waves) if scheduler is not None else 0
+        clock = worker.engine.clock
+        now = float(clock.now) if clock is not None else 0.0
+        return waves, now
+
+    def _time_since(self, worker: ClusterWorker, mark: tuple[int, float]) -> float:
+        """Simulated busy time of this worker's step since ``mark``.
+
+        Scheduler-equipped workers report modeled overlapped wave time;
+        serial workers fall back to the shared clock's advance while they
+        (alone) were executing.
+        """
+        waves_before, clock_before = mark
+        scheduler = worker.engine.scheduler
+        if scheduler is not None:
+            return sum(
+                wave.overlapped_seconds
+                for wave in scheduler.report.waves[waves_before:]
+            )
+        clock = worker.engine.clock
+        if clock is not None:
+            return float(clock.now) - clock_before
+        return 0.0

@@ -65,6 +65,7 @@ from repro.utils.rng import spawn_rng
 
 if TYPE_CHECKING:
     from repro.runtime.chaos import ChaosController
+    from repro.runtime.cluster import ShardedCluster
     from repro.runtime.engine import MultiQueryEngine
 
 #: Admission decisions, best to worst.  ``admitted`` enters the queue at
@@ -513,30 +514,57 @@ class ServingLayer:
         scheduler's serial-equivalence contract keeps the records
         identical, only wave-overlap timing differs.  A ``None`` plan or a
         tenant-unscoped plan leaves the dispatch path untouched.
+    cluster:
+        Optional :class:`~repro.runtime.cluster.ShardedCluster`.  When set,
+        each request routes to the engine owning its node's shard (gating,
+        execution and surrogate answers all happen on that engine), while
+        admission, fairness and the :class:`~repro.core.budget.LedgerBook`
+        stay layer-global — a tenant spanning shards keeps one ledger and
+        its DRR weight regardless of where its nodes live.  Every cluster
+        engine must share one clock and carry no ledger; ``engine`` may be
+        omitted and defaults to shard 0's engine (the serving timeline).
+        At one shard the routing is the identity, so outcomes are
+        bit-identical to the unclustered layer.
     """
 
     def __init__(
         self,
-        engine: "MultiQueryEngine",
-        tenants: "list[TenantSpec] | tuple[TenantSpec, ...]",
+        engine: "MultiQueryEngine | None" = None,
+        tenants: "list[TenantSpec] | tuple[TenantSpec, ...]" = (),
         policy: AdmissionPolicy | None = None,
         global_budget: float | None = None,
         global_usd_budget: float | None = None,
         price_model: str | None = None,
         observer: object | None = None,
         chaos: "ChaosController | None" = None,
+        cluster: "ShardedCluster | None" = None,
     ):
         if not tenants:
             raise ValueError("a serving layer needs at least one tenant")
         names = [t.name for t in tenants]
         if len(set(names)) != len(names):
             raise ValueError(f"tenant names must be unique, got {names}")
+        if engine is None:
+            if cluster is None:
+                raise ValueError("a serving layer needs an engine or a cluster")
+            engine = cluster.engines[0]
+        if cluster is not None:
+            clocks = {id(e.clock) for e in cluster.engines}
+            if len(clocks) != 1:
+                raise ValueError("cluster engines must share one clock")
+            for shard_engine in cluster.engines:
+                if shard_engine.ledger is not None:
+                    raise ValueError(
+                        "the serving layer owns all spend accounting; construct "
+                        "cluster engines without ledgers"
+                    )
         if engine.ledger is not None:
             raise ValueError(
                 "the serving layer owns all spend accounting; construct the "
                 "engine without a ledger"
             )
         self.engine = engine
+        self.cluster = cluster
         self.policy = policy or AdmissionPolicy()
         self._tenants = {t.name: _TenantState(t) for t in tenants}
         global_ledger = None
@@ -552,6 +580,14 @@ class ServingLayer:
         self.chaos = chaos
         self._rr_index = 0
         self._cycles = 0
+
+    # ---------------------------------------------------------------- routing
+
+    def _engine_for(self, node: int) -> "MultiQueryEngine":
+        """The engine that owns ``node`` (shard routing; identity unclustered)."""
+        if self.cluster is None:
+            return self.engine
+        return self.cluster.engine_for(node)
 
     # ------------------------------------------------------------------- time
 
@@ -722,8 +758,11 @@ class ServingLayer:
         dry).  The ladder is full → compressed → pruned → surrogate; the
         compressed rung costs the *exact* deterministic compression of the
         full prompt and only exists when the engine carries a compressor.
+
+        Under a cluster, gating runs on the engine owning the request's
+        node — its shard's label state is what the prompt will render.
         """
-        engine = self.engine
+        engine = self._engine_for(request.node)
         tokenizer = engine.llm.tokenizer
         reserve = self.policy.completion_reserve
         tenant = request.tenant
@@ -801,26 +840,67 @@ class ServingLayer:
         ``shared_prompt_tokens`` under the scheduler's prefix-sharing plan
         (all zeros without a planning scheduler — serial dispatch shares
         nothing).
+
+        Under a cluster, the wave splits by owning shard: each shard's
+        sub-wave runs on its own engine (and scheduler) in shard order,
+        then records stitch back into item order.  One shard reduces to
+        the unclustered single-wave path exactly.
         """
-        engine = self.engine
         chaos = self.chaos
         serial_for_chaos = chaos is not None and chaos.plan.has_tenant_scoped_faults
-        if items and engine.scheduler is not None and not serial_for_chaos:
-            records = engine.scheduler.run_wave(engine, items).records
-            plan = getattr(engine.scheduler, "last_plan", None)
-            shared = (
-                list(plan.shared_by_prompt)
-                if plan is not None
-                else [0] * len(items)
-            )
+        if items and not serial_for_chaos:
+            if self.cluster is None:
+                if self.engine.scheduler is None:
+                    return self._execute_serial(items, item_tenants)
+                return self._run_shard_wave(self.engine, items)
+            by_shard: dict[int, list[int]] = {}
+            for position, item in enumerate(items):
+                shard = self.cluster.partition.part_of(item.node)
+                by_shard.setdefault(shard, []).append(position)
+            records: list[QueryRecord | None] = [None] * len(items)
+            shared: list[int] = [0] * len(items)
+            for shard in sorted(by_shard):
+                positions = by_shard[shard]
+                engine = self.cluster.engines[shard]
+                if engine.scheduler is None:
+                    sub_records, sub_shared = self._execute_serial(
+                        [items[p] for p in positions],
+                        [item_tenants[p] for p in positions],
+                        engine=engine,
+                    )
+                else:
+                    sub_records, sub_shared = self._run_shard_wave(
+                        engine, [items[p] for p in positions]
+                    )
+                for position, record, tokens in zip(positions, sub_records, sub_shared):
+                    records[position] = record
+                    shared[position] = tokens
             return records, shared
+        return self._execute_serial(items, item_tenants)
+
+    def _run_shard_wave(
+        self, engine: "MultiQueryEngine", items: list[WorkItem]
+    ) -> tuple[list[QueryRecord], list[int]]:
+        records = engine.scheduler.run_wave(engine, items).records
+        plan = getattr(engine.scheduler, "last_plan", None)
+        shared = list(plan.shared_by_prompt) if plan is not None else [0] * len(items)
+        return records, shared
+
+    def _execute_serial(
+        self,
+        items: list[WorkItem],
+        item_tenants: list[str],
+        engine: "MultiQueryEngine | None" = None,
+    ) -> tuple[list[QueryRecord], list[int]]:
+        chaos = self.chaos
         records: list[QueryRecord] = []
         for item, tenant in zip(items, item_tenants):
+            item_engine = engine if engine is not None else self._engine_for(item.node)
             if chaos is not None:
                 chaos.current_tenant = tenant
             try:
                 records.append(
-                    engine.execute_query(
+                    item_engine.execute_query(
                         item.node,
                         include_neighbors=item.include_neighbors,
                         compress=item.compress,
@@ -841,7 +921,6 @@ class ServingLayer:
         dispatched_at = self.now
         cycle_index = self._cycles
         self._cycles += 1
-        engine = self.engine
         plan: list[tuple[ServeRequest, float, str]] = []
         items: list[WorkItem] = []
         item_tenants: list[str] = []
@@ -889,7 +968,7 @@ class ServingLayer:
                 continue
             shared = 0
             if tier == "surrogate":
-                record = engine.surrogate_query(request.node)
+                record = self._engine_for(request.node).surrogate_query(request.node)
             else:
                 record, shared = next(records)
             self._charge(request.tenant, record)
@@ -1007,7 +1086,7 @@ class ServingLayer:
                         shared,
                         usd=self._shared_discount_usd(shared),
                     )
-                self.engine.observe_replay(record)
+                self._engine_for(request.node).observe_replay(record)
             outcomes.append(
                 ServeOutcome(
                     request=request,

@@ -1,0 +1,258 @@
+"""Tests for the disk-backed SQLite cache store.
+
+Three contracts: the store behaves exactly like the in-memory backend
+behind :class:`~repro.llm.caching.CachingLLM` (LRU order, stats, hits);
+its state — entries *and* lifetime counters — survives reopen; and a
+corrupt database file (committed fixtures mirroring the checkpoint
+layer's damage shapes) is detected and quarantined, never deserialized.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.io.cachedb import (
+    CacheCorruptionError,
+    SQLiteCacheStore,
+    quarantine_path,
+    recovery_marker_path,
+)
+from repro.llm.caching import CachingLLM, MemoryCacheStore, SharedFlight
+from repro.llm.interface import LLMClient
+
+DATA = Path(__file__).parent / "data"
+#: A real store file with ~500 bytes of b-tree leaf pages bit-flipped —
+#: syntactically openable, but ``PRAGMA integrity_check`` reports damage.
+BITFLIPPED = DATA / "corrupt_cache_bitflip.db"
+#: The same store cut mid-page — the shape a torn copy or crash leaves.
+TRUNCATED = DATA / "corrupt_cache_truncated.db"
+
+
+class StaticLLM(LLMClient):
+    """Deterministic echo model: same prompt, same answer, any thread."""
+
+    def __init__(self, delay: float = 0.0):
+        super().__init__(name="static")
+        self.delay = delay
+
+    def _complete(self, prompt: str) -> str:
+        if self.delay:
+            time.sleep(self.delay)
+        return f"answer:{prompt}"
+
+
+class TestStoreContract:
+    def test_roundtrip(self, tmp_path):
+        store = SQLiteCacheStore(tmp_path / "cache.db")
+        assert store.get("p") is None
+        store.put("p", "text", 0.5)
+        assert store.get("p") == ("text", 0.5)
+        assert len(store) == 1
+
+    def test_none_confidence_roundtrips(self, tmp_path):
+        store = SQLiteCacheStore(tmp_path / "cache.db")
+        store.put("p", "text", None)
+        assert store.get("p") == ("text", None)
+
+    def test_put_same_prompt_overwrites(self, tmp_path):
+        store = SQLiteCacheStore(tmp_path / "cache.db")
+        store.put("p", "old", None)
+        store.put("p", "new", 0.9)
+        assert store.get("p") == ("new", 0.9)
+        assert len(store) == 1
+        assert store.inserts == 1  # refresh is not a fresh insert
+
+    def test_lru_eviction_order(self, tmp_path):
+        store = SQLiteCacheStore(tmp_path / "cache.db", max_entries=2)
+        store.put("a", "1", None)
+        store.put("b", "2", None)
+        store.get("a")  # refresh: now b is least recent
+        assert store.put("c", "3", None) == 1
+        assert store.get("b") is None
+        assert store.get("a") is not None and store.get("c") is not None
+        assert store.evictions == 1
+
+    def test_clear_keeps_lifetime_counters(self, tmp_path):
+        store = SQLiteCacheStore(tmp_path / "cache.db", max_entries=1)
+        store.put("a", "1", None)
+        store.put("b", "2", None)
+        store.clear()
+        assert len(store) == 0
+        assert store.inserts == 2
+        assert store.evictions == 1
+
+    def test_invalid_max_entries_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_entries"):
+            SQLiteCacheStore(tmp_path / "cache.db", max_entries=0)
+
+    def test_invalid_recover_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="recover"):
+            SQLiteCacheStore(tmp_path / "cache.db", recover="ignore")
+
+
+class TestPersistence:
+    def test_entries_and_counters_survive_reopen(self, tmp_path):
+        path = tmp_path / "cache.db"
+        with SQLiteCacheStore(path, max_entries=2) as store:
+            store.put("a", "1", 0.1)
+            store.put("b", "2", None)
+            store.put("c", "3", 0.3)  # evicts a
+        reopened = SQLiteCacheStore(path, max_entries=2)
+        assert reopened.get("a") is None
+        assert reopened.get("b") == ("2", None)
+        assert reopened.get("c") == ("3", 0.3)
+        assert reopened.inserts == 3
+        assert reopened.evictions == 1
+        assert not reopened.recovered
+
+    def test_warm_store_serves_new_wrapper_for_free(self, tmp_path):
+        path = tmp_path / "cache.db"
+        first_inner = StaticLLM()
+        first = CachingLLM(first_inner, store=SQLiteCacheStore(path))
+        first.complete("p1")
+        first.complete("p2")
+        first.store.close()
+
+        second_inner = StaticLLM()
+        second = CachingLLM(second_inner, store=SQLiteCacheStore(path))
+        assert second.complete("p1").text == "answer:p1"
+        assert second.complete("p2").total_tokens == 0
+        assert second_inner.usage.num_queries == 0
+        assert second.stats()["hits"] == 2
+
+
+class TestCorruptFixtures:
+    """Committed damaged databases, mirroring test_corrupt_persistence."""
+
+    def stage(self, tmp_path: Path, fixture: Path) -> Path:
+        path = tmp_path / "cache.db"
+        shutil.copy(fixture, path)
+        return path
+
+    @pytest.mark.parametrize(
+        "fixture", [TRUNCATED, BITFLIPPED], ids=["truncated", "bitflip"]
+    )
+    def test_raise_mode_detects(self, tmp_path, fixture):
+        path = self.stage(tmp_path, fixture)
+        with pytest.raises(CacheCorruptionError):
+            SQLiteCacheStore(path, recover="raise")
+
+    @pytest.mark.parametrize(
+        "fixture", [TRUNCATED, BITFLIPPED], ids=["truncated", "bitflip"]
+    )
+    def test_detection_is_a_value_error(self, tmp_path, fixture):
+        """Callers with checkpoint-style broad handling catch it too."""
+        path = self.stage(tmp_path, fixture)
+        with pytest.raises(ValueError):
+            SQLiteCacheStore(path, recover="raise")
+
+    @pytest.mark.parametrize(
+        "fixture", [TRUNCATED, BITFLIPPED], ids=["truncated", "bitflip"]
+    )
+    def test_quarantine_recovers_empty(self, tmp_path, fixture):
+        path = self.stage(tmp_path, fixture)
+        store = SQLiteCacheStore(path)
+        assert store.recovered
+        assert len(store) == 0
+        store.put("p", "fresh", None)  # usable again after recovery
+        assert store.get("p") == ("fresh", None)
+        parked = quarantine_path(path)
+        assert parked.exists()
+        assert parked.read_bytes() == fixture.read_bytes()  # damage preserved
+
+    def test_quarantine_marker_records_reason(self, tmp_path):
+        path = self.stage(tmp_path, TRUNCATED)
+        SQLiteCacheStore(path)
+        marker = json.loads(recovery_marker_path(path).read_text())
+        assert marker["quarantined"] == quarantine_path(path).name
+        assert marker["reason"]
+
+    def test_healthy_database_is_not_quarantined(self, tmp_path):
+        path = tmp_path / "cache.db"
+        with SQLiteCacheStore(path) as store:
+            store.put("p", "text", None)
+        store = SQLiteCacheStore(path)
+        assert not store.recovered
+        assert not quarantine_path(path).exists()
+        assert not recovery_marker_path(path).exists()
+
+
+class TestSingleFlightAcrossWrappers:
+    """Two workers' wrappers over one store+flight: one paid call, ever."""
+
+    def test_threads_across_wrappers_pay_once(self, tmp_path):
+        store = SQLiteCacheStore(tmp_path / "cache.db")
+        flight = SharedFlight()
+        inners = [StaticLLM(delay=0.02) for _ in range(2)]
+        wrappers = [
+            CachingLLM(inner, store=store, flight=flight) for inner in inners
+        ]
+        barrier = threading.Barrier(8)
+
+        def work(i):
+            barrier.wait()
+            return wrappers[i % 2].complete("shared prompt").text
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            texts = [f.result() for f in [pool.submit(work, i) for i in range(8)]]
+        assert set(texts) == {"answer:shared prompt"}
+        paid = sum(inner.usage.num_queries for inner in inners)
+        assert paid == 1  # cross-wrapper single-flight
+        assert sum(w.misses for w in wrappers) == 1
+        assert sum(w.hits for w in wrappers) == 7
+        assert flight.coalesced == sum(w.coalesced for w in wrappers)
+        assert store.inserts == 1
+
+    def test_disjoint_prompts_all_pay(self, tmp_path):
+        store = SQLiteCacheStore(tmp_path / "cache.db")
+        flight = SharedFlight()
+        inners = [StaticLLM(delay=0.002) for _ in range(2)]
+        wrappers = [
+            CachingLLM(inner, store=store, flight=flight) for inner in inners
+        ]
+
+        def work(i):
+            return wrappers[i % 2].complete(f"prompt {i % 4}").text
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            [f.result() for f in [pool.submit(work, i) for i in range(32)]]
+        assert sum(inner.usage.num_queries for inner in inners) == 4
+        assert store.inserts == 4
+
+
+class TestParityWithMemoryStore:
+    """Same traffic through both backends: identical wrapper statistics."""
+
+    OPS = ["a", "b", "a", "c", "d", "b", "a", "e", "c", "c"]
+
+    def run_traffic(self, cache: CachingLLM) -> list[str]:
+        return [cache.complete(f"prompt {op}").text for op in self.OPS]
+
+    def test_stats_and_texts_match(self, tmp_path):
+        memory = CachingLLM(StaticLLM(), store=MemoryCacheStore(max_entries=3))
+        sqlite = CachingLLM(
+            StaticLLM(), store=SQLiteCacheStore(tmp_path / "cache.db", max_entries=3)
+        )
+        assert self.run_traffic(memory) == self.run_traffic(sqlite)
+        assert memory.stats() == sqlite.stats()
+        assert memory.hit_rate == sqlite.hit_rate
+        assert memory.max_entries == sqlite.max_entries == 3
+
+    def test_eviction_victims_match(self, tmp_path):
+        memory = MemoryCacheStore(max_entries=3)
+        sqlite = SQLiteCacheStore(tmp_path / "cache.db", max_entries=3)
+        for store in (memory, sqlite):
+            for op in self.OPS:
+                if store.get(f"prompt {op}") is None:
+                    store.put(f"prompt {op}", f"answer {op}", None)
+        survivors_memory = {op for op in set(self.OPS) if memory.get(f"prompt {op}")}
+        survivors_sqlite = {op for op in set(self.OPS) if sqlite.get(f"prompt {op}")}
+        assert survivors_memory == survivors_sqlite
+        assert len(memory) == len(sqlite) == 3

@@ -79,6 +79,7 @@ class TestCachingLLM:
             "misses": 0,
             "hit_rate": 0.0,
             "evictions": 0,
+            "coalesced": 0,
             "entries": 1,
         }
 
@@ -96,6 +97,7 @@ class TestCachingLLM:
             "misses": 3,
             "hit_rate": 0.25,
             "evictions": 1,
+            "coalesced": 0,
             "entries": 2,
         }
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.graph.sampling import bfs_hops, k_hop_neighbors
+from repro.graph.sampling import bfs_hops, k_hop_neighbors, partition_graph
 from repro.graph.tag import TextAttributedGraph
 from repro.text.corpus import NodeText
 
@@ -78,3 +78,74 @@ class TestKHop:
                 current = set(k_hop_neighbors(path_graph, node, k).tolist())
                 assert prev <= current
                 prev = current
+
+
+class TestPartitionGraph:
+    @pytest.fixture(scope="class")
+    def cora(self):
+        from repro.experiments.common import load_setup
+
+        return load_setup("cora", num_queries=40, scale=0.15).graph
+
+    def test_one_part_is_trivial(self, path_graph):
+        partition = partition_graph(path_graph, 1)
+        assert partition.num_parts == 1
+        assert partition.assignment.tolist() == [0] * path_graph.num_nodes
+        assert partition.cut_edges == 0
+        assert partition.cut_fraction == 0.0
+
+    def test_every_node_assigned_exactly_once(self, cora):
+        partition = partition_graph(cora, 3)
+        assert partition.num_nodes == cora.num_nodes
+        assert sorted(
+            n for part in range(3) for n in partition.part(part).tolist()
+        ) == list(range(cora.num_nodes))
+
+    def test_balance_within_slack(self, cora):
+        slack = 0.15
+        partition = partition_graph(cora, 4, balance_slack=slack)
+        ideal = cora.num_nodes / 4
+        for size in partition.sizes():
+            assert size <= int(ideal * (1 + slack)) + 1
+
+    def test_deterministic(self, cora):
+        a = partition_graph(cora, 4)
+        b = partition_graph(cora, 4)
+        assert a.assignment.tolist() == b.assignment.tolist()
+
+    def test_cut_stats_consistent(self, cora):
+        partition = partition_graph(cora, 2)
+        u, v = cora.edge_array().T
+        crossing = int((partition.assignment[u] != partition.assignment[v]).sum())
+        assert partition.cut_edges == crossing
+        assert partition.total_edges == len(u)
+        assert 0.0 < partition.cut_fraction < 1.0
+        assert partition.same_label_cut_edges <= partition.cut_edges
+
+    def test_homophily_weight_protects_same_label_edges(self, cora):
+        neutral = partition_graph(cora, 2, homophily_weight=0.0)
+        homophil = partition_graph(cora, 2, homophily_weight=4.0)
+        # Same-label edges make up no greater a share of the cut when they
+        # are the expensive ones to cut.
+        def same_label_share(p):
+            return p.same_label_cut_edges / p.cut_edges if p.cut_edges else 0.0
+
+        assert same_label_share(homophil) <= same_label_share(neutral) + 1e-9
+
+    def test_part_of_matches_assignment(self, cora):
+        partition = partition_graph(cora, 2)
+        for node in range(0, cora.num_nodes, 37):
+            assert partition.part_of(node) == int(partition.assignment[node])
+
+    def test_crosses(self, path_graph):
+        partition = partition_graph(path_graph, 2)
+        u, v = path_graph.edge_array().T
+        for uu, vv in zip(u.tolist(), v.tolist()):
+            expected = partition.part_of(uu) != partition.part_of(vv)
+            assert partition.crosses(uu, vv) == expected
+
+    def test_invalid_num_parts(self, path_graph):
+        with pytest.raises(ValueError):
+            partition_graph(path_graph, 0)
+        with pytest.raises(ValueError):
+            partition_graph(path_graph, path_graph.num_nodes + 1)
